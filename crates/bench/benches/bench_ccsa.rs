@@ -1,0 +1,51 @@
+//! Criterion micro-benchmark: CCSA end-to-end planning time
+//! (supports experiment `fig9_runtime`).
+
+use ccs_core::prelude::*;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ccsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccsa");
+    group.sample_size(10);
+    for &n in &[10usize, 20, 50] {
+        let problem = CcsProblem::new(
+            ScenarioGenerator::new(n as u64)
+                .devices(n)
+                .chargers((n / 10).max(2))
+                .generate(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| ccsa(p, &EqualShare, CcsaOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ccsa_no_polish(c: &mut Criterion) {
+    // The pure greedy + density-search core, without the local-improvement
+    // and IR-repair post-passes.
+    let mut group = c.benchmark_group("ccsa_greedy_only");
+    group.sample_size(10);
+    let options = CcsaOptions {
+        local_improvement: false,
+        ir_repair: false,
+        refine_gathering: false,
+        ..Default::default()
+    };
+    for &n in &[10usize, 20, 50] {
+        let problem = CcsProblem::new(
+            ScenarioGenerator::new(n as u64)
+                .devices(n)
+                .chargers((n / 10).max(2))
+                .generate(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| ccsa(p, &EqualShare, options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccsa, bench_ccsa_no_polish);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark: CCSGA coalition-formation time
+//! (supports experiments `fig9_runtime` and `fig10_convergence`).
+
+use ccs_coalition::engine::SwitchRule;
+use ccs_core::prelude::*;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn instance(n: usize) -> CcsProblem {
+    CcsProblem::new(
+        ScenarioGenerator::new(n as u64)
+            .devices(n)
+            .chargers((n / 10).max(2))
+            .generate(),
+    )
+}
+
+fn bench_ccsga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccsga");
+    group.sample_size(10);
+    for &n in &[10usize, 20, 50, 100] {
+        let problem = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| ccsga(p, &EqualShare, CcsgaOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_switch_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccsga_rule");
+    group.sample_size(10);
+    let problem = instance(50);
+    for (name, rule) in [
+        ("history", SwitchRule::SelfishWithHistory),
+        ("consent", SwitchRule::SelfishWithConsent),
+        ("utilitarian", SwitchRule::Utilitarian),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, &rule| {
+            b.iter(|| {
+                ccsga(
+                    &problem,
+                    &EqualShare,
+                    CcsgaOptions {
+                        rule,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccsga, bench_switch_rules);
+criterion_main!(benches);

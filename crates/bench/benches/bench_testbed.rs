@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: discrete-event testbed replays
+//! (supports experiments `table2_field` and `fig12_field_breakdown`).
+
+use ccs_core::prelude::*;
+use ccs_testbed::field::field_problem;
+use ccs_testbed::noise::NoiseModel;
+use ccs_testbed::sim::execute;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_field_replay(c: &mut Criterion) {
+    let problem = field_problem(1);
+    let coop = ccsa(&problem, &EqualShare, CcsaOptions::default());
+    let noise = NoiseModel::field();
+    c.bench_function("testbed_replay_field", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            execute(&problem, &coop, &EqualShare, &noise, seed)
+        })
+    });
+}
+
+fn bench_replay_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed_replay_scaling");
+    let noise = NoiseModel::field();
+    for &n in &[10usize, 50, 100] {
+        let problem = CcsProblem::new(
+            ScenarioGenerator::new(n as u64)
+                .devices(n)
+                .chargers((n / 10).max(2))
+                .generate(),
+        );
+        let plan = ccsa(&problem, &EqualShare, CcsaOptions::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                execute(&problem, &plan, &EqualShare, &noise, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_field_replay, bench_replay_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! CLI entry point of the experiment harness.
+//!
+//! Usage: `experiments [--out DIR] [ids...]`; no ids = run everything.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for id in ccs_bench::exp::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--out DIR] [--list] [ids...]");
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ccs_bench::exp::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &ids {
+        println!("\n################ {id} ################");
+        let started = std::time::Instant::now();
+        if let Err(err) = ccs_bench::exp::run(id, &out) {
+            eprintln!("experiment {id} failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("({id} finished in {:.1}s)", started.elapsed().as_secs_f64());
+    }
+    println!("\nall results written to {}", out.display());
+    ExitCode::SUCCESS
+}

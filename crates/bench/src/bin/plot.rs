@@ -1,0 +1,36 @@
+//! Quick-look terminal charts for harness CSVs.
+//!
+//! ```text
+//! cargo run -p ccs-bench --bin plot -- results/fig5.csv [width] [height]
+//! ```
+
+use ccs_bench::exp::plot::{render, series_from_csv};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: plot <results.csv> [width] [height]");
+        return ExitCode::FAILURE;
+    };
+    let width: usize = args.get(1).and_then(|w| w.parse().ok()).unwrap_or(72);
+    let height: usize = args.get(2).and_then(|h| h.parse().ok()).unwrap_or(18);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match series_from_csv(&text) {
+        Some(series) => {
+            println!("{path}");
+            print!("{}", render(&series, width, height));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("{path}: no numeric series found");
+            ExitCode::FAILURE
+        }
+    }
+}

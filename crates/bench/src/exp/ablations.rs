@@ -1,0 +1,174 @@
+//! Ablations of the design choices called out in `DESIGN.md`:
+//!
+//! * `abl_gathering` — gathering-point strategy (Weiszfeld vs centroid vs
+//!   best-member vs grid): solution quality vs planning time;
+//! * `abl_switch_rule` — CCSGA switch rules (history vs consent vs
+//!   utilitarian): cost, switches, Nash-stability rate;
+//! * `abl_sfm` — CCSA's inner density minimizer (prefix scan vs
+//!   Dinkelbach+separable vs Dinkelbach+min-norm-point vs greedy):
+//!   identical costs for the exact engines, very different runtimes.
+
+use crate::exp::common::{mean_std, parallel_map, write_csv};
+use ccs_core::prelude::*;
+use ccs_coalition::engine::SwitchRule;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+fn instance(seed: u64, n: usize) -> CcsProblem {
+    CcsProblem::new(
+        ScenarioGenerator::new(seed.wrapping_mul(97) + n as u64)
+            .devices(n)
+            .chargers(10)
+            .generate(),
+    )
+}
+
+/// Gathering-strategy ablation.
+pub fn abl_gathering(out: &Path) -> io::Result<()> {
+    println!("== abl_gathering: gathering-point strategy (n = 50, m = 10, 10 seeds) ==");
+    println!("{:>12} {:>12} {:>12} {:>10}", "strategy", "total $", "vs best %", "ms");
+    let strategies = [
+        ("weiszfeld", GatheringStrategy::Weiszfeld),
+        ("centroid", GatheringStrategy::Centroid),
+        ("bestmember", GatheringStrategy::BestMember),
+        ("grid6", GatheringStrategy::Grid(6)),
+    ];
+    let runs = parallel_map((0..10u64).collect::<Vec<_>>(), |seed| {
+        strategies
+            .iter()
+            .map(|(_, strategy)| {
+                let scenario = ScenarioGenerator::new(seed.wrapping_mul(97) + 50)
+                    .devices(50)
+                    .chargers(10)
+                    .generate();
+                let problem = CcsProblem::with_params(
+                    scenario,
+                    CostParams {
+                        gathering: *strategy,
+                        ..Default::default()
+                    },
+                );
+                let t = Instant::now();
+                let s = ccsa(&problem, &EqualShare, CcsaOptions::default());
+                (s.total_cost().value(), t.elapsed().as_secs_f64() * 1e3)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut rows = Vec::new();
+    let best: f64 = (0..strategies.len())
+        .map(|si| runs.iter().map(|r| r[si].0).sum::<f64>() / runs.len() as f64)
+        .fold(f64::INFINITY, f64::min);
+    for (si, (name, _)) in strategies.iter().enumerate() {
+        let (total, _) = mean_std(&runs.iter().map(|r| r[si].0).collect::<Vec<_>>());
+        let (ms, _) = mean_std(&runs.iter().map(|r| r[si].1).collect::<Vec<_>>());
+        let delta = (total / best - 1.0) * 100.0;
+        println!("{:>12} {:>12.2} {:>12.2} {:>10.1}", name, total, delta, ms);
+        rows.push(format!("{name},{total:.4},{delta:.3},{ms:.3}"));
+    }
+    write_csv(out, "abl_gathering.csv", "strategy,total_mean,delta_vs_best_pct,time_ms", &rows)?;
+    Ok(())
+}
+
+/// Switch-rule ablation.
+pub fn abl_switch_rule(out: &Path) -> io::Result<()> {
+    println!("== abl_switch_rule: CCSGA switch rules (5 seeds each) ==");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>8} {:>8}",
+        "n", "rule", "total $", "switches", "rounds", "NE %"
+    );
+    let rules = [
+        ("history", SwitchRule::SelfishWithHistory),
+        ("consent", SwitchRule::SelfishWithConsent),
+        ("utilitarian", SwitchRule::Utilitarian),
+    ];
+    let mut rows = Vec::new();
+    for &n in &[50usize, 100, 200] {
+        let runs = parallel_map((0..5u64).collect::<Vec<_>>(), |seed| {
+            rules
+                .iter()
+                .map(|(_, rule)| {
+                    let problem = instance(seed, n);
+                    let g = ccsga(
+                        &problem,
+                        &EqualShare,
+                        CcsgaOptions {
+                            rule: *rule,
+                            ..Default::default()
+                        },
+                    );
+                    (
+                        g.schedule.total_cost().value(),
+                        g.switches as f64,
+                        g.rounds as f64,
+                        g.nash_stable,
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (ri, (name, _)) in rules.iter().enumerate() {
+            let (total, _) = mean_std(&runs.iter().map(|r| r[ri].0).collect::<Vec<_>>());
+            let (switches, _) = mean_std(&runs.iter().map(|r| r[ri].1).collect::<Vec<_>>());
+            let (rounds, _) = mean_std(&runs.iter().map(|r| r[ri].2).collect::<Vec<_>>());
+            let stable =
+                runs.iter().filter(|r| r[ri].3).count() as f64 / runs.len() as f64 * 100.0;
+            println!(
+                "{:>6} {:>12} {:>12.1} {:>10.1} {:>8.1} {:>8.0}",
+                n, name, total, switches, rounds, stable
+            );
+            rows.push(format!("{n},{name},{total:.4},{switches:.2},{rounds:.2},{stable:.0}"));
+        }
+    }
+    write_csv(
+        out,
+        "abl_switch.csv",
+        "n,rule,total_mean,switches_mean,rounds_mean,nash_stable_pct",
+        &rows,
+    )?;
+    Ok(())
+}
+
+/// Inner-minimizer ablation.
+pub fn abl_sfm(out: &Path) -> io::Result<()> {
+    println!("== abl_sfm: CCSA inner density minimizer (3 seeds each) ==");
+    println!(
+        "{:>6} {:>22} {:>12} {:>10}",
+        "n", "minimizer", "total $", "ms"
+    );
+    let minimizers = [
+        ("prefix_scan", InnerMinimizer::PrefixScan),
+        ("dinkelbach_separable", InnerMinimizer::DinkelbachSeparable),
+        ("dinkelbach_mnp", InnerMinimizer::DinkelbachMnp),
+        ("greedy_accretion", InnerMinimizer::GreedyAccretion),
+    ];
+    let mut rows = Vec::new();
+    for &n in &[20usize, 40, 60] {
+        let runs = parallel_map((0..3u64).collect::<Vec<_>>(), |seed| {
+            minimizers
+                .iter()
+                .map(|(_, minimizer)| {
+                    let problem = instance(seed, n);
+                    let t = Instant::now();
+                    let s = ccsa(
+                        &problem,
+                        &EqualShare,
+                        CcsaOptions {
+                            minimizer: *minimizer,
+                            ..Default::default()
+                        },
+                    );
+                    (s.total_cost().value(), t.elapsed().as_secs_f64() * 1e3)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (mi, (name, _)) in minimizers.iter().enumerate() {
+            let (total, _) = mean_std(&runs.iter().map(|r| r[mi].0).collect::<Vec<_>>());
+            let (ms, _) = mean_std(&runs.iter().map(|r| r[mi].1).collect::<Vec<_>>());
+            println!("{:>6} {:>22} {:>12.2} {:>10.1}", n, name, total, ms);
+            rows.push(format!("{n},{name},{total:.4},{ms:.3}"));
+        }
+    }
+    write_csv(out, "abl_sfm.csv", "n,minimizer,total_mean,time_ms", &rows)?;
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Shared machinery of the experiment harness: output files, statistics
+//! and a scoped-thread parallel map for seed sweeps.
+
+use parking_lot::Mutex;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Mean and (population) standard deviation of a sample.
+///
+/// Returns `(0, 0)` for an empty sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Writes a CSV file (header + rows) under `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut content = String::with_capacity(rows.iter().map(|r| r.len() + 1).sum::<usize>() + header.len() + 1);
+    content.push_str(header);
+    content.push('\n');
+    for row in rows {
+        content.push_str(row);
+        content.push('\n');
+    }
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Writes a markdown file under `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_markdown(dir: &Path, name: &str, content: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Applies `f` to every item on a scoped thread pool sized to the machine,
+/// preserving input order in the output.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Mutex<Vec<Option<U>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let next = work.lock().pop();
+                match next {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        results.lock()[idx] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("all work items completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m, s) = mean_std(&[2.0, 2.0, 2.0]);
+        assert_eq!((m, s), (2.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn csv_and_markdown_round_trip() {
+        let dir = std::env::temp_dir().join("ccs_bench_test_common");
+        let p = write_csv(&dir, "t.csv", "a,b", &["1,2".into(), "3,4".into()]).unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let p = write_markdown(&dir, "t.md", "# hi\n").unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "# hi\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

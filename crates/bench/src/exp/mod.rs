@@ -1,0 +1,69 @@
+//! The experiment registry: one runner per paper table/figure family
+//! (see the per-experiment index in `DESIGN.md`).
+
+pub mod ablations;
+pub mod extensions;
+pub mod common;
+pub mod field_exp;
+pub mod params;
+pub mod plot;
+pub mod runtime;
+pub mod sharing_exp;
+pub mod sim_figures;
+pub mod small;
+
+use std::io;
+use std::path::Path;
+
+/// All experiment ids, in recommended execution order.
+pub const ALL: &[&str] = &[
+    "table1",
+    "fig5_cost_vs_devices",
+    "fig6_cost_vs_chargers",
+    "fig7_cost_vs_field",
+    "fig8_vs_optimal",
+    "fig9_runtime",
+    "fig10_convergence",
+    "fig11_sharing",
+    "table2_field",
+    "fig12_field_breakdown",
+    "fig13_lifetime",
+    "fig14_failures",
+    "fig15_poa",
+    "abl_gathering",
+    "abl_switch_rule",
+    "abl_sfm",
+    "abl_exclusive",
+];
+
+/// Runs one experiment by id into `out`.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for unknown ids, and propagates I/O errors from
+/// result writing.
+pub fn run(id: &str, out: &Path) -> io::Result<()> {
+    match id {
+        "table1" => params::table1(out),
+        "fig5_cost_vs_devices" => sim_figures::fig5(out),
+        "fig6_cost_vs_chargers" => sim_figures::fig6(out),
+        "fig7_cost_vs_field" => sim_figures::fig7(out),
+        "fig8_vs_optimal" => small::fig8(out).map(|_| ()),
+        "fig9_runtime" => runtime::fig9(out),
+        "fig10_convergence" => runtime::fig10(out),
+        "fig11_sharing" => sharing_exp::fig11(out),
+        "table2_field" => field_exp::table2(out).map(|_| ()),
+        "fig12_field_breakdown" => field_exp::fig12(out),
+        "fig13_lifetime" => extensions::fig13(out),
+        "fig14_failures" => extensions::fig14(out),
+        "fig15_poa" => extensions::fig15(out),
+        "abl_gathering" => ablations::abl_gathering(out),
+        "abl_switch_rule" => ablations::abl_switch_rule(out),
+        "abl_sfm" => ablations::abl_sfm(out),
+        "abl_exclusive" => extensions::abl_exclusive(out),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unknown experiment id '{other}'; known: {}", ALL.join(", ")),
+        )),
+    }
+}

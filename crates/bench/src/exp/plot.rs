@@ -1,0 +1,197 @@
+//! Terminal line charts for experiment series.
+//!
+//! The harness is terminal-first; these renderers turn the CSV series into
+//! quick-look ASCII charts (`ccs-bench --bin plot results/fig5.csv`) so
+//! trends can be eyeballed without leaving the shell.
+
+use std::fmt::Write as _;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders one or more series into an ASCII chart of the given size.
+///
+/// The canvas is `width × height` characters plus a y-axis gutter and an
+/// x-range footer. Each series draws with its own glyph (`*`, `o`, `+`,
+/// `x`, …); overlapping points show the later series.
+///
+/// # Panics
+///
+/// Panics if `width < 8`, `height < 4`, no series is given, or all series
+/// are empty.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "chart too small to draw");
+    assert!(!series.is_empty(), "nothing to plot");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "all series are empty");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Degenerate ranges render as a flat mid-line.
+    if x_max - x_min < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if y_max - y_min < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (row, line) in canvas.iter().enumerate() {
+        let y_label = if row == 0 {
+            format!("{y_max:>10.2} ")
+        } else if row == height - 1 {
+            format!("{y_min:>10.2} ")
+        } else {
+            " ".repeat(11)
+        };
+        let _ = writeln!(out, "{y_label}|{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(11), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{}{x_min:<12.1}{:>width$.1}",
+        " ".repeat(12),
+        x_max,
+        width = width.saturating_sub(12)
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", glyphs[si % glyphs.len()], s.name);
+    }
+    out
+}
+
+/// Parses a harness CSV (header + numeric rows; non-numeric cells skipped)
+/// into one series per numeric column, with the first column as x.
+///
+/// Returns `None` if fewer than two numeric columns exist.
+pub fn series_from_csv(text: &str) -> Option<Vec<Series>> {
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next()?.split(',').collect();
+    if header.len() < 2 {
+        return None;
+    }
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); header.len()];
+    for line in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != header.len() {
+            continue;
+        }
+        let parsed: Vec<Option<f64>> = cells.iter().map(|c| c.trim().parse().ok()).collect();
+        if parsed.iter().any(|p| p.is_none()) {
+            continue; // summary rows etc.
+        }
+        for (col, v) in columns.iter_mut().zip(parsed) {
+            col.push(v.expect("checked above"));
+        }
+    }
+    if columns[0].is_empty() {
+        return None;
+    }
+    let x = columns[0].clone();
+    let series: Vec<Series> = header
+        .iter()
+        .zip(&columns)
+        .skip(1)
+        .map(|(name, ys)| Series {
+            name: (*name).to_string(),
+            points: x.iter().copied().zip(ys.iter().copied()).collect(),
+        })
+        .collect();
+    (!series.is_empty()).then_some(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, pts: &[(f64, f64)]) -> Series {
+        Series {
+            name: name.into(),
+            points: pts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn renders_monotone_series_diagonally() {
+        let s = line("up", &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let chart = render(&[s], 21, 5);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Highest point in the top row, lowest in the bottom canvas row.
+        assert!(rows[0].contains('*'));
+        assert!(rows[4].contains('*'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("2.00"), "y max label present");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = line("a", &[(0.0, 0.0), (1.0, 1.0)]);
+        let b = line("b", &[(0.0, 1.0), (1.0, 0.0)]);
+        let chart = render(&[a, b], 20, 6);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("  * a"));
+        assert!(chart.contains("  o b"));
+    }
+
+    #[test]
+    fn flat_series_render_without_dividing_by_zero() {
+        let s = line("flat", &[(0.0, 5.0), (1.0, 5.0)]);
+        let chart = render(&[s], 12, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn rejects_tiny_canvas() {
+        let s = line("x", &[(0.0, 0.0)]);
+        let _ = render(&[s], 4, 2);
+    }
+
+    #[test]
+    fn csv_parsing_extracts_series() {
+        let csv = "n,ccsa,ncp\n10,28.3,40.7\n20,25.6,40.7\npooled,,\n";
+        let series = series_from_csv(csv).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "ccsa");
+        assert_eq!(series[0].points, vec![(10.0, 28.3), (20.0, 25.6)]);
+        assert_eq!(series[1].points.len(), 2, "summary row skipped");
+    }
+
+    #[test]
+    fn csv_parsing_rejects_empty() {
+        assert!(series_from_csv("onlyheader\n").is_none());
+        assert!(series_from_csv("a,b\n").is_none());
+    }
+
+    #[test]
+    fn end_to_end_chart_from_csv() {
+        let csv = "x,y\n0,1\n1,3\n2,2\n";
+        let series = series_from_csv(csv).unwrap();
+        let chart = render(&series, 30, 8);
+        assert!(chart.lines().count() >= 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! `fig11_sharing`: the intragroup cost-sharing comparison.
+//!
+//! Same CCSA groupings, three ways to split every group's bill — equal,
+//! demand-proportional, and exact Shapley — compared on total cost
+//! (identical by budget balance, a built-in sanity check), per-device
+//! spread, and Jain's fairness index of the comprehensive-cost vector.
+
+use crate::exp::common::{mean_std, parallel_map, write_csv};
+use ccs_core::prelude::*;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use ccs_wrsn::units::Cost;
+use std::io;
+use std::path::Path;
+
+const SEEDS: u64 = 20;
+
+/// Runs the sharing-scheme comparison.
+pub fn fig11(out: &Path) -> io::Result<()> {
+    println!("== fig11: cost-sharing schemes on CCSA groupings (n = 30, m = 8) ==");
+    println!(
+        "{:>14} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "scheme", "total $", "fairness", "min dev $", "max dev $", "ir viol %"
+    );
+
+    let scheme_names = ["equal", "proportional", "shapley"];
+    let runs = parallel_map((0..SEEDS).collect::<Vec<u64>>(), |seed| {
+        let scenario = ScenarioGenerator::new(seed.wrapping_mul(131) + 17)
+            .devices(30)
+            .chargers(8)
+            .generate();
+        // Cap group size below the exact-Shapley guard so all three schemes
+        // price identical groupings.
+        let problem = CcsProblem::with_params(
+            scenario,
+            CostParams {
+                max_group_size: Some(12),
+                ..Default::default()
+            },
+        );
+        let solo = noncooperation(&problem, &EqualShare);
+
+        all_schemes()
+            .into_iter()
+            .map(|scheme| {
+                let schedule = ccsa(&problem, scheme.as_ref(), CcsaOptions::default());
+                let costs = schedule.device_costs(problem.num_devices());
+                let fairness = jain_fairness(&costs);
+                let min = costs.iter().copied().fold(Cost::new(f64::INFINITY), Cost::min);
+                let max = costs.iter().copied().fold(Cost::ZERO, Cost::max);
+                let violations = problem
+                    .scenario()
+                    .device_ids()
+                    .filter(|&d| {
+                        schedule.device_cost(d).unwrap()
+                            > solo.device_cost(d).unwrap() + Cost::new(1e-6)
+                    })
+                    .count();
+                (
+                    schedule.total_cost().value(),
+                    fairness,
+                    min.value(),
+                    max.value(),
+                    violations as f64 / problem.num_devices() as f64 * 100.0,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut rows = Vec::new();
+    for (si, name) in scheme_names.iter().enumerate() {
+        let totals: Vec<f64> = runs.iter().map(|r| r[si].0).collect();
+        let fair: Vec<f64> = runs.iter().map(|r| r[si].1).collect();
+        let mins: Vec<f64> = runs.iter().map(|r| r[si].2).collect();
+        let maxs: Vec<f64> = runs.iter().map(|r| r[si].3).collect();
+        let viol: Vec<f64> = runs.iter().map(|r| r[si].4).collect();
+        let (t, _) = mean_std(&totals);
+        let (f, f_std) = mean_std(&fair);
+        let (lo, _) = mean_std(&mins);
+        let (hi, _) = mean_std(&maxs);
+        let (v, _) = mean_std(&viol);
+        println!(
+            "{:>14} {:>12.2} {:>10.3} {:>12.2} {:>12.2} {:>12.1}",
+            name, t, f, lo, hi, v
+        );
+        rows.push(format!(
+            "{name},{t:.4},{f:.4},{f_std:.4},{lo:.4},{hi:.4},{v:.2}"
+        ));
+    }
+    write_csv(
+        out,
+        "fig11.csv",
+        "scheme,total_mean,fairness_mean,fairness_std,min_device_cost,max_device_cost,ir_violation_pct",
+        &rows,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,421 @@
+//! The coalition-formation engine: iterated switch operations until no
+//! player wants (and is allowed) to move.
+//!
+//! Three switch rules are provided, matching the `abl_switch_rule`
+//! ablation in `DESIGN.md`:
+//!
+//! * [`SwitchRule::SelfishWithHistory`] — the paper's CCSGA rule
+//!   (reconstructed from the coalition-formation-game literature the paper
+//!   builds on): a player switches whenever it strictly lowers *its own*
+//!   cost, and keeps a history of every coalition composition it has been a
+//!   member of, never re-*joining* one. Splitting off into a singleton is
+//!   always permitted (the individual-rationality fallback), which keeps a
+//!   player from being trapped in a coalition that turned bad. Every join
+//!   consumes a fresh history entry and a singleton move can only be
+//!   followed by a join, so the dynamics terminate.
+//! * [`SwitchRule::SelfishWithConsent`] — a switch additionally requires
+//!   that no member of the receiving coalition is made worse off.
+//! * [`SwitchRule::Utilitarian`] — a switch requires the total social cost
+//!   to strictly decrease; social cost is then an exact potential, so
+//!   convergence is immediate by monotonicity.
+
+use crate::game::HedonicGame;
+use crate::partition::{CoalitionId, Partition};
+use crate::stability::is_nash_stable;
+use std::collections::{BTreeSet, HashSet};
+
+/// How a player is allowed to deviate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchRule {
+    /// Strict self-improvement plus a no-revisit history (CCSGA's rule).
+    SelfishWithHistory,
+    /// Strict self-improvement plus unanimous consent of the receiving
+    /// coalition.
+    SelfishWithConsent,
+    /// Strict decrease of total social cost (exact potential game).
+    Utilitarian,
+}
+
+/// Options for [`run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineOptions {
+    /// The switch rule in force.
+    pub rule: SwitchRule,
+    /// Maximum full player rounds before giving up. `0` means `100 * n`.
+    pub max_rounds: usize,
+    /// Strictness margin: an improvement must exceed this to count.
+    pub epsilon: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            rule: SwitchRule::SelfishWithHistory,
+            max_rounds: 0,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Outcome of a coalition-formation run.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// The final coalition structure.
+    pub partition: Partition,
+    /// Full rounds executed (including the final quiet round).
+    pub rounds: usize,
+    /// Total switch operations applied.
+    pub switches: usize,
+    /// `true` if a full round passed with no switch (fixed point reached).
+    pub converged: bool,
+    /// Whether the final partition is Nash-stable (checked independently of
+    /// the switch rule, i.e. against *all* unilateral deviations).
+    pub nash_stable: bool,
+    /// Total social cost of the final partition.
+    pub final_social_cost: f64,
+}
+
+/// One candidate deviation of a player.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Move {
+    Join(CoalitionId),
+    Singleton,
+}
+
+/// Runs coalition formation from `initial` until convergence (no applicable
+/// switch) or the round cap.
+///
+/// Players are scanned round-robin in index order; each player applies its
+/// *best* admissible improving move, which keeps the dynamics deterministic.
+///
+/// # Panics
+///
+/// Panics if `initial.num_players() != game.num_players()`.
+pub fn run<G: HedonicGame>(game: &G, initial: Partition, options: EngineOptions) -> ConvergenceReport {
+    let n = game.num_players();
+    assert_eq!(
+        initial.num_players(),
+        n,
+        "partition and game disagree on player count"
+    );
+    let max_rounds = if options.max_rounds == 0 {
+        100 * n
+    } else {
+        options.max_rounds
+    };
+    let eps = options.epsilon;
+
+    let mut partition = initial;
+    // Per-player set of coalition compositions already visited
+    // (only used by the history rule).
+    let mut history: Vec<HashSet<Vec<usize>>> = vec![HashSet::new(); n];
+    if options.rule == SwitchRule::SelfishWithHistory {
+        for (p, visited) in history.iter_mut().enumerate() {
+            let members = key_of(partition.members(partition.coalition_of(p)));
+            visited.insert(members);
+        }
+    }
+
+    let mut switches = 0;
+    let mut rounds = 0;
+    let mut converged = false;
+
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut any_switch = false;
+
+        for player in 0..n {
+            if let Some((mv, _gain)) = best_move(game, &partition, player, &history, options) {
+                let target = match mv {
+                    Move::Join(id) => {
+                        partition.move_to_coalition(player, id);
+                        id
+                    }
+                    Move::Singleton => partition.move_to_singleton(player).1,
+                };
+                if options.rule == SwitchRule::SelfishWithHistory {
+                    history[player].insert(key_of(partition.members(target)));
+                }
+                switches += 1;
+                any_switch = true;
+                debug_assert!(partition.is_consistent());
+            }
+        }
+
+        if !any_switch {
+            converged = true;
+            break;
+        }
+    }
+
+    let nash_stable = is_nash_stable(game, &partition, eps);
+    let final_social_cost =
+        game.social_cost(partition.coalitions().map(|(_, members)| members));
+    ConvergenceReport {
+        partition,
+        rounds,
+        switches,
+        converged,
+        nash_stable,
+        final_social_cost,
+    }
+}
+
+fn key_of(members: &BTreeSet<usize>) -> Vec<usize> {
+    members.iter().copied().collect()
+}
+
+/// The best admissible improving move for `player`, or `None`.
+fn best_move<G: HedonicGame>(
+    game: &G,
+    partition: &Partition,
+    player: usize,
+    history: &[HashSet<Vec<usize>>],
+    options: EngineOptions,
+) -> Option<(Move, f64)> {
+    let eps = options.epsilon;
+    let from_id = partition.coalition_of(player);
+    let from_members = partition.members(from_id);
+    let current_cost = game.player_cost(player, from_members);
+    let coalition_count = partition.num_coalitions();
+
+    // Costs of the coalition left behind, before and after departure —
+    // needed by the utilitarian rule.
+    let mut residual: BTreeSet<usize> = from_members.clone();
+    residual.remove(&player);
+    let from_cost_before: f64 = from_members
+        .iter()
+        .map(|&q| game.player_cost(q, from_members))
+        .sum();
+    let from_cost_after: f64 = residual
+        .iter()
+        .map(|&q| game.player_cost(q, &residual))
+        .sum();
+
+    let mut best: Option<(Move, f64)> = None;
+    let mut consider = |mv: Move, gain: f64| {
+        if gain > eps {
+            match &best {
+                Some((_, g)) if *g >= gain => {}
+                _ => best = Some((mv, gain)),
+            }
+        }
+    };
+
+    // Candidate: join each other coalition.
+    for (id, members) in partition.coalitions() {
+        if id == from_id {
+            continue;
+        }
+        let mut joined: BTreeSet<usize> = members.clone();
+        joined.insert(player);
+        if !game.coalition_feasible(&joined) {
+            continue;
+        }
+        let new_cost = game.player_cost(player, &joined);
+        match options.rule {
+            SwitchRule::SelfishWithHistory => {
+                if history[player].contains(&key_of(&joined)) {
+                    continue;
+                }
+                consider(Move::Join(id), current_cost - new_cost);
+            }
+            SwitchRule::SelfishWithConsent => {
+                let harmed = members
+                    .iter()
+                    .any(|&q| game.player_cost(q, &joined) > game.player_cost(q, members) + eps);
+                if !harmed {
+                    consider(Move::Join(id), current_cost - new_cost);
+                }
+            }
+            SwitchRule::Utilitarian => {
+                let to_before: f64 =
+                    members.iter().map(|&q| game.player_cost(q, members)).sum();
+                let to_after: f64 =
+                    joined.iter().map(|&q| game.player_cost(q, &joined)).sum();
+                let social_gain = (from_cost_before + to_before) - (from_cost_after + to_after);
+                consider(Move::Join(id), social_gain);
+            }
+        }
+    }
+
+    // Candidate: split off into a singleton (only meaningful from a larger
+    // coalition, and only if the coalition budget allows one more).
+    if from_members.len() > 1
+        && game
+            .max_coalitions()
+            .is_none_or(|cap| coalition_count < cap)
+    {
+        let solo = BTreeSet::from([player]);
+        if game.coalition_feasible(&solo) {
+            let new_cost = game.player_cost(player, &solo);
+            match options.rule {
+                // Going solo is the individual-rationality fallback: it is
+                // never blocked by history (see the module docs) and needs
+                // nobody's consent.
+                SwitchRule::SelfishWithHistory | SwitchRule::SelfishWithConsent => {
+                    consider(Move::Singleton, current_cost - new_cost);
+                }
+                SwitchRule::Utilitarian => {
+                    let social_gain = from_cost_before - (from_cost_after + new_cost);
+                    consider(Move::Singleton, social_gain);
+                }
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::FeeSharingGame;
+
+    fn line_game(fee: f64, max_size: usize) -> FeeSharingGame {
+        let pos: &[f64] = &[0.0, 1.0, 2.0, 10.0, 11.0];
+        let distance = pos
+            .iter()
+            .map(|a| pos.iter().map(|b| (a - b).abs()).collect())
+            .collect();
+        FeeSharingGame::new(fee, distance, max_size)
+    }
+
+    #[test]
+    fn converges_from_singletons_under_all_rules() {
+        for rule in [
+            SwitchRule::SelfishWithHistory,
+            SwitchRule::SelfishWithConsent,
+            SwitchRule::Utilitarian,
+        ] {
+            let game = line_game(6.0, 5);
+            let report = run(
+                &game,
+                Partition::singletons(5),
+                EngineOptions {
+                    rule,
+                    ..EngineOptions::default()
+                },
+            );
+            assert!(report.converged, "rule {rule:?} must converge");
+            assert!(report.partition.is_consistent());
+            assert!(report.switches > 0, "fee 6 makes cooperation attractive");
+            assert!(report.final_social_cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_fee_keeps_singletons() {
+        // With no fee to share, moving can only add distance: nobody moves.
+        let game = line_game(0.0, 5);
+        let report = run(&game, Partition::singletons(5), EngineOptions::default());
+        assert!(report.converged);
+        assert_eq!(report.switches, 0);
+        assert_eq!(report.partition.num_coalitions(), 5);
+        assert!(report.nash_stable);
+    }
+
+    #[test]
+    fn nearby_players_group_distant_player_stays_out() {
+        // Players at 0,1,2 cluster; 10 and 11 pair up; fee 4 is not worth a
+        // trip across the gap of 8.
+        let game = line_game(4.0, 5);
+        let report = run(&game, Partition::singletons(5), EngineOptions::default());
+        assert!(report.converged);
+        let groups = report.partition.canonical();
+        // No coalition mixes {0,1,2} with {3,4}.
+        for g in &groups {
+            let has_near = g.iter().any(|&p| p <= 2);
+            let has_far = g.iter().any(|&p| p >= 3);
+            assert!(
+                !(has_near && has_far),
+                "unexpected mixed coalition {g:?} in {groups:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn history_rule_reaches_nash_stable_partition() {
+        let game = line_game(6.0, 5);
+        let report = run(&game, Partition::singletons(5), EngineOptions::default());
+        assert!(report.converged);
+        assert!(
+            report.nash_stable,
+            "final partition {} should be Nash-stable",
+            report.partition
+        );
+    }
+
+    #[test]
+    fn utilitarian_rule_never_increases_social_cost() {
+        let game = line_game(6.0, 5);
+        let initial = Partition::singletons(5);
+        let initial_cost =
+            game.social_cost(initial.coalitions().map(|(_, m)| m));
+        let report = run(
+            &game,
+            initial,
+            EngineOptions {
+                rule: SwitchRule::Utilitarian,
+                ..EngineOptions::default()
+            },
+        );
+        assert!(report.final_social_cost <= initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn feasibility_cap_limits_coalition_size() {
+        let game = line_game(20.0, 2);
+        let report = run(&game, Partition::singletons(5), EngineOptions::default());
+        for (_, members) in report.partition.coalitions() {
+            assert!(members.len() <= 2, "cap of 2 violated: {members:?}");
+        }
+    }
+
+    #[test]
+    fn max_coalitions_blocks_singleton_splits() {
+        // Start from the grand coalition with a cap of 1 coalition: the only
+        // deviation (going solo) would create a second coalition, so the
+        // partition must stay put even though players might prefer leaving.
+        struct Capped(FeeSharingGame);
+        impl HedonicGame for Capped {
+            fn num_players(&self) -> usize {
+                self.0.num_players()
+            }
+            fn player_cost(&self, p: usize, c: &BTreeSet<usize>) -> f64 {
+                self.0.player_cost(p, c)
+            }
+            fn max_coalitions(&self) -> Option<usize> {
+                Some(1)
+            }
+        }
+        let game = Capped(line_game(0.1, 5));
+        let report = run(&game, Partition::grand_coalition(5), EngineOptions::default());
+        assert_eq!(report.partition.num_coalitions(), 1);
+        assert_eq!(report.switches, 0);
+    }
+
+    #[test]
+    fn starting_from_grand_coalition_also_converges() {
+        let game = line_game(2.0, 5);
+        let report = run(&game, Partition::grand_coalition(5), EngineOptions::default());
+        assert!(report.converged);
+        assert!(report.partition.is_consistent());
+        // Fee 2 cannot justify the 0..11 spread: the far pair must break off.
+        assert!(report.partition.num_coalitions() >= 2);
+    }
+
+    #[test]
+    fn round_cap_is_respected() {
+        let game = line_game(6.0, 5);
+        let report = run(
+            &game,
+            Partition::singletons(5),
+            EngineOptions {
+                max_rounds: 1,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(report.rounds, 1);
+    }
+}

@@ -1,0 +1,787 @@
+//! CCSA — the paper's approximation algorithm: greedy facility commitment
+//! driven by submodular minimum-density search.
+//!
+//! One *facility* is a `(charger, gathering point)` pair; candidate points
+//! are the unscheduled device positions, the charger depots and a coarse
+//! field grid. For a fixed facility the group cost over a member set `S`
+//! is the separable submodular function
+//!
+//! ```text
+//! f(S) = [b_j + τ_j·d(q_j,p)]·1[S≠∅] + Σ_{i∈S} (π_j·w_i + κ_i·d(p_i,p)) + η_j·g(|S|)
+//! ```
+//!
+//! Each greedy round finds, over all facilities, the nonempty member set
+//! with the **minimum per-member cost** `f(S)/|S|` — a submodular
+//! minimum-ratio problem — commits the winner, removes its members, and
+//! repeats. This is the classical greedy for submodular set cover, giving
+//! the `H_n` approximation bound the paper's "approximation algorithm"
+//! framing refers to.
+//!
+//! Three inner minimizers implement the density search (the `abl_sfm`
+//! ablation): an exact `O(n log n)` prefix scan exploiting separability
+//! (production default), exact Dinkelbach + Fujishige–Wolfe min-norm-point
+//! SFM (the paper's generic machinery), and a cheap greedy heuristic.
+//!
+//! After commitment each group's gathering point is re-optimized with the
+//! problem's strategy (Weiszfeld by default), and an optional
+//! individual-rationality repair ejects any member that would pay more than
+//! its solo cost — the cooperation guarantee the paper's cost-sharing
+//! schemes are designed to sustain.
+
+use crate::algo::noncoop::solo_cost;
+use crate::cost::{best_facility, evaluate_facility, FacilityChoice};
+use std::collections::HashMap;
+use crate::gathering::gathering_point;
+use crate::problem::CcsProblem;
+use crate::schedule::{GroupPlan, Schedule};
+use crate::sharing::CostSharing;
+use ccs_submodular::density::{min_density_mnp, min_density_separable};
+use ccs_submodular::minimize::SeparableFn;
+use ccs_submodular::mnp::MnpOptions;
+use ccs_submodular::set_fn::SetFunction;
+use ccs_wrsn::entities::{ChargerId, DeviceId};
+use ccs_wrsn::geometry::Point;
+use ccs_wrsn::units::Cost;
+
+/// Which engine solves the per-facility minimum-density subproblem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InnerMinimizer {
+    /// Exact `O(n log n)` prefix scan over sorted weights (default).
+    #[default]
+    PrefixScan,
+    /// Exact Dinkelbach ratio search with the separable SFM oracle.
+    DinkelbachSeparable,
+    /// Exact Dinkelbach ratio search with Fujishige–Wolfe min-norm-point
+    /// SFM (the fully general machinery; slowest).
+    DinkelbachMnp,
+    /// Greedy accretion heuristic (cheapest-first; may be suboptimal).
+    GreedyAccretion,
+}
+
+/// Options for [`ccsa`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcsaOptions {
+    /// Inner density minimizer.
+    pub minimizer: InnerMinimizer,
+    /// Side of the coarse candidate grid added to device/charger positions
+    /// (`0` disables grid candidates).
+    pub candidate_grid: usize,
+    /// Re-optimize each committed group's gathering point with the
+    /// problem's strategy.
+    pub refine_gathering: bool,
+    /// Eject members that pay more than their solo cost (individual
+    /// rationality repair).
+    pub ir_repair: bool,
+    /// After the greedy commitments, run a bounded single-device
+    /// reassignment descent on total group cost (strictly improving moves
+    /// only).
+    pub local_improvement: bool,
+}
+
+impl Default for CcsaOptions {
+    fn default() -> Self {
+        CcsaOptions {
+            minimizer: InnerMinimizer::PrefixScan,
+            candidate_grid: 4,
+            refine_gathering: true,
+            ir_repair: true,
+            local_improvement: true,
+        }
+    }
+}
+
+/// Runs CCSA and returns its schedule.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::prelude::*;
+/// use ccs_wrsn::scenario::ScenarioGenerator;
+///
+/// let problem = CcsProblem::new(ScenarioGenerator::new(1).devices(8).chargers(3).generate());
+/// let schedule = ccsa(&problem, &EqualShare, CcsaOptions::default());
+/// schedule.validate(&problem)?;
+/// assert!(schedule.total_cost() <= noncooperation(&problem, &EqualShare).total_cost());
+/// # Ok::<(), ccs_core::schedule::ScheduleError>(())
+/// ```
+pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOptions) -> Schedule {
+    let n = problem.num_devices();
+    let mut remaining: Vec<DeviceId> = problem.scenario().device_ids().collect();
+    let mut committed: Vec<(ChargerId, Point, Vec<DeviceId>)> = Vec::new();
+
+    while !remaining.is_empty() {
+        let (charger, point, members) = best_round_group(problem, &remaining, options);
+        debug_assert!(!members.is_empty());
+        remaining.retain(|d| !members.contains(d));
+        committed.push((charger, point, members));
+    }
+
+    let mut groups: Vec<(ChargerId, Point, Vec<DeviceId>)> = committed
+        .into_iter()
+        .map(|(c, p, members)| refine(problem, c, p, members, options))
+        .collect();
+
+    if options.local_improvement {
+        local_improvement(problem, &mut groups);
+    }
+
+    if options.ir_repair {
+        repair_individual_rationality(problem, sharing, &mut groups);
+    }
+
+    let mut plans: Vec<GroupPlan> = groups
+        .into_iter()
+        .map(|(c, p, mut members)| {
+            members.sort();
+            let facility = evaluate_facility(problem, c, &members, p);
+            GroupPlan::from_facility(problem, members, facility, sharing)
+        })
+        .collect();
+    plans.sort_by_key(|g| g.members[0]);
+
+    let schedule = Schedule::new(plans, "ccsa", sharing.name());
+    debug_assert!(schedule.validate(problem).is_ok(), "n = {n}");
+    schedule
+}
+
+/// The best `(facility, member set)` of one greedy round: minimum
+/// per-member group cost over all facilities.
+fn best_round_group(
+    problem: &CcsProblem,
+    remaining: &[DeviceId],
+    options: CcsaOptions,
+) -> (ChargerId, Point, Vec<DeviceId>) {
+    let mut candidates: Vec<Point> = remaining
+        .iter()
+        .map(|&d| problem.device(d).position())
+        .collect();
+    candidates.extend(problem.scenario().chargers().iter().map(|c| c.position()));
+    if options.candidate_grid > 0 {
+        candidates.extend(problem.scenario().field().grid(options.candidate_grid));
+    }
+
+    let mut best: Option<(f64, ChargerId, Point, Vec<DeviceId>)> = None;
+    for charger in problem.scenario().charger_ids() {
+        let c = problem.charger(charger);
+        for &point in &candidates {
+            let fee = c.base_fee() + c.travel_cost_rate() * c.position().distance(&point);
+            let weights: Vec<f64> = remaining
+                .iter()
+                .map(|&d| {
+                    let dev = problem.device(d);
+                    (dev.demand() * c.energy_price()
+                        + dev.move_cost_rate() * dev.position().distance(&point))
+                    .value()
+                })
+                .collect();
+            let demands: Vec<f64> = remaining
+                .iter()
+                .map(|&d| problem.device(d).demand().value())
+                .collect();
+            let budget = c.energy_budget().map(|b| b.value());
+            let f = SeparableFn::new(
+                weights,
+                fee.value(),
+                problem.params().congestion_curve.clone(),
+                c.occupancy_rate().value(),
+            );
+            if let Some((density, picked)) = min_density(&f, &demands, budget, problem, options) {
+                let better = match &best {
+                    Some((b, _, _, _)) => density < *b - 1e-12,
+                    None => true,
+                };
+                if better {
+                    let members: Vec<DeviceId> = picked.iter().map(|&i| remaining[i]).collect();
+                    best = Some((density, charger, point, members));
+                }
+            }
+        }
+    }
+    let (_, charger, point, members) = best.expect("some facility always admits a group");
+    (charger, point, members)
+}
+
+/// Minimum-density member set under the group-size cap.
+/// Returns `(density, local indices)`; `None` only if nothing is admissible
+/// (cannot happen: singletons are always admissible).
+fn min_density(
+    f: &SeparableFn,
+    demands: &[f64],
+    budget: Option<f64>,
+    problem: &CcsProblem,
+    options: CcsaOptions,
+) -> Option<(f64, Vec<usize>)> {
+    let n = f.ground_size();
+    if n == 0 {
+        return None;
+    }
+    let cap = problem
+        .params()
+        .max_group_size
+        .unwrap_or(n)
+        .min(n)
+        .max(1);
+
+    match options.minimizer {
+        InnerMinimizer::PrefixScan => prefix_scan_density(f, demands, budget, cap),
+        InnerMinimizer::GreedyAccretion => greedy_accretion_density(f, demands, budget, cap),
+        InnerMinimizer::DinkelbachSeparable | InnerMinimizer::DinkelbachMnp => {
+            let result = if options.minimizer == InnerMinimizer::DinkelbachSeparable {
+                min_density_separable(f)
+            } else {
+                min_density_mnp(f, MnpOptions::default())
+            }
+            .expect("separable functions are normalized and nonempty here");
+            let picked = result.minimizer.to_vec();
+            let demand: f64 = picked.iter().map(|&i| demands[i]).sum();
+            if picked.len() <= cap && budget.is_none_or(|b| demand <= b) {
+                Some((result.density, picked))
+            } else {
+                // The unconstrained optimum violates the cap or the
+                // charger's energy budget; fall back to the constrained
+                // scan (a sorted-prefix truncation, see below).
+                prefix_scan_density(f, demands, budget, cap)
+            }
+        }
+    }
+}
+
+/// Capped density minimization for separable functions: for each
+/// cardinality `k` the best size-`k` set takes the `k` smallest weights,
+/// so scanning sorted prefixes is exhaustive (exact) for the size cap.
+/// An energy budget is honored by skipping members that would overflow it —
+/// a greedy truncation that is exact without a budget and a documented
+/// heuristic with one (the budgeted variant is a knapsack).
+///
+/// Returns `None` only if not even a single member fits the budget.
+fn prefix_scan_density(
+    f: &SeparableFn,
+    demands: &[f64],
+    budget: Option<f64>,
+    cap: usize,
+) -> Option<(f64, Vec<usize>)> {
+    let mut order: Vec<usize> = (0..f.ground_size()).collect();
+    order.sort_by(|&a, &b| f.weights()[a].total_cmp(&f.weights()[b]).then(a.cmp(&b)));
+    let curve = subset_eval_parts(f);
+    let mut best: Option<(f64, usize)> = None;
+    let mut acc = 0.0;
+    let mut demand = 0.0;
+    let mut taken: Vec<usize> = Vec::new();
+    for &i in &order {
+        if taken.len() == cap {
+            break;
+        }
+        if let Some(b) = budget {
+            if demand + demands[i] > b {
+                continue; // would overflow this charger's budget
+            }
+        }
+        taken.push(i);
+        acc += f.weights()[i];
+        demand += demands[i];
+        let k = taken.len();
+        let density = (f.fee() + acc + curve(k)) / k as f64;
+        let better = match best {
+            Some((b, _)) => density < b - 1e-15,
+            None => true,
+        };
+        if better {
+            best = Some((density, k));
+        }
+    }
+    best.map(|(density, k)| {
+        taken.truncate(k);
+        (density, taken)
+    })
+}
+
+/// Greedy heuristic: start from the cheapest element, keep adding the next
+/// cheapest (budget permitting) while the density improves.
+fn greedy_accretion_density(
+    f: &SeparableFn,
+    demands: &[f64],
+    budget: Option<f64>,
+    cap: usize,
+) -> Option<(f64, Vec<usize>)> {
+    let mut order: Vec<usize> = (0..f.ground_size()).collect();
+    order.sort_by(|&a, &b| f.weights()[a].total_cmp(&f.weights()[b]).then(a.cmp(&b)));
+    order.retain(|&i| budget.is_none_or(|b| demands[i] <= b));
+    let first = *order.first()?;
+    let curve = subset_eval_parts(f);
+    let mut taken = vec![first];
+    let mut acc = f.weights()[first];
+    let mut demand = demands[first];
+    let mut density = f.fee() + acc + curve(1);
+    for &i in order.iter().skip(1) {
+        if taken.len() == cap {
+            break;
+        }
+        if let Some(b) = budget {
+            if demand + demands[i] > b {
+                continue;
+            }
+        }
+        let k = taken.len();
+        let candidate = (f.fee() + acc + f.weights()[i] + curve(k + 1)) / (k + 1) as f64;
+        if candidate >= density {
+            break;
+        }
+        taken.push(i);
+        acc += f.weights()[i];
+        demand += demands[i];
+        density = candidate;
+    }
+    Some((density, taken))
+}
+
+/// The congestion part of the bill as a function of cardinality.
+fn subset_eval_parts(f: &SeparableFn) -> impl Fn(usize) -> f64 + '_ {
+    move |k| {
+        // Reconstruct scale·g(k) from two evaluations to avoid exposing
+        // internals: f({k cheapest}) − fee − Σweights = scale·g(k).
+        // Cheaper: evaluate via the public SetFunction on an index prefix.
+        use ccs_submodular::subset::Subset;
+        let s = Subset::from_indices(f.ground_size(), 0..k);
+        let raw = f.eval(&s);
+        let weights: f64 = (0..k).map(|i| f.weights()[i]).sum();
+        if k == 0 {
+            0.0
+        } else {
+            raw - f.fee() - weights
+        }
+    }
+}
+
+/// Re-optimizes a committed group's gathering point.
+fn refine(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    point: Point,
+    members: Vec<DeviceId>,
+    options: CcsaOptions,
+) -> (ChargerId, Point, Vec<DeviceId>) {
+    if !options.refine_gathering {
+        return (charger, point, members);
+    }
+    let refined = gathering_point(problem, charger, &members, problem.params().gathering);
+    let old = evaluate_facility(problem, charger, &members, point).group_cost();
+    let new = evaluate_facility(problem, charger, &members, refined).group_cost();
+    if new < old {
+        (charger, refined, members)
+    } else {
+        (charger, point, members)
+    }
+}
+
+/// Bounded best-improvement descent: repeatedly move a single device to
+/// the group (or fresh singleton) that most reduces the sum of group costs,
+/// re-picking each touched group's best facility. Each applied move
+/// strictly decreases a bounded-below total, and the loop is additionally
+/// capped, so it terminates.
+fn local_improvement(
+    problem: &CcsProblem,
+    groups: &mut Vec<(ChargerId, Point, Vec<DeviceId>)>,
+) {
+    const MAX_MOVES: usize = 1_000;
+    let eps = 1e-9;
+    // Facility pricing is by far the hot path here, and the same member
+    // sets are re-priced on every scan; memoize by sorted member ids.
+    let mut memo: HashMap<Vec<DeviceId>, FacilityChoice> = HashMap::new();
+    let priced = |memo: &mut HashMap<Vec<DeviceId>, FacilityChoice>,
+                      sorted: &[DeviceId]|
+     -> FacilityChoice {
+        if let Some(hit) = memo.get(sorted) {
+            return hit.clone();
+        }
+        let f = best_facility(problem, sorted);
+        memo.insert(sorted.to_vec(), f.clone());
+        f
+    };
+    let mut cost_of: Vec<f64> = groups
+        .iter()
+        .map(|(c, p, members)| {
+            let mut sorted = members.clone();
+            sorted.sort();
+            evaluate_facility(problem, *c, &sorted, *p).group_cost().value()
+        })
+        .collect();
+
+    for _ in 0..MAX_MOVES {
+        let mut best: Option<(usize, usize, Option<usize>, f64)> = None; // (src, local, dst, gain)
+        for (src, (_, _, members)) in groups.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            for (local, &d) in members.iter().enumerate() {
+                // Cost of the source group without d.
+                let mut residual: Vec<DeviceId> =
+                    members.iter().copied().filter(|&x| x != d).collect();
+                residual.sort();
+                let residual_cost = if residual.is_empty() {
+                    0.0
+                } else {
+                    priced(&mut memo, &residual).group_cost().value()
+                };
+                // Destination: every other group, or a fresh singleton.
+                for dst in 0..=groups.len() {
+                    if dst == src {
+                        continue;
+                    }
+                    let (joined_cost, old_dst_cost, dst_key) = if dst < groups.len() {
+                        let (_, _, dst_members) = &groups[dst];
+                        if dst_members.is_empty()
+                            || !problem.group_size_ok(dst_members.len() + 1)
+                        {
+                            continue;
+                        }
+                        let mut joined = dst_members.clone();
+                        joined.push(d);
+                        joined.sort();
+                        if !problem.feasible_group(&joined) {
+                            continue; // no charger's budget covers the merge
+                        }
+                        (
+                            priced(&mut memo, &joined).group_cost().value(),
+                            cost_of[dst],
+                            Some(dst),
+                        )
+                    } else {
+                        if members.len() == 1 {
+                            continue; // already a singleton
+                        }
+                        (priced(&mut memo, &[d]).group_cost().value(), 0.0, None)
+                    };
+                    let gain =
+                        (cost_of[src] + old_dst_cost) - (residual_cost + joined_cost);
+                    if gain > eps {
+                        match &best {
+                            Some((_, _, _, g)) if *g >= gain => {}
+                            _ => best = Some((src, local, dst_key, gain)),
+                        }
+                    }
+                }
+            }
+        }
+        let Some((src, local, dst, _gain)) = best else { break };
+        let d = groups[src].2.remove(local);
+        match dst {
+            Some(dst) => groups[dst].2.push(d),
+            None => {
+                groups.push((ChargerId::new(0), Point::ORIGIN, vec![d]));
+                cost_of.push(0.0);
+            }
+        }
+        // Re-pick facilities and refresh cached costs for touched groups.
+        for gi in [Some(src), dst.or(Some(groups.len() - 1))].into_iter().flatten() {
+            if groups[gi].2.is_empty() {
+                cost_of[gi] = 0.0;
+                continue;
+            }
+            let mut sorted = groups[gi].2.clone();
+            sorted.sort();
+            let f = priced(&mut memo, &sorted);
+            groups[gi].0 = f.charger;
+            groups[gi].1 = f.point;
+            groups[gi].2 = sorted;
+            cost_of[gi] = f.group_cost().value();
+        }
+    }
+    groups.retain(|(_, _, members)| !members.is_empty());
+}
+
+/// Ejects members whose comprehensive cost exceeds their solo cost, until
+/// no violation remains. Each ejection permanently moves one device to a
+/// singleton group, so the loop terminates in at most `n` ejections.
+fn repair_individual_rationality(
+    problem: &CcsProblem,
+    sharing: &dyn CostSharing,
+    groups: &mut Vec<(ChargerId, Point, Vec<DeviceId>)>,
+) {
+    let eps = Cost::new(1e-9);
+    let solo: Vec<Cost> = problem
+        .scenario()
+        .device_ids()
+        .map(|d| solo_cost(problem, d))
+        .collect();
+    loop {
+        let mut ejected: Option<(usize, DeviceId)> = None;
+        'outer: for (gi, (charger, point, members)) in groups.iter().enumerate() {
+            if members.len() <= 1 {
+                continue;
+            }
+            let mut sorted = members.clone();
+            sorted.sort();
+            let facility = evaluate_facility(problem, *charger, &sorted, *point);
+            let shares = sharing.shares(problem, *charger, &sorted, point, &facility.bill);
+            for (idx, &d) in sorted.iter().enumerate() {
+                let cost = shares[idx] + facility.moving[idx];
+                if cost > solo[d.index()] + eps {
+                    ejected = Some((gi, d));
+                    break 'outer;
+                }
+            }
+        }
+        match ejected {
+            Some((gi, d)) => {
+                groups[gi].2.retain(|&x| x != d);
+                // Re-pick the residual group's best facility.
+                let mut residual = groups[gi].2.clone();
+                residual.sort();
+                let f = best_facility(problem, &residual);
+                groups[gi].0 = f.charger;
+                groups[gi].1 = f.point;
+                // The ejected device hires alone at its best facility.
+                let solo = best_facility(problem, &[d]);
+                groups.push((solo.charger, solo.point, vec![d]));
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::noncoop::noncooperation;
+    use crate::algo::optimal::{optimal, OptimalOptions};
+    use crate::problem::CostParams;
+    use crate::sharing::{EqualShare, ProportionalShare};
+    use ccs_wrsn::scenario::{ParamRange, Placement, ScenarioGenerator};
+
+    fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
+        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(m).generate())
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        for seed in [1, 2, 3] {
+            let p = problem(seed, 20, 5);
+            let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+            s.validate(&p).unwrap();
+            assert_eq!(s.algorithm(), "ccsa");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_noncooperation() {
+        for seed in 1..=8 {
+            let p = problem(seed, 15, 4);
+            let coop = ccsa(&p, &EqualShare, CcsaOptions::default());
+            let solo = noncooperation(&p, &EqualShare);
+            assert!(
+                coop.total_cost() <= solo.total_cost() + Cost::new(1e-6),
+                "seed {seed}: ccsa {} vs ncp {}",
+                coop.total_cost(),
+                solo.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn close_to_optimal_on_small_instances() {
+        let mut worst_ratio = 1.0f64;
+        for seed in 1..=6 {
+            let p = problem(seed, 8, 3);
+            let approx = ccsa(&p, &EqualShare, CcsaOptions::default());
+            let exact = optimal(&p, &EqualShare, OptimalOptions::default()).unwrap();
+            let ratio = approx.total_cost() / exact.total_cost();
+            assert!(ratio >= 1.0 - 1e-9, "approximation cannot beat optimal");
+            worst_ratio = worst_ratio.max(ratio);
+        }
+        // The paper reports ~7.3% above optimal on average; allow slack but
+        // catch gross regressions.
+        assert!(worst_ratio < 1.35, "worst ratio {worst_ratio} too far from optimal");
+    }
+
+    #[test]
+    fn individual_rationality_holds_after_repair() {
+        for seed in 1..=6 {
+            let p = problem(seed, 15, 4);
+            for scheme in [&EqualShare as &dyn CostSharing, &ProportionalShare] {
+                let s = ccsa(&p, scheme, CcsaOptions::default());
+                for d in p.scenario().device_ids() {
+                    let cost = s.device_cost(d).unwrap();
+                    let solo = solo_cost(&p, d);
+                    assert!(
+                        cost <= solo + Cost::new(1e-6),
+                        "seed {seed} {}: device {d} pays {cost} over solo {solo}",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_inner_minimizers_agree_on_exactness_or_do_no_worse() {
+        let p = problem(5, 12, 3);
+        let exact = ccsa(
+            &p,
+            &EqualShare,
+            CcsaOptions {
+                minimizer: InnerMinimizer::PrefixScan,
+                ..Default::default()
+            },
+        );
+        for minimizer in [
+            InnerMinimizer::DinkelbachSeparable,
+            InnerMinimizer::DinkelbachMnp,
+        ] {
+            let other = ccsa(
+                &p,
+                &EqualShare,
+                CcsaOptions {
+                    minimizer,
+                    ..Default::default()
+                },
+            );
+            other.validate(&p).unwrap();
+            assert!(
+                (other.total_cost() - exact.total_cost()).abs() < Cost::new(1e-6),
+                "{minimizer:?} diverged: {} vs {}",
+                other.total_cost(),
+                exact.total_cost()
+            );
+        }
+        // The heuristic must still be valid and no better than exact rounds
+        // would allow (it can be worse).
+        let heuristic = ccsa(
+            &p,
+            &EqualShare,
+            CcsaOptions {
+                minimizer: InnerMinimizer::GreedyAccretion,
+                ..Default::default()
+            },
+        );
+        heuristic.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn respects_group_size_cap() {
+        let scenario = ScenarioGenerator::new(2).devices(12).chargers(3).generate();
+        let p = CcsProblem::with_params(
+            scenario,
+            CostParams {
+                max_group_size: Some(3),
+                ..Default::default()
+            },
+        );
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        s.validate(&p).unwrap();
+        assert!(s.groups().iter().all(|g| g.members.len() <= 3));
+    }
+
+    #[test]
+    fn clustered_high_fee_instances_form_large_groups() {
+        let scenario = ScenarioGenerator::new(7)
+            .devices(12)
+            .chargers(3)
+            .field_side(60.0)
+            .device_placement(Placement::Clustered { count: 2, sigma: 3.0 })
+            .base_fee_range(ParamRange::fixed(60.0))
+            .generate();
+        let p = CcsProblem::new(scenario);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        assert!(
+            s.groups().len() <= 6,
+            "high fees + clusters should yield few groups, got {}",
+            s.groups().len()
+        );
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        let p = problem(9, 10, 3);
+        let refined = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let raw = ccsa(
+            &p,
+            &EqualShare,
+            CcsaOptions {
+                refine_gathering: false,
+                ..Default::default()
+            },
+        );
+        // Refinement only replaces a group's point when strictly better, and
+        // IR repair operates identically, so totals cannot get worse for the
+        // same grouping. (Groupings coincide because refinement happens
+        // after all commitments.)
+        assert!(refined.total_cost() <= raw.total_cost() + Cost::new(1e-9));
+    }
+
+    #[test]
+    fn single_device_single_charger() {
+        let p = problem(1, 1, 1);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        s.validate(&p).unwrap();
+        assert_eq!(s.groups().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::algo::ccsga;
+    use crate::algo::optimal::{optimal, OptimalOptions};
+    use crate::algo::CcsgaOptions;
+    use crate::sharing::EqualShare;
+    use ccs_wrsn::scenario::{ParamRange, ScenarioGenerator};
+    use ccs_wrsn::units::Joules;
+
+    fn budgeted_problem(seed: u64, n: usize) -> CcsProblem {
+        // Budgets admit roughly two average devices per hire.
+        let scenario = ScenarioGenerator::new(seed)
+            .devices(n)
+            .chargers(4)
+            .charger_energy_budget_range(ParamRange::new(9_000.0, 12_000.0))
+            .generate();
+        CcsProblem::new(scenario)
+    }
+
+    #[test]
+    fn all_algorithms_respect_energy_budgets() {
+        for seed in [1, 2, 3] {
+            let p = budgeted_problem(seed, 10);
+            for schedule in [
+                ccsa(&p, &EqualShare, CcsaOptions::default()),
+                ccsga::ccsga(&p, &EqualShare, CcsgaOptions::default()).schedule,
+                crate::algo::noncoop::noncooperation(&p, &EqualShare),
+                optimal(&p, &EqualShare, OptimalOptions::default()).unwrap(),
+            ] {
+                schedule
+                    .validate(&p)
+                    .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", schedule.algorithm()));
+                for g in schedule.groups() {
+                    let demand: Joules =
+                        g.members.iter().map(|&d| p.device(d).demand()).sum();
+                    assert!(
+                        p.charger(g.charger).can_deliver(demand),
+                        "seed {seed} {}: group over budget",
+                        schedule.algorithm()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_limit_group_sizes() {
+        let p = budgeted_problem(5, 12);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        // With ~10 kJ budgets and 2-8 kJ demands, groups of 6+ are impossible.
+        assert!(s.groups().iter().all(|g| g.members.len() <= 5));
+        assert!(
+            s.groups().len() >= 3,
+            "budgets force more groups than the unbudgeted instance"
+        );
+    }
+
+    #[test]
+    fn budgeted_optimal_still_bounds_heuristics() {
+        for seed in [1, 2] {
+            let p = budgeted_problem(seed, 8);
+            let opt = optimal(&p, &EqualShare, OptimalOptions::default()).unwrap();
+            let greedy = ccsa(&p, &EqualShare, CcsaOptions::default());
+            assert!(opt.total_cost() <= greedy.total_cost() + Cost::new(1e-6));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! CCSGA — the coalition-formation game algorithm for large-scale CCS.
+//!
+//! The CCS instance induces a hedonic game: a device's cost inside a
+//! coalition is its bill share (under the active cost-sharing scheme) at
+//! the coalition's best facility, plus its own moving cost to that
+//! facility's gathering point. Devices perform selfish switch operations
+//! (with the no-revisit history that makes the dynamics acyclic — see
+//! `ccs-coalition`) until no admissible improving switch remains; the
+//! resulting partition is checked for pure Nash stability and converted to
+//! a schedule.
+//!
+//! Facility choices and shares are memoized per coalition composition, so
+//! the game engine's many repeated evaluations stay cheap.
+
+use crate::cost::{best_facility, FacilityChoice};
+use crate::problem::CcsProblem;
+use crate::schedule::{GroupPlan, Schedule};
+use crate::sharing::CostSharing;
+use ccs_coalition::engine::{run, EngineOptions, SwitchRule};
+use ccs_coalition::game::HedonicGame;
+use ccs_coalition::partition::Partition;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Where the game dynamics start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialPartition {
+    /// Every device alone (the natural "before cooperation" state).
+    #[default]
+    Singletons,
+    /// Everyone in one coalition.
+    GrandCoalition,
+}
+
+/// Options for [`ccsga`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcsgaOptions {
+    /// The switch rule (default: the paper's selfish-with-history).
+    pub rule: SwitchRule,
+    /// Initial coalition structure.
+    pub initial: InitialPartition,
+    /// Round cap forwarded to the engine (`0` = engine default).
+    pub max_rounds: usize,
+    /// Strict-improvement margin.
+    pub epsilon: f64,
+}
+
+impl Default for CcsgaOptions {
+    fn default() -> Self {
+        CcsgaOptions {
+            rule: SwitchRule::SelfishWithHistory,
+            initial: InitialPartition::Singletons,
+            max_rounds: 0,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Outcome of a CCSGA run: the schedule plus game-dynamics diagnostics.
+#[derive(Debug, Clone)]
+pub struct CcsgaOutcome {
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// Full engine rounds executed.
+    pub rounds: usize,
+    /// Switch operations applied.
+    pub switches: usize,
+    /// Whether the dynamics reached a fixed point within the round cap.
+    pub converged: bool,
+    /// Whether the final partition is a pure Nash equilibrium.
+    pub nash_stable: bool,
+}
+
+/// The hedonic game induced by a CCS instance and a sharing scheme.
+///
+/// Caches `(facility, shares)` per coalition composition.
+struct CcsGame<'a> {
+    problem: &'a CcsProblem,
+    sharing: &'a dyn CostSharing,
+    cache: RefCell<HashMap<Vec<usize>, Rc<CachedCoalition>>>,
+}
+
+struct CachedCoalition {
+    facility: FacilityChoice,
+    shares: Vec<ccs_wrsn::units::Cost>,
+}
+
+impl<'a> CcsGame<'a> {
+    fn new(problem: &'a CcsProblem, sharing: &'a dyn CostSharing) -> Self {
+        CcsGame {
+            problem,
+            sharing,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn evaluate(&self, coalition: &BTreeSet<usize>) -> Rc<CachedCoalition> {
+        let key: Vec<usize> = coalition.iter().copied().collect();
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let members: Vec<ccs_wrsn::entities::DeviceId> = key
+            .iter()
+            .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
+            .collect();
+        let facility = best_facility(self.problem, &members);
+        let shares = self.sharing.shares(
+            self.problem,
+            facility.charger,
+            &members,
+            &facility.point,
+            &facility.bill,
+        );
+        let entry = Rc::new(CachedCoalition { facility, shares });
+        self.cache.borrow_mut().insert(key, Rc::clone(&entry));
+        entry
+    }
+}
+
+impl HedonicGame for CcsGame<'_> {
+    fn num_players(&self) -> usize {
+        self.problem.num_devices()
+    }
+
+    fn player_cost(&self, player: usize, coalition: &BTreeSet<usize>) -> f64 {
+        assert!(coalition.contains(&player), "player must be a member");
+        let cached = self.evaluate(coalition);
+        let idx = coalition
+            .iter()
+            .position(|&p| p == player)
+            .expect("membership checked above");
+        (cached.shares[idx] + cached.facility.moving[idx]).value()
+    }
+
+    fn coalition_feasible(&self, coalition: &BTreeSet<usize>) -> bool {
+        if !self.problem.group_size_ok(coalition.len()) {
+            return false;
+        }
+        let members: Vec<ccs_wrsn::entities::DeviceId> = coalition
+            .iter()
+            .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
+            .collect();
+        self.problem.feasible_group(&members)
+    }
+}
+
+/// Runs CCSGA and returns the schedule plus convergence diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::prelude::*;
+/// use ccs_wrsn::scenario::ScenarioGenerator;
+///
+/// let problem = CcsProblem::new(ScenarioGenerator::new(1).devices(8).chargers(3).generate());
+/// let outcome = ccsga(&problem, &EqualShare, CcsgaOptions::default());
+/// assert!(outcome.converged);
+/// assert!(outcome.nash_stable, "no device can gain by deviating alone");
+/// outcome.schedule.validate(&problem)?;
+/// # Ok::<(), ccs_core::schedule::ScheduleError>(())
+/// ```
+pub fn ccsga(
+    problem: &CcsProblem,
+    sharing: &dyn CostSharing,
+    options: CcsgaOptions,
+) -> CcsgaOutcome {
+    let n = problem.num_devices();
+    let game = CcsGame::new(problem, sharing);
+    let initial = match options.initial {
+        InitialPartition::Singletons => Partition::singletons(n),
+        InitialPartition::GrandCoalition => {
+            if problem.group_size_ok(n) {
+                Partition::grand_coalition(n)
+            } else {
+                Partition::singletons(n)
+            }
+        }
+    };
+    let report = run(
+        &game,
+        initial,
+        EngineOptions {
+            rule: options.rule,
+            max_rounds: options.max_rounds,
+            epsilon: options.epsilon,
+        },
+    );
+
+    let mut plans: Vec<GroupPlan> = report
+        .partition
+        .coalitions()
+        .map(|(_, members)| {
+            let ids: Vec<ccs_wrsn::entities::DeviceId> = members
+                .iter()
+                .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
+                .collect();
+            let facility = best_facility(problem, &ids);
+            GroupPlan::from_facility(problem, ids, facility, sharing)
+        })
+        .collect();
+    plans.sort_by_key(|g| g.members[0]);
+
+    let schedule = Schedule::new(plans, "ccsga", sharing.name());
+    debug_assert!(schedule.validate(problem).is_ok());
+    CcsgaOutcome {
+        schedule,
+        rounds: report.rounds,
+        switches: report.switches,
+        converged: report.converged,
+        nash_stable: report.nash_stable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::noncoop::{noncooperation, solo_cost};
+    use crate::problem::CostParams;
+    use crate::sharing::{EqualShare, ProportionalShare};
+    use ccs_wrsn::scenario::{ParamRange, Placement, ScenarioGenerator};
+    use ccs_wrsn::units::Cost;
+
+    fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
+        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(m).generate())
+    }
+
+    #[test]
+    fn converges_and_is_valid() {
+        for seed in [1, 2, 3] {
+            let p = problem(seed, 15, 4);
+            let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+            out.schedule.validate(&p).unwrap();
+            assert!(out.converged, "seed {seed} did not converge");
+            assert_eq!(out.schedule.algorithm(), "ccsga");
+        }
+    }
+
+    #[test]
+    fn reaches_pure_nash_equilibrium() {
+        for seed in [1, 2, 3, 4, 5] {
+            let p = problem(seed, 12, 4);
+            let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+            assert!(
+                out.nash_stable,
+                "seed {seed}: final partition is not Nash-stable"
+            );
+        }
+    }
+
+    #[test]
+    fn beats_noncooperation_from_singletons() {
+        // Starting from singletons, every switch strictly improves the
+        // mover; with a Nash-stable end no device pays more than solo.
+        for seed in [1, 2, 3, 4] {
+            let p = problem(seed, 15, 4);
+            let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+            let ncp = noncooperation(&p, &EqualShare);
+            assert!(
+                out.schedule.total_cost() <= ncp.total_cost() + Cost::new(1e-6),
+                "seed {seed}: ccsga {} vs ncp {}",
+                out.schedule.total_cost(),
+                ncp.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn nash_stability_implies_individual_rationality() {
+        let p = problem(6, 12, 4);
+        let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+        assert!(out.nash_stable);
+        for d in p.scenario().device_ids() {
+            let cost = out.schedule.device_cost(d).unwrap();
+            assert!(
+                cost <= solo_cost(&p, d) + Cost::new(1e-6),
+                "device {d} pays {cost} over solo"
+            );
+        }
+    }
+
+    #[test]
+    fn high_fees_trigger_cooperation() {
+        let scenario = ScenarioGenerator::new(4)
+            .devices(10)
+            .chargers(3)
+            .field_side(80.0)
+            .device_placement(Placement::Clustered { count: 2, sigma: 4.0 })
+            .base_fee_range(ParamRange::fixed(50.0))
+            .generate();
+        let p = CcsProblem::new(scenario);
+        let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+        assert!(out.switches > 0, "high fees must cause switches");
+        assert!(out.schedule.groups().len() < 10);
+    }
+
+    #[test]
+    fn proportional_sharing_also_converges() {
+        let p = problem(2, 12, 3);
+        let out = ccsga(&p, &ProportionalShare, CcsgaOptions::default());
+        out.schedule.validate(&p).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.schedule.sharing(), "proportional");
+    }
+
+    #[test]
+    fn grand_coalition_start_converges() {
+        let p = problem(3, 10, 3);
+        let out = ccsga(
+            &p,
+            &EqualShare,
+            CcsgaOptions {
+                initial: InitialPartition::GrandCoalition,
+                ..Default::default()
+            },
+        );
+        out.schedule.validate(&p).unwrap();
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn respects_group_size_cap() {
+        let scenario = ScenarioGenerator::new(8).devices(12).chargers(3).generate();
+        let p = CcsProblem::with_params(
+            scenario,
+            CostParams {
+                max_group_size: Some(2),
+                ..Default::default()
+            },
+        );
+        let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+        out.schedule.validate(&p).unwrap();
+        assert!(out.schedule.groups().iter().all(|g| g.members.len() <= 2));
+    }
+
+    #[test]
+    fn utilitarian_rule_variant_runs() {
+        let p = problem(5, 10, 3);
+        let out = ccsga(
+            &p,
+            &EqualShare,
+            CcsgaOptions {
+                rule: SwitchRule::Utilitarian,
+                ..Default::default()
+            },
+        );
+        out.schedule.validate(&p).unwrap();
+        assert!(out.converged);
+        let ncp = noncooperation(&p, &EqualShare);
+        assert!(out.schedule.total_cost() <= ncp.total_cost() + Cost::new(1e-6));
+    }
+}

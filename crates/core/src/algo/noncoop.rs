@@ -1,0 +1,94 @@
+//! The noncooperation baseline (NCP): every device hires a charger alone.
+//!
+//! Each device independently picks its cheapest `(charger, gathering
+//! point)`; no fee is shared, no congestion amortized. This is the paper's
+//! comparison baseline — CCSA's headline result is a ~27% average saving
+//! over NCP in simulation (and ~43% in the field experiment).
+
+use crate::cost::best_facility;
+use crate::problem::CcsProblem;
+use crate::schedule::{GroupPlan, Schedule};
+use crate::sharing::CostSharing;
+use ccs_wrsn::entities::DeviceId;
+
+/// Runs the noncooperation baseline.
+///
+/// The sharing scheme only labels the schedule (a singleton's share is its
+/// whole bill under every budget-balanced scheme).
+pub fn noncooperation(problem: &CcsProblem, sharing: &dyn CostSharing) -> Schedule {
+    let groups = problem
+        .scenario()
+        .device_ids()
+        .map(|d| {
+            let members = vec![d];
+            let facility = best_facility(problem, &members);
+            GroupPlan::from_facility(problem, members, facility, sharing)
+        })
+        .collect();
+    let schedule = Schedule::new(groups, "ncp", sharing.name());
+    debug_assert!(schedule.validate(problem).is_ok());
+    schedule
+}
+
+/// The solo comprehensive cost of one device — what it would pay under NCP.
+///
+/// Used by CCSA's individual-rationality repair and by tests.
+pub fn solo_cost(problem: &CcsProblem, device: DeviceId) -> ccs_wrsn::units::Cost {
+    let members = [device];
+    let facility = best_facility(problem, &members);
+    facility.group_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharing::EqualShare;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+    use ccs_wrsn::units::Cost;
+
+    fn problem(n: usize) -> CcsProblem {
+        CcsProblem::new(ScenarioGenerator::new(9).devices(n).chargers(4).generate())
+    }
+
+    #[test]
+    fn produces_one_singleton_per_device() {
+        let p = problem(7);
+        let s = noncooperation(&p, &EqualShare);
+        s.validate(&p).unwrap();
+        assert_eq!(s.groups().len(), 7);
+        assert!(s.groups().iter().all(|g| g.members.len() == 1));
+        assert_eq!(s.algorithm(), "ncp");
+    }
+
+    #[test]
+    fn device_cost_equals_solo_cost() {
+        let p = problem(5);
+        let s = noncooperation(&p, &EqualShare);
+        for d in p.scenario().device_ids() {
+            let scheduled = s.device_cost(d).unwrap();
+            let solo = solo_cost(&p, d);
+            assert!(
+                (scheduled - solo).abs() < Cost::new(1e-9),
+                "device {d}: scheduled {scheduled} vs solo {solo}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_device_pays_at_least_its_energy_bill() {
+        let p = problem(6);
+        let s = noncooperation(&p, &EqualShare);
+        for d in p.scenario().device_ids() {
+            let cost = s.device_cost(d).unwrap();
+            // Cheapest possible energy price across chargers.
+            let cheapest_energy = p
+                .scenario()
+                .chargers()
+                .iter()
+                .map(|c| p.device(d).demand() * c.energy_price())
+                .min_by(Cost::total_cmp)
+                .unwrap();
+            assert!(cost >= cheapest_energy);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The CCS cost model: group bills, moving costs and comprehensive cost.
+//!
+//! For a group `S` served by charger `j` at gathering point `p`:
+//!
+//! ```text
+//! bill(S, j, p) = b_j                      base service fee (per hire)
+//!               + τ_j · d(q_j, p)          charger travel
+//!               + Σ_{i∈S} π_j · w_i        energy at price π_j
+//!               + η_j · g(|S|)             service-time congestion (concave g)
+//! ```
+//!
+//! Each member additionally pays its own moving cost `κ_i · d(p_i, p)`. The
+//! **group cost** (what OPT and the social objective count) is the bill plus
+//! all members' moving costs; the **comprehensive cost of a device** is its
+//! bill *share* (see `sharing`) plus its own moving cost.
+//!
+//! `bill(·, j, p)` as a function of `S` is `fee·1[S≠∅] + modular +
+//! concave(|S|)` — nonnegative submodular — which is what CCSA's machinery
+//! requires; the property test in this module pins that down.
+
+use crate::gathering::gathering_point;
+use crate::problem::CcsProblem;
+use ccs_wrsn::entities::{ChargerId, DeviceId};
+use ccs_wrsn::geometry::Point;
+use ccs_wrsn::units::Cost;
+
+/// Itemized charging-service bill of one group.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct GroupBill {
+    /// The charger's per-hire base fee `b_j`.
+    pub base_fee: Cost,
+    /// Charger travel `τ_j · d(q_j, p)`.
+    pub charger_travel: Cost,
+    /// Per-member energy charges `π_j · w_i`, aligned with the member list
+    /// the bill was computed for.
+    pub energy: Vec<Cost>,
+    /// Service-time congestion `η_j · g(|S|)`.
+    pub congestion: Cost,
+}
+
+impl GroupBill {
+    /// The group-level (member-independent) part: fee + travel + congestion.
+    pub fn group_level(&self) -> Cost {
+        self.base_fee + self.charger_travel + self.congestion
+    }
+
+    /// The full bill: group-level part plus all energy charges.
+    pub fn total(&self) -> Cost {
+        self.group_level() + self.energy.iter().copied().sum::<Cost>()
+    }
+}
+
+/// Computes the itemized bill for `(members, charger, point)`.
+///
+/// The `energy` entries align with `members` order.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn group_bill(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    point: &Point,
+) -> GroupBill {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    let c = problem.charger(charger);
+    let energy = members
+        .iter()
+        .map(|&d| problem.device(d).demand() * c.energy_price())
+        .collect();
+    GroupBill {
+        base_fee: c.base_fee(),
+        charger_travel: c.travel_cost_rate() * c.position().distance(point),
+        energy,
+        congestion: c.occupancy_rate()
+            * problem.params().congestion_curve.eval(members.len()),
+    }
+}
+
+/// Per-member moving costs `κ_i · d(p_i, p)`, aligned with `members`.
+pub fn moving_costs(problem: &CcsProblem, members: &[DeviceId], point: &Point) -> Vec<Cost> {
+    members
+        .iter()
+        .map(|&d| {
+            let dev = problem.device(d);
+            dev.move_cost_rate() * dev.position().distance(point)
+        })
+        .collect()
+}
+
+/// A fully resolved facility choice for one group: the charger, the
+/// gathering point, the itemized bill and the members' moving costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacilityChoice {
+    /// The hired charger.
+    pub charger: ChargerId,
+    /// The gathering point.
+    pub point: Point,
+    /// The itemized bill (aligned with the member list used to build it).
+    pub bill: GroupBill,
+    /// Per-member moving costs (same alignment).
+    pub moving: Vec<Cost>,
+}
+
+impl FacilityChoice {
+    /// The group cost: bill total plus all moving costs — the quantity OPT
+    /// minimizes summed over groups.
+    pub fn group_cost(&self) -> Cost {
+        self.bill.total() + self.moving.iter().copied().sum::<Cost>()
+    }
+}
+
+/// Evaluates one `(charger, point)` facility for a member set.
+pub fn evaluate_facility(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    point: Point,
+) -> FacilityChoice {
+    FacilityChoice {
+        charger,
+        point,
+        bill: group_bill(problem, charger, members, &point),
+        moving: moving_costs(problem, members, &point),
+    }
+}
+
+/// The cheapest facility for a member set among the chargers whose energy
+/// budget covers the group's demand. Every eligible charger is tried with
+/// the problem's gathering strategy, and the lowest group cost wins
+/// (deterministic tie-break on charger id).
+///
+/// Returns `None` when no charger can serve the group (never happens for
+/// singletons: problem construction validates them).
+pub fn try_best_facility(problem: &CcsProblem, members: &[DeviceId]) -> Option<FacilityChoice> {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    problem
+        .scenario()
+        .charger_ids()
+        .filter(|&c| problem.charger_can_serve(c, members))
+        .map(|c| {
+            let point = gathering_point(problem, c, members, problem.params().gathering);
+            evaluate_facility(problem, c, members, point)
+        })
+        .min_by(|a, b| {
+            a.group_cost()
+                .total_cmp(&b.group_cost())
+                .then(a.charger.cmp(&b.charger))
+        })
+}
+
+/// Like [`try_best_facility`], for callers that have already established
+/// feasibility.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or no charger's budget covers the group.
+pub fn best_facility(problem: &CcsProblem, members: &[DeviceId]) -> FacilityChoice {
+    try_best_facility(problem, members)
+        .expect("no charger's energy budget covers this group's demand")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_submodular::check::{is_monotone_nondecreasing, is_submodular};
+    use ccs_submodular::set_fn::FnSetFunction;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    fn problem() -> CcsProblem {
+        CcsProblem::new(ScenarioGenerator::new(7).devices(8).chargers(3).generate())
+    }
+
+    fn ids(v: &[u32]) -> Vec<DeviceId> {
+        v.iter().map(|&i| DeviceId::new(i)).collect()
+    }
+
+    #[test]
+    fn bill_items_add_up() {
+        let p = problem();
+        let members = ids(&[0, 1, 2]);
+        let c = ChargerId::new(0);
+        let point = p.charger(c).position();
+        let bill = group_bill(&p, c, &members, &point);
+        assert_eq!(bill.charger_travel, Cost::ZERO, "charger gathers at home");
+        assert_eq!(bill.energy.len(), 3);
+        let manual = bill.base_fee
+            + bill.charger_travel
+            + bill.congestion
+            + bill.energy.iter().copied().sum::<Cost>();
+        assert!((bill.total() - manual).abs() < Cost::new(1e-9));
+        assert!(bill.group_level() <= bill.total());
+    }
+
+    #[test]
+    fn bigger_group_pays_more_total_but_congestion_is_concave() {
+        let p = problem();
+        let c = ChargerId::new(1);
+        let point = Point::new(50.0, 50.0);
+        let b1 = group_bill(&p, c, &ids(&[0]), &point);
+        let b2 = group_bill(&p, c, &ids(&[0, 1]), &point);
+        let b3 = group_bill(&p, c, &ids(&[0, 1, 2]), &point);
+        assert!(b2.total() > b1.total());
+        assert!(b3.total() > b2.total());
+        let inc12 = b2.congestion - b1.congestion;
+        let inc23 = b3.congestion - b2.congestion;
+        assert!(inc23 <= inc12 + Cost::new(1e-12), "diminishing congestion");
+    }
+
+    #[test]
+    fn bill_is_submodular_and_monotone_in_membership() {
+        // The paper-critical property: for a FIXED facility, S -> bill(S)
+        // (with bill(∅) = 0) is nonnegative, monotone and submodular.
+        let p = problem();
+        let c = ChargerId::new(2);
+        let point = Point::new(120.0, 80.0);
+        let all: Vec<DeviceId> = (0..6).map(DeviceId::new).collect();
+        let pc = p.clone();
+        let f = FnSetFunction::new(6, move |s| {
+            if s.is_empty() {
+                return 0.0;
+            }
+            let members: Vec<DeviceId> = s.iter().map(|i| all[i]).collect();
+            group_bill(&pc, c, &members, &point).total().value()
+        });
+        assert!(is_submodular(&f, 1e-9));
+        assert!(is_monotone_nondecreasing(&f, 1e-9));
+    }
+
+    #[test]
+    fn moving_costs_align_and_scale_with_distance() {
+        let p = problem();
+        let members = ids(&[0, 3]);
+        let at_dev0 = p.device(DeviceId::new(0)).position();
+        let mv = moving_costs(&p, &members, &at_dev0);
+        assert_eq!(mv.len(), 2);
+        assert_eq!(mv[0], Cost::ZERO, "device 0 does not move");
+        assert!(mv[1] >= Cost::ZERO);
+    }
+
+    #[test]
+    fn best_facility_beats_every_single_charger_choice() {
+        let p = problem();
+        let members = ids(&[1, 4, 5]);
+        let best = best_facility(&p, &members);
+        for c in p.scenario().charger_ids() {
+            let point = gathering_point(&p, c, &members, p.params().gathering);
+            let alt = evaluate_facility(&p, c, &members, point);
+            assert!(best.group_cost() <= alt.group_cost() + Cost::new(1e-9));
+        }
+        assert_eq!(best.moving.len(), members.len());
+        assert_eq!(best.bill.energy.len(), members.len());
+    }
+
+    #[test]
+    fn facility_group_cost_is_bill_plus_moving() {
+        let p = problem();
+        let members = ids(&[2, 6]);
+        let f = best_facility(&p, &members);
+        let manual = f.bill.total() + f.moving.iter().copied().sum::<Cost>();
+        assert!((f.group_cost() - manual).abs() < Cost::new(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_bill_panics() {
+        let p = problem();
+        let _ = group_bill(&p, ChargerId::new(0), &[], &Point::ORIGIN);
+    }
+}

@@ -1,0 +1,383 @@
+//! Multi-round operation: charging as a *recurring* service.
+//!
+//! The paper schedules one round; a deployed WRSN buys charging again and
+//! again as sensing drains batteries. This module drives that loop: each
+//! round every device consumes a random amount of energy, devices whose
+//! state of charge falls below a threshold request a refill, the chosen
+//! scheduling policy plans the round, and batteries/ledgers are updated.
+//! The cumulative comprehensive cost over a horizon is the *operating
+//! expenditure* of the network — the quantity the `fig13_lifetime`
+//! experiment compares across policies.
+//!
+//! Deaths (device-rounds spent at an empty battery) are also tracked:
+//! with aggressive thresholds or heavy consumption, devices can brown out
+//! before their next refill.
+
+use crate::algo::{ccsa, ccsga, noncooperation, CcsaOptions, CcsgaOptions};
+use crate::problem::{CcsProblem, CostParams};
+use crate::sharing::CostSharing;
+use ccs_wrsn::energy::{Battery, EnergyDemand};
+use ccs_wrsn::entities::{Device, DeviceId};
+use ccs_wrsn::scenario::{ParamRange, Scenario};
+use ccs_wrsn::units::{Cost, Joules};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which scheduler plans each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Greedy + submodular minimization.
+    Ccsa(CcsaOptions),
+    /// Coalition-formation game.
+    Ccsga(CcsgaOptions),
+    /// Everyone hires alone.
+    Noncooperative,
+}
+
+impl Policy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Ccsa(_) => "ccsa",
+            Policy::Ccsga(_) => "ccsga",
+            Policy::Noncooperative => "ncp",
+        }
+    }
+}
+
+/// Configuration of a multi-round run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeConfig {
+    /// Number of rounds to simulate.
+    pub rounds: usize,
+    /// Per-device per-round energy consumption, sampled uniformly (Joules).
+    pub consumption: ParamRange,
+    /// Request a refill when state of charge falls below this fraction.
+    pub refill_threshold: f64,
+    /// Refill up to this state of charge.
+    pub target_soc: f64,
+    /// Seed of the consumption process (shared across policies so they face
+    /// identical workloads).
+    pub seed: u64,
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        LifetimeConfig {
+            rounds: 20,
+            consumption: ParamRange::new(500.0, 1_500.0),
+            refill_threshold: 0.3,
+            target_soc: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a multi-round run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeReport {
+    /// Cumulative comprehensive cost over the horizon.
+    pub total_cost: Cost,
+    /// Cost of each round (zero for rounds with no requests).
+    pub per_round_cost: Vec<Cost>,
+    /// Number of charger hires over the horizon.
+    pub hires: usize,
+    /// Total energy purchased.
+    pub energy_purchased: Joules,
+    /// Device-rounds spent with an empty battery.
+    pub dead_device_rounds: usize,
+    /// Fraction of device-rounds with a non-empty battery, in `[0, 1]`.
+    pub survival_rate: f64,
+}
+
+/// Runs the multi-round loop.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_core::prelude::*;
+/// use ccs_wrsn::scenario::ScenarioGenerator;
+///
+/// let scenario = ScenarioGenerator::new(1).devices(8).chargers(3).generate();
+/// let report = run_lifetime(
+///     &scenario,
+///     &CostParams::default(),
+///     &EqualShare,
+///     Policy::Ccsa(CcsaOptions::default()),
+///     &LifetimeConfig { rounds: 5, ..Default::default() },
+/// );
+/// assert_eq!(report.per_round_cost.len(), 5);
+/// assert!((0.0..=1.0).contains(&report.survival_rate));
+/// ```
+///
+/// Each round: consume → collect refill requests → schedule the requesters
+/// with `policy` → charge batteries and account costs. Rounds with no
+/// requester cost nothing. The consumption sequence depends only on
+/// `config.seed`, so different policies face identical workloads.
+///
+/// # Panics
+///
+/// Panics if `config` thresholds are not in `(0, 1]` with
+/// `refill_threshold < target_soc`, or `config.rounds == 0`.
+pub fn run_lifetime(
+    scenario: &Scenario,
+    params: &CostParams,
+    sharing: &dyn CostSharing,
+    policy: Policy,
+    config: &LifetimeConfig,
+) -> LifetimeReport {
+    assert!(config.rounds > 0, "need at least one round");
+    assert!(
+        config.refill_threshold > 0.0 && config.refill_threshold < config.target_soc,
+        "refill threshold must be in (0, target)"
+    );
+    assert!(
+        config.target_soc > 0.0 && config.target_soc <= 1.0,
+        "target state of charge must be in (0, 1]"
+    );
+
+    let n = scenario.devices().len();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut batteries: Vec<Battery> = scenario.devices().iter().map(|d| *d.battery()).collect();
+
+    let mut per_round_cost = Vec::with_capacity(config.rounds);
+    let mut total_cost = Cost::ZERO;
+    let mut hires = 0usize;
+    let mut energy_purchased = Joules::ZERO;
+    let mut dead_device_rounds = 0usize;
+
+    for _round in 0..config.rounds {
+        // 1. Consumption (dead devices stay dead but keep consuming nothing).
+        for battery in batteries.iter_mut() {
+            let draw = Joules::new(config.consumption.sample(&mut rng));
+            let usable = draw.min(battery.level());
+            battery
+                .discharge(usable)
+                .expect("usable is clamped to the level");
+            if battery.is_empty() {
+                dead_device_rounds += 1;
+            }
+        }
+
+        // 2. Refill requests.
+        let requesters: Vec<(DeviceId, Joules)> = scenario
+            .device_ids()
+            .filter_map(|d| {
+                let b = &batteries[d.index()];
+                if b.state_of_charge() < config.refill_threshold {
+                    let demand = EnergyDemand::refill_to(b, config.target_soc);
+                    (!demand.is_zero()).then_some((d, demand.amount()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if requesters.is_empty() {
+            per_round_cost.push(Cost::ZERO);
+            continue;
+        }
+
+        // 3. Build the round's sub-problem over the requesters (ids must be
+        // dense, so requesters are renumbered; `origin` maps back).
+        let origin: Vec<DeviceId> = requesters.iter().map(|(d, _)| *d).collect();
+        let round_devices: Vec<Device> = requesters
+            .iter()
+            .enumerate()
+            .map(|(i, (d, demand))| {
+                let dev = scenario.device(*d);
+                Device::builder(DeviceId::new(i as u32), dev.position())
+                    .battery(batteries[d.index()])
+                    .demand(*demand)
+                    .move_cost_rate(dev.move_cost_rate())
+                    .speed(dev.speed())
+                    .build()
+            })
+            .collect();
+        let round_scenario = Scenario::new(
+            scenario.field(),
+            round_devices,
+            scenario.chargers().to_vec(),
+        )
+        .expect("round scenario is valid by construction");
+        let problem = CcsProblem::with_params(round_scenario, params.clone());
+
+        // 4. Plan and account.
+        let schedule = match policy {
+            Policy::Ccsa(options) => ccsa(&problem, sharing, options),
+            Policy::Ccsga(options) => ccsga(&problem, sharing, options).schedule,
+            Policy::Noncooperative => noncooperation(&problem, sharing),
+        };
+        debug_assert!(schedule.validate(&problem).is_ok());
+        let round_cost = schedule.total_cost();
+        total_cost += round_cost;
+        per_round_cost.push(round_cost);
+        hires += schedule.groups().len();
+
+        // 5. Deliver the energy.
+        for group in schedule.groups() {
+            for &local in &group.members {
+                let global = origin[local.index()];
+                let demand = requesters
+                    .iter()
+                    .find(|(d, _)| *d == global)
+                    .expect("member came from the requester list")
+                    .1;
+                let overflow = batteries[global.index()].charge(demand);
+                energy_purchased += demand - overflow;
+            }
+        }
+    }
+
+    let device_rounds = n * config.rounds;
+    LifetimeReport {
+        total_cost,
+        per_round_cost,
+        hires,
+        energy_purchased,
+        dead_device_rounds,
+        survival_rate: 1.0 - dead_device_rounds as f64 / device_rounds as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharing::EqualShare;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    fn scenario() -> Scenario {
+        ScenarioGenerator::new(4).devices(12).chargers(4).generate()
+    }
+
+    fn config(rounds: usize) -> LifetimeConfig {
+        LifetimeConfig {
+            rounds,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_the_full_horizon() {
+        let s = scenario();
+        let report = run_lifetime(
+            &s,
+            &CostParams::default(),
+            &EqualShare,
+            Policy::Ccsa(CcsaOptions::default()),
+            &config(10),
+        );
+        assert_eq!(report.per_round_cost.len(), 10);
+        assert!(report.total_cost > Cost::ZERO, "someone must need charging");
+        assert!(report.hires > 0);
+        assert!(report.energy_purchased > Joules::ZERO);
+        assert!((0.0..=1.0).contains(&report.survival_rate));
+        let sum: Cost = report.per_round_cost.iter().copied().sum();
+        assert!((sum - report.total_cost).abs() < Cost::new(1e-9));
+    }
+
+    #[test]
+    fn cooperative_policies_cost_less_over_the_horizon() {
+        let s = scenario();
+        let cfg = config(15);
+        let params = CostParams::default();
+        let ncp = run_lifetime(&s, &params, &EqualShare, Policy::Noncooperative, &cfg);
+        let coop = run_lifetime(
+            &s,
+            &params,
+            &EqualShare,
+            Policy::Ccsa(CcsaOptions::default()),
+            &cfg,
+        );
+        let game = run_lifetime(
+            &s,
+            &params,
+            &EqualShare,
+            Policy::Ccsga(CcsgaOptions::default()),
+            &cfg,
+        );
+        assert!(
+            coop.total_cost <= ncp.total_cost + Cost::new(1e-6),
+            "ccsa {} vs ncp {}",
+            coop.total_cost,
+            ncp.total_cost
+        );
+        assert!(game.total_cost <= ncp.total_cost + Cost::new(1e-6));
+        assert!(coop.hires <= ncp.hires, "cooperation amortizes hires");
+    }
+
+    #[test]
+    fn identical_seeds_identical_workloads() {
+        let s = scenario();
+        let cfg = config(8);
+        let params = CostParams::default();
+        let a = run_lifetime(&s, &params, &EqualShare, Policy::Noncooperative, &cfg);
+        let b = run_lifetime(&s, &params, &EqualShare, Policy::Noncooperative, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_consumption_causes_deaths() {
+        let s = scenario();
+        let cfg = LifetimeConfig {
+            rounds: 10,
+            // Consumption far above what one refill-to-90% can cover.
+            consumption: ParamRange::new(6_000.0, 9_000.0),
+            refill_threshold: 0.2,
+            target_soc: 0.9,
+            seed: 1,
+        };
+        let report = run_lifetime(
+            &s,
+            &CostParams::default(),
+            &EqualShare,
+            Policy::Ccsa(CcsaOptions::default()),
+            &cfg,
+        );
+        assert!(report.dead_device_rounds > 0, "devices must brown out");
+        assert!(report.survival_rate < 1.0);
+    }
+
+    #[test]
+    fn light_consumption_keeps_everyone_alive_and_cheap() {
+        let s = scenario();
+        // Generated devices start between 20% and 80% state of charge, so a
+        // 5% threshold plus trickle consumption never triggers a request.
+        let cfg = LifetimeConfig {
+            rounds: 5,
+            consumption: ParamRange::new(10.0, 20.0),
+            refill_threshold: 0.05,
+            target_soc: 0.5,
+            ..Default::default()
+        };
+        let report = run_lifetime(
+            &s,
+            &CostParams::default(),
+            &EqualShare,
+            Policy::Noncooperative,
+            &cfg,
+        );
+        // Batteries start well above the threshold; trickle consumption
+        // cannot pull anyone below it within 5 rounds.
+        assert_eq!(report.total_cost, Cost::ZERO);
+        assert_eq!(report.hires, 0);
+        assert_eq!(report.survival_rate, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refill threshold must be in (0, target)")]
+    fn rejects_inverted_thresholds() {
+        let s = scenario();
+        let cfg = LifetimeConfig {
+            refill_threshold: 0.95,
+            target_soc: 0.9,
+            ..Default::default()
+        };
+        let _ = run_lifetime(
+            &s,
+            &CostParams::default(),
+            &EqualShare,
+            Policy::Noncooperative,
+            &cfg,
+        );
+    }
+}

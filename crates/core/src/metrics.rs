@@ -1,0 +1,142 @@
+//! Evaluation metrics: savings, optimality gaps and fairness.
+//!
+//! These are the quantities the paper's evaluation reports: average
+//! comprehensive cost, percentage saving of CCSA/CCSGA over the
+//! noncooperation baseline, the gap above the optimal solution, and (for
+//! the cost-sharing comparison) Jain's fairness index over per-device
+//! costs.
+
+use crate::schedule::Schedule;
+use ccs_wrsn::units::Cost;
+
+/// Percentage by which `candidate` undercuts `baseline`
+/// (`27.3` means 27.3% cheaper). Negative when the candidate is worse.
+///
+/// # Panics
+///
+/// Panics if `baseline` is not strictly positive.
+pub fn saving_percent(candidate: Cost, baseline: Cost) -> f64 {
+    assert!(
+        baseline > Cost::ZERO,
+        "saving undefined against a non-positive baseline"
+    );
+    (1.0 - candidate / baseline) * 100.0
+}
+
+/// Percentage by which `candidate` exceeds `optimal`
+/// (`7.3` means 7.3% above optimal).
+///
+/// # Panics
+///
+/// Panics if `optimal` is not strictly positive.
+pub fn gap_above_optimal_percent(candidate: Cost, optimal: Cost) -> f64 {
+    assert!(
+        optimal > Cost::ZERO,
+        "gap undefined against a non-positive optimum"
+    );
+    (candidate / optimal - 1.0) * 100.0
+}
+
+/// Jain's fairness index of per-device costs:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`, `1` = perfectly equal.
+///
+/// Returns `1.0` for an all-zero (degenerate) cost vector.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty.
+pub fn jain_fairness(costs: &[Cost]) -> f64 {
+    assert!(!costs.is_empty(), "fairness of an empty vector is undefined");
+    let sum: f64 = costs.iter().map(|c| c.value()).sum();
+    let sum_sq: f64 = costs.iter().map(|c| c.value() * c.value()).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (costs.len() as f64 * sum_sq)
+}
+
+/// A one-line comparison of a schedule against baselines — the row format
+/// of the paper-style result tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Total comprehensive cost.
+    pub total: Cost,
+    /// Average comprehensive cost per device.
+    pub average: Cost,
+    /// Number of groups formed.
+    pub groups: usize,
+    /// Saving vs the noncooperation baseline, percent (if provided).
+    pub saving_vs_ncp: Option<f64>,
+    /// Gap above the optimal solution, percent (if provided).
+    pub gap_vs_opt: Option<f64>,
+}
+
+/// Builds a comparison row for `schedule` against optional baselines.
+pub fn compare(
+    schedule: &Schedule,
+    ncp: Option<&Schedule>,
+    opt: Option<&Schedule>,
+) -> ComparisonRow {
+    ComparisonRow {
+        algorithm: schedule.algorithm(),
+        total: schedule.total_cost(),
+        average: schedule.average_cost(),
+        groups: schedule.groups().len(),
+        saving_vs_ncp: ncp.map(|b| saving_percent(schedule.total_cost(), b.total_cost())),
+        gap_vs_opt: opt.map(|b| gap_above_optimal_percent(schedule.total_cost(), b.total_cost())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{ccsa, noncooperation, CcsaOptions};
+    use crate::problem::CcsProblem;
+    use crate::sharing::EqualShare;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    #[test]
+    fn saving_percent_basic() {
+        assert!((saving_percent(Cost::new(73.0), Cost::new(100.0)) - 27.0).abs() < 1e-12);
+        assert!(saving_percent(Cost::new(110.0), Cost::new(100.0)) < 0.0);
+        assert_eq!(saving_percent(Cost::new(100.0), Cost::new(100.0)), 0.0);
+    }
+
+    #[test]
+    fn gap_percent_basic() {
+        assert!((gap_above_optimal_percent(Cost::new(107.3), Cost::new(100.0)) - 7.3).abs() < 1e-9);
+        assert_eq!(gap_above_optimal_percent(Cost::new(100.0), Cost::new(100.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive baseline")]
+    fn saving_rejects_zero_baseline() {
+        let _ = saving_percent(Cost::new(1.0), Cost::ZERO);
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        assert_eq!(jain_fairness(&[Cost::new(5.0); 4]), 1.0);
+        let skewed = [Cost::new(100.0), Cost::ZERO, Cost::ZERO, Cost::ZERO];
+        assert!((jain_fairness(&skewed) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[Cost::ZERO; 3]), 1.0, "degenerate vector");
+        let mixed = [Cost::new(1.0), Cost::new(2.0), Cost::new(3.0)];
+        let j = jain_fairness(&mixed);
+        assert!(j > 0.25 && j < 1.0);
+    }
+
+    #[test]
+    fn compare_builds_row_from_real_schedules() {
+        let p = CcsProblem::new(ScenarioGenerator::new(3).devices(10).chargers(3).generate());
+        let coop = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let solo = noncooperation(&p, &EqualShare);
+        let row = compare(&coop, Some(&solo), None);
+        assert_eq!(row.algorithm, "ccsa");
+        assert!(row.saving_vs_ncp.unwrap() >= -1e-9);
+        assert!(row.gap_vs_opt.is_none());
+        assert_eq!(row.groups, coop.groups().len());
+        assert!((row.average - row.total / 10.0).abs() < Cost::new(1e-9));
+    }
+}

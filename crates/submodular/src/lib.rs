@@ -1,0 +1,57 @@
+//! # ccs-submodular — submodular optimization toolkit
+//!
+//! The optimization substrate behind the CCSA approximation algorithm of the
+//! Cooperative Charging as Service reproduction:
+//!
+//! * [`subset`] — compact bitset subsets of a ground set;
+//! * [`set_fn`] — set-function trait and provably submodular combinators
+//!   (modular + concave-of-cardinality, sums, cardinality penalties);
+//! * [`lovasz`] — Edmonds' greedy base-polytope vertex oracle and the
+//!   Lovász extension;
+//! * [`mnp`] — exact submodular function minimization via the
+//!   Fujishige–Wolfe minimum-norm-point algorithm;
+//! * [`minimize`] — the fast exact path for separable objectives and a
+//!   local-search baseline;
+//! * [`density`] — Dinkelbach minimum-density search
+//!   `min_{S≠∅} f(S)/|S|`;
+//! * [`check`] — exponential brute-force verifiers used as ground truth in
+//!   tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_submodular::minimize::SeparableFn;
+//! use ccs_submodular::set_fn::CardinalityCurve;
+//! use ccs_submodular::density::min_density_separable;
+//!
+//! // A 10-unit hire fee amortized over unit-cost members: the cheapest
+//! // per-member group is everyone.
+//! let bill = SeparableFn::new(vec![1.0; 5], 10.0, CardinalityCurve::Linear, 0.0);
+//! let best = min_density_separable(&bill)?;
+//! assert_eq!(best.minimizer.len(), 5);
+//! # Ok::<(), ccs_submodular::density::DensityError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod check;
+pub mod density;
+pub mod lovasz;
+pub mod minimize;
+pub mod mnp;
+pub mod set_fn;
+pub mod subset;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::density::{min_density_mnp, min_density_separable, DensityResult};
+    pub use crate::minimize::{separable_min, SeparableFn};
+    pub use crate::mnp::{minimize, MnpOptions, SfmResult};
+    pub use crate::set_fn::{
+        CardinalityCurve, CardinalityPenalized, ConcaveCardinality, FnSetFunction, Modular,
+        SetFunction, SumFn,
+    };
+    pub use crate::subset::Subset;
+}

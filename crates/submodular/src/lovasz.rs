@@ -1,0 +1,180 @@
+//! The Lovász extension and Edmonds' greedy vertex oracle for the base
+//! polytope of a submodular function.
+//!
+//! For a *normalized* submodular `f` (`f(∅) = 0`), the base polytope is
+//!
+//! ```text
+//! B(f) = { x ∈ R^n : x(S) <= f(S) ∀S, x(V) = f(V) }
+//! ```
+//!
+//! Edmonds' greedy algorithm solves `min_{v ∈ B(f)} <w, v>` exactly: sort the
+//! ground set by increasing `w` and hand out marginals along that order.
+//! This is the linear-minimization oracle inside the Fujishige–Wolfe
+//! minimum-norm-point algorithm, and also evaluates the Lovász extension.
+
+use crate::set_fn::SetFunction;
+use crate::subset::Subset;
+
+/// Sorts ground elements by ascending key with deterministic index
+/// tie-breaking.
+fn order_by(w: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..w.len()).collect();
+    idx.sort_by(|&a, &b| w[a].total_cmp(&w[b]).then(a.cmp(&b)));
+    idx
+}
+
+/// Edmonds' greedy vertex: the vertex of `B(f − f(∅))` minimizing `<w, ·>`.
+///
+/// `f` is normalized internally (its value at the empty set is subtracted),
+/// so callers may pass un-normalized functions.
+///
+/// # Panics
+///
+/// Panics if `w.len() != f.ground_size()`.
+pub fn greedy_vertex<F: SetFunction>(f: &F, w: &[f64]) -> Vec<f64> {
+    let n = f.ground_size();
+    assert_eq!(w.len(), n, "weight vector length mismatch");
+    let order = order_by(w);
+    let mut vertex = vec![0.0; n];
+    let mut prefix = Subset::empty(n);
+    let mut prev = f.at_empty();
+    for &i in &order {
+        prefix.insert(i);
+        let cur = f.eval(&prefix);
+        vertex[i] = cur - prev;
+        prev = cur;
+    }
+    vertex
+}
+
+/// Evaluates the Lovász extension `f^L(z)` of the normalized `f` at
+/// `z ∈ R^n`.
+///
+/// `f^L(z) = <z, v>` where `v` is the greedy vertex for weights `−z`
+/// (equivalently, sort by *decreasing* `z`). For `z` the indicator vector of
+/// `S`, `f^L(z) = f(S) − f(∅)`.
+///
+/// # Panics
+///
+/// Panics if `z.len() != f.ground_size()`.
+pub fn lovasz_extension<F: SetFunction>(f: &F, z: &[f64]) -> f64 {
+    let n = f.ground_size();
+    assert_eq!(z.len(), n, "argument length mismatch");
+    let neg: Vec<f64> = z.iter().map(|v| -v).collect();
+    let vertex = greedy_vertex(f, &neg);
+    z.iter().zip(&vertex).map(|(zi, vi)| zi * vi).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_fn::{CardinalityCurve, ConcaveCardinality, FnSetFunction, Modular};
+    use crate::subset::all_subsets;
+
+    #[test]
+    fn greedy_vertex_of_modular_is_weights() {
+        let f = Modular::new(vec![3.0, -1.0, 2.0]);
+        let v = greedy_vertex(&f, &[0.5, 0.1, 0.9]);
+        assert_eq!(v, vec![3.0, -1.0, 2.0], "modular marginals are constant");
+    }
+
+    #[test]
+    fn greedy_vertex_sums_to_f_of_universe() {
+        let f = ConcaveCardinality::new(5, CardinalityCurve::Sqrt, 2.0);
+        let v = greedy_vertex(&f, &[0.3, -0.2, 0.9, 0.0, 0.5]);
+        let total: f64 = v.iter().sum();
+        assert!((total - f.eval(&Subset::universe(5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_vertex_respects_polytope_constraints() {
+        // x(S) <= f(S) for every S, with equality at the universe.
+        let f = ConcaveCardinality::new(4, CardinalityCurve::Log1p, 1.5);
+        let v = greedy_vertex(&f, &[0.7, 0.1, 0.4, 0.2]);
+        for s in all_subsets(4) {
+            let xs: f64 = s.iter().map(|i| v[i]).sum();
+            assert!(
+                xs <= f.eval(&s) + 1e-9,
+                "x(S) = {xs} must be <= f(S) = {} for S = {s}",
+                f.eval(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_vertex_normalizes_offset() {
+        let f = Modular::with_offset(vec![1.0, 2.0], 100.0);
+        let v = greedy_vertex(&f, &[0.0, 0.0]);
+        assert_eq!(v, vec![1.0, 2.0], "offset must not leak into marginals");
+    }
+
+    #[test]
+    fn greedy_vertex_minimizes_linear_objective() {
+        // Compare <w, greedy vertex> against vertices from random orders.
+        let f = ConcaveCardinality::new(4, CardinalityCurve::Sqrt, 1.0);
+        let w = [0.9, -0.5, 0.3, 0.1];
+        let v = greedy_vertex(&f, &w);
+        let obj: f64 = w.iter().zip(&v).map(|(a, b)| a * b).sum();
+        // All 24 permutations give all base vertices for this symmetric f.
+        let perms = permutations(4);
+        for perm in perms {
+            let mut vertex = vec![0.0; 4];
+            let mut prefix = Subset::empty(4);
+            let mut prev = 0.0;
+            for &i in &perm {
+                prefix.insert(i);
+                let cur = f.eval(&prefix);
+                vertex[i] = cur - prev;
+                prev = cur;
+            }
+            let other: f64 = w.iter().zip(&vertex).map(|(a, b)| a * b).sum();
+            assert!(obj <= other + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lovasz_extension_agrees_on_indicator_vectors() {
+        let f = FnSetFunction::new(4, |s| {
+            // fixed fee + modular + sqrt congestion
+            if s.is_empty() {
+                0.0
+            } else {
+                5.0 + s.iter().map(|i| i as f64 + 1.0).sum::<f64>() + (s.len() as f64).sqrt()
+            }
+        });
+        for s in all_subsets(4) {
+            let z: Vec<f64> = (0..4).map(|i| if s.contains(i) { 1.0 } else { 0.0 }).collect();
+            let ext = lovasz_extension(&f, &z);
+            assert!(
+                (ext - f.eval(&s)).abs() < 1e-9,
+                "extension {ext} vs f {} at {s}",
+                f.eval(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn lovasz_extension_is_positively_homogeneous() {
+        let f = ConcaveCardinality::new(3, CardinalityCurve::Sqrt, 2.0);
+        let z = [0.2, 0.9, 0.4];
+        let a = lovasz_extension(&f, &z);
+        let scaled: Vec<f64> = z.iter().map(|v| v * 3.0).collect();
+        let b = lovasz_extension(&f, &scaled);
+        assert!((b - 3.0 * a).abs() < 1e-9);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for rest in permutations(n - 1) {
+            for pos in 0..=rest.len() {
+                let mut p = rest.clone();
+                p.insert(pos, n - 1);
+                out.push(p);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the submodular toolkit against its exponential
+//! brute-force ground truth.
+
+use ccs_submodular::check::{brute_force_min, brute_force_min_density, is_submodular};
+use ccs_submodular::density::min_density_separable;
+use ccs_submodular::lovasz::{greedy_vertex, lovasz_extension};
+use ccs_submodular::minimize::{local_search_min, separable_min, SeparableFn};
+use ccs_submodular::mnp::{minimize, MnpOptions};
+use ccs_submodular::set_fn::{
+    CardinalityCurve, CardinalityPenalized, ConcaveCardinality, FnSetFunction, Modular,
+    SetFunction, SumFn,
+};
+use ccs_submodular::subset::{all_subsets, Subset};
+use proptest::prelude::*;
+
+fn arb_curve() -> impl Strategy<Value = CardinalityCurve> {
+    prop_oneof![
+        Just(CardinalityCurve::Sqrt),
+        Just(CardinalityCurve::Log1p),
+        Just(CardinalityCurve::Linear),
+        (0.1f64..1.0).prop_map(CardinalityCurve::Power),
+        (1usize..5).prop_map(CardinalityCurve::Saturating),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn modular_plus_concave_is_submodular(
+        weights in proptest::collection::vec(-5.0f64..5.0, 1..7),
+        scale in 0.0f64..4.0,
+        curve in arb_curve(),
+    ) {
+        let n = weights.len();
+        let f = SumFn::new(vec![
+            Box::new(Modular::new(weights)) as Box<dyn SetFunction>,
+            Box::new(ConcaveCardinality::new(n, curve, scale)),
+        ]).unwrap();
+        prop_assert!(is_submodular(&f, 1e-9));
+    }
+
+    #[test]
+    fn mnp_equals_brute_force(
+        weights in proptest::collection::vec(-5.0f64..5.0, 1..8),
+        scale in 0.0f64..3.0,
+        curve in arb_curve(),
+    ) {
+        let n = weights.len();
+        let f = SumFn::new(vec![
+            Box::new(Modular::new(weights)) as Box<dyn SetFunction>,
+            Box::new(ConcaveCardinality::new(n, curve, scale)),
+        ]).unwrap();
+        let got = minimize(&f, MnpOptions::default());
+        let (_, expected) = brute_force_min(&f);
+        prop_assert!((got.value - expected).abs() < 1e-7,
+            "mnp {} vs brute {}", got.value, expected);
+        // Reported minimizer must evaluate to the reported value.
+        prop_assert!((f.eval(&got.minimizer) - got.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separable_min_equals_penalized_brute_force(
+        weights in proptest::collection::vec(-4.0f64..4.0, 1..8),
+        fee in 0.0f64..8.0,
+        scale in 0.0f64..3.0,
+        lambda in 0.0f64..6.0,
+        curve in arb_curve(),
+    ) {
+        let f = SeparableFn::new(weights, fee, curve, scale);
+        let (set, val) = separable_min(&f, lambda);
+        let penalized = CardinalityPenalized::new(f.clone(), lambda);
+        let (_, expected) = brute_force_min(&penalized);
+        prop_assert!((val - expected).abs() < 1e-8);
+        prop_assert!((penalized.eval(&set) - val).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dinkelbach_density_equals_brute_force(
+        weights in proptest::collection::vec(0.0f64..5.0, 1..8),
+        fee in 0.0f64..8.0,
+        scale in 0.0f64..2.0,
+        curve in arb_curve(),
+    ) {
+        let f = SeparableFn::new(weights, fee, curve, scale);
+        let got = min_density_separable(&f).unwrap();
+        let (_, expected) = brute_force_min_density(&f);
+        prop_assert!((got.density - expected).abs() < 1e-7);
+        prop_assert!(!got.minimizer.is_empty());
+    }
+
+    #[test]
+    fn greedy_vertex_lies_in_the_base_polytope(
+        weights in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        scale in 0.0f64..2.0,
+        direction in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let n = weights.len();
+        let f = SumFn::new(vec![
+            Box::new(Modular::new(weights)) as Box<dyn SetFunction>,
+            Box::new(ConcaveCardinality::new(n, CardinalityCurve::Sqrt, scale)),
+        ]).unwrap();
+        let v = greedy_vertex(&f, &direction[..n]);
+        // x(S) <= f(S) for all S, with equality at the ground set.
+        for s in all_subsets(n) {
+            let xs: f64 = s.iter().map(|i| v[i]).sum();
+            prop_assert!(xs <= f.eval(&s) + 1e-9);
+        }
+        let total: f64 = v.iter().sum();
+        prop_assert!((total - f.eval(&Subset::universe(n))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lovasz_extension_interpolates_indicators(
+        weights in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        mask in 0u64..64,
+    ) {
+        let n = weights.len();
+        let f = Modular::new(weights);
+        let s = Subset::from_mask(n, mask);
+        let z: Vec<f64> = (0..n).map(|i| if s.contains(i) { 1.0 } else { 0.0 }).collect();
+        prop_assert!((lovasz_extension(&f, &z) - f.eval(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_search_never_exceeds_empty_set(
+        weights in proptest::collection::vec(-4.0f64..4.0, 1..8),
+        fee in 0.0f64..5.0,
+    ) {
+        let f = SeparableFn::new(weights, fee, CardinalityCurve::Sqrt, 1.0);
+        let (_, val) = local_search_min(&f);
+        prop_assert!(val <= 1e-12, "local search can always stop at the empty set");
+        // And never below the global minimum.
+        let (_, global) = brute_force_min(&f);
+        prop_assert!(val >= global - 1e-9);
+    }
+
+    #[test]
+    fn subset_algebra_laws(a_mask in 0u64..1024, b_mask in 0u64..1024) {
+        let n = 10;
+        let a = Subset::from_mask(n, a_mask);
+        let b = Subset::from_mask(n, b_mask);
+        // |A| + |B| = |A ∪ B| + |A ∩ B|.
+        prop_assert_eq!(
+            a.len() + b.len(),
+            a.union(&b).len() + a.intersection(&b).len()
+        );
+        // De Morgan.
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+        // Difference decomposition.
+        prop_assert_eq!(a.difference(&b).union(&a.intersection(&b)), a.clone());
+        prop_assert!(a.intersection(&b).is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+    }
+
+    #[test]
+    fn cut_functions_minimize_to_zero(
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..10),
+    ) {
+        let f = FnSetFunction::new(6, move |s| {
+            edges
+                .iter()
+                .filter(|(u, v)| u != v && s.contains(*u) != s.contains(*v))
+                .count() as f64
+        });
+        prop_assert!(is_submodular(&f, 1e-12));
+        let r = minimize(&f, MnpOptions::default());
+        prop_assert!(r.value.abs() < 1e-9, "empty/full cut is always zero");
+    }
+}

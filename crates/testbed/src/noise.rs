@@ -1,0 +1,302 @@
+//! Stochastic imperfections of the physical testbed.
+//!
+//! The planner's cost model assumes straight-line travel at nominal speed
+//! and nominal WPT efficiency. Real robots detour around obstacles, drive
+//! at variable speed, and real coils under-perform. [`NoiseModel`] captures
+//! these as multiplicative factors:
+//!
+//! * **detour factor** `>= 1` — realized path length / straight-line
+//!   distance (affects moving costs and billed charger travel);
+//! * **speed factor** — realized speed / nominal (affects timing only);
+//! * **efficiency factor** `<= 1` — realized WPT end-to-end efficiency /
+//!   nominal (the charger transmits — and bills — `demand / factor`).
+//!
+//! Factors are sampled from truncated Gaussians around configurable means,
+//! deterministically per seed.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Noise configuration of a testbed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Mean detour factor (>= 1), e.g. `1.25` = paths 25% longer than
+    /// straight lines.
+    pub detour_mean: f64,
+    /// Standard deviation of the detour factor.
+    pub detour_std: f64,
+    /// Standard deviation of the speed factor (mean 1).
+    pub speed_std: f64,
+    /// Mean efficiency factor (<= 1), e.g. `0.85`.
+    pub efficiency_mean: f64,
+    /// Standard deviation of the efficiency factor.
+    pub efficiency_std: f64,
+}
+
+impl NoiseModel {
+    /// The noiseless model: every factor exactly nominal. Executing a
+    /// schedule under `ideal()` must reproduce the planner's costs.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            detour_mean: 1.0,
+            detour_std: 0.0,
+            speed_std: 0.0,
+            efficiency_mean: 1.0,
+            efficiency_std: 0.0,
+        }
+    }
+
+    /// Field conditions calibrated to a small indoor robot testbed:
+    /// 25% mean detours, 10% speed jitter, 85% mean relative efficiency.
+    pub fn field() -> Self {
+        NoiseModel {
+            detour_mean: 1.25,
+            detour_std: 0.10,
+            speed_std: 0.10,
+            efficiency_mean: 0.85,
+            efficiency_std: 0.05,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values, `detour_mean < 1`, negative standard
+    /// deviations, or `efficiency_mean` outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.detour_mean.is_finite() && self.detour_mean >= 1.0,
+            "detour mean must be >= 1"
+        );
+        assert!(
+            self.detour_std.is_finite() && self.detour_std >= 0.0,
+            "detour std must be >= 0"
+        );
+        assert!(
+            self.speed_std.is_finite() && self.speed_std >= 0.0,
+            "speed std must be >= 0"
+        );
+        assert!(
+            self.efficiency_mean > 0.0 && self.efficiency_mean <= 1.0,
+            "efficiency mean must be in (0, 1]"
+        );
+        assert!(
+            self.efficiency_std.is_finite() && self.efficiency_std >= 0.0,
+            "efficiency std must be >= 0"
+        );
+    }
+
+    /// Samples a detour factor (clamped to `[1, mean + 4σ]`).
+    pub fn detour<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gaussian(rng, self.detour_mean, self.detour_std)
+            .clamp(1.0, self.detour_mean + 4.0 * self.detour_std + 1e-12)
+    }
+
+    /// Samples a speed factor (clamped to `[0.2, 2]`).
+    pub fn speed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gaussian(rng, 1.0, self.speed_std).clamp(0.2, 2.0)
+    }
+
+    /// Samples an efficiency factor (clamped to `[0.3, 1]`).
+    pub fn efficiency<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gaussian(rng, self.efficiency_mean, self.efficiency_std).clamp(0.3, 1.0)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::field()
+    }
+}
+
+/// Box–Muller Gaussian sample (avoids pulling in a distributions crate).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    if std == 0.0 {
+        return mean;
+    }
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ideal_model_is_deterministic_nominal() {
+        let m = NoiseModel::ideal();
+        m.validate();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(m.detour(&mut rng), 1.0);
+            assert_eq!(m.speed(&mut rng), 1.0);
+            assert_eq!(m.efficiency(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn field_model_samples_within_clamps() {
+        let m = NoiseModel::field();
+        m.validate();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = m.detour(&mut rng);
+            assert!((1.0..=2.0).contains(&d), "detour {d} out of range");
+            let s = m.speed(&mut rng);
+            assert!((0.2..=2.0).contains(&s));
+            let e = m.efficiency(&mut rng);
+            assert!((0.3..=1.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn field_means_are_roughly_right() {
+        let m = NoiseModel::field();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean_detour: f64 = (0..n).map(|_| m.detour(&mut rng)).sum::<f64>() / n as f64;
+        // Clamping at 1.0 shifts the mean slightly above 1.25.
+        assert!((1.20..1.32).contains(&mean_detour), "mean detour {mean_detour}");
+        let mean_eff: f64 = (0..n).map(|_| m.efficiency(&mut rng)).sum::<f64>() / n as f64;
+        assert!((0.80..0.90).contains(&mean_eff), "mean efficiency {mean_eff}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = NoiseModel::field();
+        let a: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..20).map(|_| m.detour(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..20).map(|_| m.detour(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "detour mean must be >= 1")]
+    fn rejects_shortcut_detours() {
+        NoiseModel {
+            detour_mean: 0.5,
+            ..NoiseModel::field()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = NoiseModel::field();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: NoiseModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+/// Hard failures of a field run, on top of the soft [`NoiseModel`]
+/// imperfections.
+///
+/// * **charger breakdown** — sampled per itinerary leg; a broken charger
+///   never reaches that group (nor any later group on its route). Affected
+///   hires are refunded (no bill), but members have already travelled.
+/// * **device no-show** — sampled per device; the device breaks down
+///   halfway to the gathering point: it pays half its moving cost, receives
+///   no energy, and still owes its bill share (it booked the service).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Probability a charger breaks down on any single travel leg.
+    pub charger_breakdown_prob: f64,
+    /// Probability a device fails to reach the gathering point.
+    pub device_no_show_prob: f64,
+}
+
+impl FailureModel {
+    /// No failures at all (the default for plain replays).
+    pub fn none() -> Self {
+        FailureModel {
+            charger_breakdown_prob: 0.0,
+            device_no_show_prob: 0.0,
+        }
+    }
+
+    /// Validates probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.charger_breakdown_prob),
+            "charger breakdown probability must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.device_no_show_prob),
+            "device no-show probability must be in [0, 1]"
+        );
+    }
+
+    /// Bernoulli sample of a charger breakdown on one leg.
+    pub fn charger_breaks<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.charger_breakdown_prob > 0.0 && rng.gen_range(0.0..1.0) < self.charger_breakdown_prob
+    }
+
+    /// Bernoulli sample of a device no-show.
+    pub fn device_no_show<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.device_no_show_prob > 0.0 && rng.gen_range(0.0..1.0) < self.device_no_show_prob
+    }
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel::none()
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn none_never_fails() {
+        let f = FailureModel::none();
+        f.validate();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(!f.charger_breaks(&mut rng));
+            assert!(!f.device_no_show(&mut rng));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let f = FailureModel {
+            charger_breakdown_prob: 0.3,
+            device_no_show_prob: 0.1,
+        };
+        f.validate();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 10_000;
+        let breaks = (0..n).filter(|_| f.charger_breaks(&mut rng)).count() as f64 / n as f64;
+        assert!((0.27..0.33).contains(&breaks), "observed {breaks}");
+        let shows = (0..n).filter(|_| f.device_no_show(&mut rng)).count() as f64 / n as f64;
+        assert!((0.08..0.12).contains(&shows), "observed {shows}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_bad_probabilities() {
+        FailureModel {
+            charger_breakdown_prob: 1.5,
+            device_no_show_prob: 0.0,
+        }
+        .validate();
+    }
+}

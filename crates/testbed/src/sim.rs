@@ -1,0 +1,705 @@
+//! The schedule executor: replays a planned [`Schedule`] on the simulated
+//! physical testbed and measures *realized* comprehensive costs.
+//!
+//! The execution is a discrete-event simulation:
+//!
+//! 1. at `t = 0` every device departs toward its group's gathering point
+//!    (noisy detour + speed), and every charger departs toward the first of
+//!    its groups;
+//! 2. a charger that serves several groups visits them in schedule order,
+//!    chaining travel legs;
+//! 3. at each gathering point the charger serves members **sequentially**
+//!    in arrival order (FIFO), waiting for stragglers;
+//! 4. each charge transmits `demand / efficiency_factor` Joules (the coil
+//!    under-performs), which is what the provider bills.
+//!
+//! Realized billing follows the service contract: base fee per hire +
+//! energy price × transmitted energy + travel rate × realized leg length +
+//! congestion. Shares are recomputed from the realized bill with the same
+//! cost-sharing scheme the planner used, so planned and realized
+//! comprehensive costs are directly comparable — and coincide exactly under
+//! [`NoiseModel::ideal`] (pinned by a test).
+
+use crate::event::{EventQueue, SimTime};
+use crate::noise::{FailureModel, NoiseModel};
+use crate::trace::{Trace, TraceKind};
+use ccs_core::problem::CcsProblem;
+use ccs_core::schedule::Schedule;
+use ccs_core::sharing::CostSharing;
+use ccs_wrsn::entities::ChargerId;
+use ccs_wrsn::units::{Cost, Joules, Meters, Seconds};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Distance between the charger coil and a device under service.
+const LINK_DISTANCE_M: f64 = 0.3;
+
+/// Measured outcome of one testbed replay.
+#[derive(Debug, Clone)]
+pub struct FieldOutcome {
+    /// Realized comprehensive cost per device, indexed by `DeviceId::index()`.
+    pub device_costs: Vec<Cost>,
+    /// Queueing delay per device (service start − arrival).
+    pub device_wait: Vec<Seconds>,
+    /// Realized bill per schedule group (same order as `schedule.groups()`).
+    pub group_bills: Vec<Cost>,
+    /// Time the last charge completed.
+    pub makespan: Seconds,
+    /// Total energy transmitted by all chargers (≥ total demand under
+    /// imperfect efficiency).
+    pub energy_transmitted: Joules,
+    /// Whether each device actually received its energy (false for
+    /// no-shows and members of groups whose charger broke down).
+    pub served: Vec<bool>,
+    /// The full event timeline of the replay.
+    pub trace: Trace,
+}
+
+impl FieldOutcome {
+    /// Total realized comprehensive cost.
+    pub fn total_cost(&self) -> Cost {
+        self.device_costs.iter().copied().sum()
+    }
+
+    /// Average realized comprehensive cost per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no devices.
+    pub fn average_cost(&self) -> Cost {
+        assert!(!self.device_costs.is_empty(), "no devices measured");
+        self.total_cost() / self.device_costs.len() as f64
+    }
+
+    /// Number of devices that did not receive their energy.
+    pub fn unserved_count(&self) -> usize {
+        self.served.iter().filter(|s| !**s).count()
+    }
+
+    /// Fraction of devices served, in `[0, 1]`.
+    pub fn served_fraction(&self) -> f64 {
+        if self.served.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.unserved_count() as f64 / self.served.len() as f64
+    }
+
+    /// Mean queueing delay across devices.
+    pub fn average_wait(&self) -> Seconds {
+        if self.device_wait.is_empty() {
+            return Seconds::ZERO;
+        }
+        self.device_wait.iter().copied().sum::<Seconds>() / self.device_wait.len() as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    DeviceArrived { group: usize, local: usize },
+    ChargerArrived { group: usize },
+    ChargeDone { group: usize, local: usize },
+}
+
+struct GroupState {
+    charger_here: bool,
+    busy: bool,
+    served: usize,
+    /// Arrival-ordered queue of unserved local member indices.
+    ready: Vec<usize>,
+    arrival_time: Vec<Option<SimTime>>,
+}
+
+/// Replays `schedule` under `noise` without hard failures,
+/// deterministically per `seed`.
+///
+/// # Panics
+///
+/// Panics if the schedule does not validate against the problem (the
+/// executor only replays well-formed plans).
+pub fn execute(
+    problem: &CcsProblem,
+    schedule: &Schedule,
+    sharing: &dyn CostSharing,
+    noise: &NoiseModel,
+    seed: u64,
+) -> FieldOutcome {
+    execute_with_failures(problem, schedule, sharing, noise, &FailureModel::none(), seed)
+}
+
+/// Replays `schedule` under `noise` plus hard [`FailureModel`] failures.
+///
+/// Failure semantics: a device no-show turns around halfway (pays half its
+/// realized moving cost, keeps owing its bill share, receives nothing); a
+/// charger breakdown on a leg voids that hire and every later hire on the
+/// charger's route (those bills are refunded, members only pay the trip).
+///
+/// # Panics
+///
+/// Panics if the schedule does not validate against the problem (the
+/// executor only replays well-formed plans).
+pub fn execute_with_failures(
+    problem: &CcsProblem,
+    schedule: &Schedule,
+    sharing: &dyn CostSharing,
+    noise: &NoiseModel,
+    failures: &FailureModel,
+    seed: u64,
+) -> FieldOutcome {
+    noise.validate();
+    failures.validate();
+    schedule
+        .validate(problem)
+        .expect("executor requires a valid schedule");
+    let n = problem.num_devices();
+    let groups = schedule.groups();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // --- Sample all noise factors upfront, in a fixed order, so the event
+    // interleaving cannot perturb determinism. ---
+    // Per device (global id order): detour, speed factor, efficiency factor.
+    let mut dev_detour = vec![1.0; n];
+    let mut dev_speed = vec![1.0; n];
+    let mut dev_eff = vec![1.0; n];
+    for i in 0..n {
+        dev_detour[i] = noise.detour(&mut rng);
+        dev_speed[i] = noise.speed(&mut rng);
+        dev_eff[i] = noise.efficiency(&mut rng);
+    }
+    // Per group (schedule order): the charger leg that *ends* at this group.
+    let mut leg_detour = vec![1.0; groups.len()];
+    let mut leg_speed = vec![1.0; groups.len()];
+    for g in 0..groups.len() {
+        leg_detour[g] = noise.detour(&mut rng);
+        leg_speed[g] = noise.speed(&mut rng);
+    }
+    // Hard failures, sampled in the same fixed order.
+    let no_show: Vec<bool> = (0..n).map(|_| failures.device_no_show(&mut rng)).collect();
+    let leg_break: Vec<bool> = (0..groups.len())
+        .map(|_| failures.charger_breaks(&mut rng))
+        .collect();
+
+    // --- Charger itineraries: groups in schedule order per charger. ---
+    let mut itinerary: BTreeMap<ChargerId, Vec<usize>> = BTreeMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        itinerary.entry(g.charger).or_default().push(gi);
+    }
+    // Two travel distances per group: the *billed* distance follows the
+    // service contract (depot -> gathering point per hire, with detour),
+    // while the *timed* leg chains from the charger's previous stop.
+    // `reached[gi]` is false once the charger breaks on or before its leg.
+    let mut bill_distance = vec![Meters::ZERO; groups.len()];
+    let mut leg_distance = vec![Meters::ZERO; groups.len()];
+    let mut reached = vec![true; groups.len()];
+    for (&charger, gs) in &itinerary {
+        let depot = problem.charger(charger).position();
+        let mut from = depot;
+        let mut alive = true;
+        for &gi in gs {
+            let to = groups[gi].gathering_point;
+            bill_distance[gi] = depot.distance(&to) * leg_detour[gi];
+            leg_distance[gi] = from.distance(&to) * leg_detour[gi];
+            from = to;
+            alive = alive && !leg_break[gi];
+            reached[gi] = alive;
+        }
+    }
+
+    // --- Seed the event queue. ---
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut states: Vec<GroupState> = groups
+        .iter()
+        .map(|g| GroupState {
+            charger_here: false,
+            busy: false,
+            served: 0,
+            ready: Vec::new(),
+            arrival_time: vec![None; g.members.len()],
+        })
+        .collect();
+
+    // Arrivals a group is still waiting for (no-shows excluded).
+    let mut expected: Vec<usize> = groups.iter().map(|g| g.members.len()).collect();
+    let mut moving_cost = vec![Cost::ZERO; n];
+    for (gi, g) in groups.iter().enumerate() {
+        for (local, &d) in g.members.iter().enumerate() {
+            let dev = problem.device(d);
+            let dist = dev.position().distance(&g.gathering_point) * dev_detour[d.index()];
+            if no_show[d.index()] {
+                // Broke down halfway: half the trip, never arrives.
+                moving_cost[d.index()] = dev.move_cost_rate() * (dist * 0.5);
+                expected[gi] -= 1;
+                continue;
+            }
+            moving_cost[d.index()] = dev.move_cost_rate() * dist;
+            let speed = dev.speed() * dev_speed[d.index()];
+            let arrival = SimTime::new((dist / speed).value());
+            queue.schedule(arrival, Ev::DeviceArrived { group: gi, local });
+        }
+    }
+    for (&charger, gs) in &itinerary {
+        let first = gs[0];
+        if !reached[first] {
+            continue; // broke down on the very first leg
+        }
+        let speed = problem.charger(charger).speed() * leg_speed[first];
+        let arrival = SimTime::new((leg_distance[first] / speed).value());
+        queue.schedule(arrival, Ev::ChargerArrived { group: first });
+    }
+
+    // --- Run. ---
+    let mut wait = vec![Seconds::ZERO; n];
+    let mut energy_transmitted = Joules::ZERO;
+    let mut makespan = SimTime::ZERO;
+    // Next-group lookup for charger chaining.
+    let next_group: BTreeMap<usize, usize> = itinerary
+        .values()
+        .flat_map(|gs| gs.windows(2).map(|w| (w[0], w[1])))
+        .collect();
+
+    let mut served = vec![false; n];
+    let chain = |queue: &mut EventQueue<Ev>, now: SimTime, group: usize| {
+        if let Some(&next) = next_group.get(&group) {
+            if reached[next] {
+                let speed = problem.charger(groups[group].charger).speed() * leg_speed[next];
+                let travel = (leg_distance[next] / speed).value();
+                queue.schedule(now + travel, Ev::ChargerArrived { group: next });
+            }
+        }
+    };
+    let mut trace = Trace::new();
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::DeviceArrived { group, local } => {
+                trace.record(
+                    now.seconds(),
+                    TraceKind::DeviceArrived {
+                        device: groups[group].members[local],
+                    },
+                );
+                states[group].arrival_time[local] = Some(now);
+                states[group].ready.push(local);
+                try_start_service(
+                    problem, groups, &mut states, &mut queue, group, now, &dev_eff, &mut wait,
+                    &mut trace,
+                );
+            }
+            Ev::ChargerArrived { group } => {
+                trace.record(
+                    now.seconds(),
+                    TraceKind::ChargerArrived {
+                        charger: groups[group].charger,
+                        group,
+                    },
+                );
+                states[group].charger_here = true;
+                if expected[group] == 0 {
+                    // Everyone no-showed: move on immediately.
+                    chain(&mut queue, now, group);
+                } else {
+                    try_start_service(
+                        problem, groups, &mut states, &mut queue, group, now, &dev_eff, &mut wait,
+                        &mut trace,
+                    );
+                }
+            }
+            Ev::ChargeDone { group, local } => {
+                let g = &groups[group];
+                let d = g.members[local];
+                trace.record(now.seconds(), TraceKind::ServiceCompleted { device: d });
+                energy_transmitted +=
+                    problem.device(d).demand() / dev_eff[d.index()];
+                served[d.index()] = true;
+                makespan = makespan.max(now);
+                states[group].busy = false;
+                states[group].served += 1;
+                if states[group].served == expected[group] {
+                    // Group complete: chain to the charger's next stop.
+                    chain(&mut queue, now, group);
+                } else {
+                    try_start_service(
+                        problem, groups, &mut states, &mut queue, group, now, &dev_eff, &mut wait,
+                        &mut trace,
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Realized billing and shares. ---
+    let mut device_costs = vec![Cost::ZERO; n];
+    let mut group_bills = vec![Cost::ZERO; groups.len()];
+    for (gi, g) in groups.iter().enumerate() {
+        if !reached[gi] {
+            // Charger never showed: the hire is refunded; members only pay
+            // the trip they already made.
+            for &d in &g.members {
+                device_costs[d.index()] = moving_cost[d.index()];
+            }
+            continue;
+        }
+        let c = problem.charger(g.charger);
+        let realized_bill = ccs_core::cost::GroupBill {
+            base_fee: c.base_fee(),
+            charger_travel: c.travel_cost_rate() * bill_distance[gi],
+            energy: g
+                .members
+                .iter()
+                .map(|&d| {
+                    if served[d.index()] {
+                        (problem.device(d).demand() / dev_eff[d.index()]) * c.energy_price()
+                    } else {
+                        Cost::ZERO // no-show: nothing transmitted, nothing billed
+                    }
+                })
+                .collect(),
+            congestion: c.occupancy_rate()
+                * problem.params().congestion_curve.eval(g.members.len()),
+        };
+        group_bills[gi] = realized_bill.total();
+        let shares = sharing.shares(problem, g.charger, &g.members, &g.gathering_point, &realized_bill);
+        for (local, &d) in g.members.iter().enumerate() {
+            device_costs[d.index()] = shares[local] + moving_cost[d.index()];
+        }
+    }
+
+    FieldOutcome {
+        device_costs,
+        device_wait: wait,
+        group_bills,
+        makespan: Seconds::new(makespan.seconds()),
+        energy_transmitted,
+        served,
+        trace,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_start_service(
+    problem: &CcsProblem,
+    groups: &[ccs_core::schedule::GroupPlan],
+    states: &mut [GroupState],
+    queue: &mut EventQueue<Ev>,
+    group: usize,
+    now: SimTime,
+    dev_eff: &[f64],
+    wait: &mut [Seconds],
+    trace: &mut Trace,
+) {
+    let st = &mut states[group];
+    if !st.charger_here || st.busy || st.ready.is_empty() {
+        return;
+    }
+    let local = st.ready.remove(0);
+    st.busy = true;
+    let g = &groups[group];
+    let d = g.members[local];
+    let dev = problem.device(d);
+    let arrived = st.arrival_time[local].expect("ready implies arrived");
+    wait[d.index()] = Seconds::new(now - arrived);
+    trace.record(now.seconds(), TraceKind::ServiceStarted { device: d });
+
+    let c = problem.charger(g.charger);
+    let link = Meters::new(LINK_DISTANCE_M).min(c.wpt().range * 0.9);
+    let power = c.wpt().effective_power(link);
+    assert!(
+        power.value() > 0.0,
+        "charger {} cannot deliver power at the service link distance",
+        g.charger
+    );
+    // The coil under-performs by the efficiency factor: transmitting
+    // demand/eff at nominal effective power takes demand/(eff · P).
+    let duration = (dev.demand() / dev_eff[d.index()]) / power;
+    queue.schedule(now + duration.value(), Ev::ChargeDone { group, local });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::algo::{ccsa, noncooperation, CcsaOptions};
+    use ccs_core::sharing::EqualShare;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(m)
+                .field_side(60.0)
+                .generate(),
+        )
+    }
+
+    #[test]
+    fn ideal_noise_reproduces_planned_costs() {
+        let p = problem(1, 10, 3);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        for d in p.scenario().device_ids() {
+            let planned = s.device_cost(d).unwrap();
+            let realized = out.device_costs[d.index()];
+            assert!(
+                (planned - realized).abs() < Cost::new(1e-6),
+                "device {d}: planned {planned} vs realized {realized}"
+            );
+        }
+        assert!((out.total_cost() - s.total_cost()).abs() < Cost::new(1e-6));
+    }
+
+    #[test]
+    fn ideal_noise_transmits_exactly_the_demand() {
+        let p = problem(2, 8, 3);
+        let s = noncooperation(&p, &EqualShare);
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        let demand = p.scenario().total_demand();
+        assert!((out.energy_transmitted - demand).abs() < Joules::new(1e-6));
+    }
+
+    #[test]
+    fn field_noise_inflates_costs() {
+        let p = problem(3, 10, 3);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let ideal = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        let noisy = execute(&p, &s, &EqualShare, &NoiseModel::field(), 42);
+        assert!(
+            noisy.total_cost() > ideal.total_cost(),
+            "detours and efficiency losses must cost money: {} vs {}",
+            noisy.total_cost(),
+            ideal.total_cost()
+        );
+        assert!(noisy.energy_transmitted > ideal.energy_transmitted);
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let p = problem(4, 9, 3);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let a = execute(&p, &s, &EqualShare, &NoiseModel::field(), 7);
+        let b = execute(&p, &s, &EqualShare, &NoiseModel::field(), 7);
+        assert_eq!(a.device_costs, b.device_costs);
+        assert_eq!(a.makespan, b.makespan);
+        let c = execute(&p, &s, &EqualShare, &NoiseModel::field(), 8);
+        assert_ne!(a.device_costs, c.device_costs, "different seed, different run");
+    }
+
+    #[test]
+    fn grouped_devices_can_wait_for_the_coil() {
+        // Force one big group: all devices in one cluster, huge base fees.
+        use ccs_wrsn::scenario::{ParamRange, Placement};
+        let scenario = ScenarioGenerator::new(5)
+            .devices(6)
+            .chargers(2)
+            .field_side(30.0)
+            .device_placement(Placement::Clustered { count: 1, sigma: 2.0 })
+            .base_fee_range(ParamRange::fixed(80.0))
+            .generate();
+        let p = CcsProblem::new(scenario);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        assert!(s.groups().iter().any(|g| g.members.len() >= 3));
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        // Sequential service: someone must have waited.
+        assert!(
+            out.device_wait.iter().any(|w| *w > Seconds::ZERO),
+            "sequential service implies queueing"
+        );
+        assert!(out.makespan > Seconds::ZERO);
+        assert!(out.average_wait() >= Seconds::ZERO);
+    }
+
+    #[test]
+    fn chained_charger_serves_groups_in_order() {
+        // Many singleton groups under NCP often share a charger; the
+        // executor must chain legs and still finish.
+        let p = problem(6, 8, 2);
+        let s = noncooperation(&p, &EqualShare);
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        assert!(out.makespan > Seconds::ZERO);
+        assert_eq!(out.group_bills.len(), s.groups().len());
+        assert!(out.group_bills.iter().all(|b| *b > Cost::ZERO));
+    }
+
+    #[test]
+    fn noisy_replay_keeps_cooperative_advantage() {
+        // The field-experiment headline: cooperation still wins under noise.
+        let p = problem(7, 12, 4);
+        let coop = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let solo = noncooperation(&p, &EqualShare);
+        let mut coop_total = Cost::ZERO;
+        let mut solo_total = Cost::ZERO;
+        for seed in 0..10 {
+            coop_total += execute(&p, &coop, &EqualShare, &NoiseModel::field(), seed).total_cost();
+            solo_total += execute(&p, &solo, &EqualShare, &NoiseModel::field(), seed).total_cost();
+        }
+        assert!(
+            coop_total < solo_total,
+            "cooperative schedules must stay ahead under noise"
+        );
+    }
+}
+
+#[cfg(test)]
+mod failure_sim_tests {
+    use super::*;
+    use ccs_core::algo::{ccsa, noncooperation, CcsaOptions};
+    use ccs_core::sharing::EqualShare;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(m)
+                .field_side(60.0)
+                .generate(),
+        )
+    }
+
+    #[test]
+    fn no_failures_serves_everyone() {
+        let p = problem(1, 10, 3);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        assert_eq!(out.unserved_count(), 0);
+        assert_eq!(out.served_fraction(), 1.0);
+        assert!(out.served.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn certain_breakdown_serves_nobody() {
+        let p = problem(2, 8, 3);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let failures = FailureModel {
+            charger_breakdown_prob: 1.0,
+            device_no_show_prob: 0.0,
+        };
+        let out =
+            execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        assert_eq!(out.served_fraction(), 0.0);
+        assert_eq!(out.energy_transmitted, Joules::ZERO);
+        // Hires refunded: devices pay their trip only.
+        for (gi, _) in s.groups().iter().enumerate() {
+            assert_eq!(out.group_bills[gi], Cost::ZERO);
+        }
+        assert!(out.total_cost() > Cost::ZERO, "trips were still made");
+        assert!(out.total_cost() < s.total_cost(), "refund beats full bill");
+    }
+
+    #[test]
+    fn certain_no_show_bills_no_energy() {
+        let p = problem(3, 6, 2);
+        let s = noncooperation(&p, &EqualShare);
+        let failures = FailureModel {
+            charger_breakdown_prob: 0.0,
+            device_no_show_prob: 1.0,
+        };
+        let out =
+            execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        assert_eq!(out.served_fraction(), 0.0);
+        assert_eq!(out.energy_transmitted, Joules::ZERO);
+        // Bills still include the base fee and travel (the hire happened),
+        // but no energy items.
+        for (gi, g) in s.groups().iter().enumerate() {
+            assert!(out.group_bills[gi] > Cost::ZERO);
+            assert!(out.group_bills[gi] < g.bill.total());
+        }
+    }
+
+    #[test]
+    fn partial_failures_are_deterministic_and_in_between() {
+        let p = problem(4, 12, 4);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let failures = FailureModel {
+            charger_breakdown_prob: 0.2,
+            device_no_show_prob: 0.1,
+        };
+        let a = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::field(), &failures, 9);
+        let b = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::field(), &failures, 9);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.device_costs, b.device_costs);
+        assert!(a.served_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn cooperation_is_more_robust_to_breakdowns() {
+        // NCP makes many hires (many legs to break); CCSA makes few. Under
+        // the same breakdown rate, CCSA should keep a higher served
+        // fraction on average.
+        let failures = FailureModel {
+            charger_breakdown_prob: 0.15,
+            device_no_show_prob: 0.0,
+        };
+        let mut coop_served = 0.0;
+        let mut solo_served = 0.0;
+        let trials = 20u64;
+        for seed in 0..trials {
+            let p = problem(seed, 12, 4);
+            let coop = ccsa(&p, &EqualShare, CcsaOptions::default());
+            let solo = noncooperation(&p, &EqualShare);
+            coop_served +=
+                execute_with_failures(&p, &coop, &EqualShare, &NoiseModel::ideal(), &failures, seed)
+                    .served_fraction();
+            solo_served +=
+                execute_with_failures(&p, &solo, &EqualShare, &NoiseModel::ideal(), &failures, seed)
+                    .served_fraction();
+        }
+        assert!(
+            coop_served >= solo_served,
+            "cooperative served {coop_served} vs solo {solo_served} over {trials} trials"
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_integration_tests {
+    use super::*;
+    use crate::trace::TraceKind;
+    use ccs_core::algo::{ccsa, CcsaOptions};
+    use ccs_core::sharing::EqualShare;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    #[test]
+    fn trace_covers_every_served_device() {
+        let p = CcsProblem::new(
+            ScenarioGenerator::new(2).devices(8).chargers(3).field_side(60.0).generate(),
+        );
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        for d in p.scenario().device_ids() {
+            let (arrived, started, completed) = out.trace.device_phases(d);
+            assert!(arrived.is_some(), "{d} must arrive");
+            assert!(started.is_some(), "{d} must start charging");
+            assert!(completed.is_some(), "{d} must finish");
+            assert!(arrived <= started && started <= completed, "{d} phases ordered");
+        }
+        // One charger arrival per group.
+        let charger_arrivals = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::ChargerArrived { .. }))
+            .count();
+        assert_eq!(charger_arrivals, s.groups().len());
+        // The timeline renders for all devices.
+        let timeline = out.trace.render_timeline(8, 60);
+        assert_eq!(timeline.lines().count(), 9);
+    }
+
+    #[test]
+    fn no_shows_never_arrive_in_the_trace() {
+        let p = CcsProblem::new(
+            ScenarioGenerator::new(3).devices(5).chargers(2).field_side(50.0).generate(),
+        );
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let failures = FailureModel {
+            charger_breakdown_prob: 0.0,
+            device_no_show_prob: 1.0,
+        };
+        let out =
+            execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        for d in p.scenario().device_ids() {
+            let (arrived, started, _) = out.trace.device_phases(d);
+            assert!(arrived.is_none(), "{d} no-showed");
+            assert!(started.is_none());
+        }
+    }
+}

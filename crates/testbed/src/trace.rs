@@ -1,0 +1,245 @@
+//! Execution traces: the event timeline of a testbed replay.
+//!
+//! Every replay records what happened and when — device arrivals, charger
+//! arrivals, service starts and completions — so outcomes can be debugged
+//! ("why did d3 wait 200 s?") and visualized ([`Trace::render_timeline`])
+//! without re-instrumenting the executor.
+
+use ccs_wrsn::entities::{ChargerId, DeviceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened at one instant of the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A device reached its group's gathering point.
+    DeviceArrived {
+        /// The device.
+        device: DeviceId,
+    },
+    /// A charger reached a gathering point.
+    ChargerArrived {
+        /// The charger.
+        charger: ChargerId,
+        /// Index of the schedule group it arrived at.
+        group: usize,
+    },
+    /// A device's charge began.
+    ServiceStarted {
+        /// The device.
+        device: DeviceId,
+    },
+    /// A device's charge completed.
+    ServiceCompleted {
+        /// The device.
+        device: DeviceId,
+    },
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Seconds since replay start.
+    pub time_s: f64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The ordered event log of one replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event (the executor emits in nondecreasing time order).
+    pub fn record(&mut self, time_s: f64, kind: TraceKind) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.time_s <= time_s),
+            "trace must be time-ordered"
+        );
+        self.events.push(TraceEvent { time_s, kind });
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether anything happened at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning one device, in time order.
+    pub fn device_events(&self, device: DeviceId) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e.kind {
+                TraceKind::DeviceArrived { device: d }
+                | TraceKind::ServiceStarted { device: d }
+                | TraceKind::ServiceCompleted { device: d } => d == device,
+                TraceKind::ChargerArrived { .. } => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// The `(arrival, service start, service end)` times of a device, any
+    /// of which may be missing (no-shows, broken chargers).
+    pub fn device_phases(&self, device: DeviceId) -> (Option<f64>, Option<f64>, Option<f64>) {
+        let mut arrived = None;
+        let mut started = None;
+        let mut completed = None;
+        for e in self.device_events(device) {
+            match e.kind {
+                TraceKind::DeviceArrived { .. } => arrived = Some(e.time_s),
+                TraceKind::ServiceStarted { .. } => started = Some(e.time_s),
+                TraceKind::ServiceCompleted { .. } => completed = Some(e.time_s),
+                TraceKind::ChargerArrived { .. } => {}
+            }
+        }
+        (arrived, started, completed)
+    }
+
+    /// Renders a per-device ASCII timeline: `.` travelling, `-` waiting,
+    /// `#` charging, over `width` columns spanning the full replay.
+    pub fn render_timeline(&self, devices: usize, width: usize) -> String {
+        let end = self
+            .events
+            .last()
+            .map(|e| e.time_s)
+            .unwrap_or(0.0)
+            .max(1e-9);
+        let col = |t: f64| ((t / end) * (width - 1) as f64).round() as usize;
+        let mut out = String::new();
+        for i in 0..devices {
+            let d = DeviceId::new(i as u32);
+            let (arrived, started, completed) = self.device_phases(d);
+            let mut row = vec![' '; width];
+            let a = arrived.map(&col).unwrap_or(width - 1);
+            for c in row.iter_mut().take(a.min(width - 1) + 1) {
+                *c = '.';
+            }
+            if let (Some(s), Some(a)) = (started, arrived) {
+                for c in row.iter_mut().take(col(s).min(width - 1) + 1).skip(col(a)) {
+                    *c = '-';
+                }
+                if let Some(e) = completed {
+                    for c in row.iter_mut().take(col(e).min(width - 1) + 1).skip(col(s)) {
+                        *c = '#';
+                    }
+                }
+            }
+            out.push_str(&format!("{d:>4} |{}|\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!("      0 s {:>width$.1} s\n", end, width = width.saturating_sub(4)));
+        out
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::DeviceArrived { device } => {
+                write!(f, "[{:>8.1}s] {device} arrived", self.time_s)
+            }
+            TraceKind::ChargerArrived { charger, group } => {
+                write!(f, "[{:>8.1}s] {charger} arrived at group {group}", self.time_s)
+            }
+            TraceKind::ServiceStarted { device } => {
+                write!(f, "[{:>8.1}s] {device} charging", self.time_s)
+            }
+            TraceKind::ServiceCompleted { device } => {
+                write!(f, "[{:>8.1}s] {device} done", self.time_s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(1.0, TraceKind::DeviceArrived { device: DeviceId::new(0) });
+        t.record(
+            2.0,
+            TraceKind::ChargerArrived {
+                charger: ChargerId::new(1),
+                group: 0,
+            },
+        );
+        t.record(2.0, TraceKind::ServiceStarted { device: DeviceId::new(0) });
+        t.record(5.0, TraceKind::ServiceCompleted { device: DeviceId::new(0) });
+        t
+    }
+
+    #[test]
+    fn records_in_order_and_filters_by_device() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let d0 = t.device_events(DeviceId::new(0));
+        assert_eq!(d0.len(), 3, "charger arrival is not a device event");
+        let none = t.device_events(DeviceId::new(9));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn phases_extract_the_three_milestones() {
+        let t = sample();
+        let (a, s, c) = t.device_phases(DeviceId::new(0));
+        assert_eq!(a, Some(1.0));
+        assert_eq!(s, Some(2.0));
+        assert_eq!(c, Some(5.0));
+        let (a, s, c) = t.device_phases(DeviceId::new(7));
+        assert_eq!((a, s, c), (None, None, None));
+    }
+
+    #[test]
+    fn timeline_renders_all_phases() {
+        let t = sample();
+        let timeline = t.render_timeline(1, 40);
+        assert!(timeline.contains('.'), "travel phase");
+        assert!(timeline.contains('-'), "waiting phase");
+        assert!(timeline.contains('#'), "charging phase");
+        assert!(timeline.contains("d0"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = sample();
+        let text: Vec<String> = t.events().iter().map(|e| e.to_string()).collect();
+        assert!(text[0].contains("d0 arrived"));
+        assert!(text[1].contains("c1 arrived at group 0"));
+        assert!(text[3].contains("d0 done"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = Trace::new();
+        let timeline = t.render_timeline(2, 20);
+        assert!(timeline.contains("d0"));
+        assert!(timeline.contains("d1"));
+    }
+}

@@ -1,0 +1,720 @@
+//! Planar geometry: points, rectangles and the weighted geometric median.
+//!
+//! The gathering-point optimization at the heart of the CCS problem is a
+//! weighted Fermat point problem: minimize the weighted sum of Euclidean
+//! distances from a set of anchors. [`weighted_geometric_median`] solves it
+//! with Weiszfeld's algorithm, with the standard fix for iterates that land
+//! exactly on an anchor.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccs_wrsn::geometry::{Point, weighted_geometric_median, WeiszfeldOptions};
+//!
+//! let anchors = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 2.0)];
+//! let weights = [1.0, 1.0, 1.0];
+//! let median = weighted_geometric_median(&anchors, &weights, WeiszfeldOptions::default())
+//!     .expect("non-degenerate input");
+//! assert!(median.point.x > 0.5 && median.point.x < 1.5);
+//! ```
+
+use crate::units::Meters;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the 2-D deployment field, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from raw coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> Meters {
+        Meters::new((self.x - other.x).hypot(self.y - other.y))
+    }
+
+    /// Squared Euclidean distance (cheaper; no sqrt).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation from `self` toward `other` by fraction `t` in `[0, 1]`.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// The unweighted centroid of a set of points.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn centroid(points: &[Point]) -> Option<Point> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let (sx, sy) = points
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Some(Point::new(sx / n, sy / n))
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned rectangle, used as the deployment field boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (lower-left).
+    pub min: Point,
+    /// Maximum corner (upper-right).
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not coordinate-wise `<= max` or if any coordinate
+    /// is non-finite.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "rect corners must be finite"
+        );
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "rect min must be <= max: min={min}, max={max}"
+        );
+        Rect { min, max }
+    }
+
+    /// A square field `[0, side] x [0, side]`.
+    pub fn square(side: f64) -> Self {
+        Rect::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Field width in meters.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Field height in meters.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Field area in square meters.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Returns `true` if the point lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps a point into the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// The diagonal length — an upper bound on any in-field distance.
+    #[inline]
+    pub fn diameter(&self) -> Meters {
+        self.min.distance(&self.max)
+    }
+
+    /// Uniform grid of `k x k` candidate points covering the rectangle
+    /// (including the boundary), row-major.
+    ///
+    /// Used as a cheap gathering-point candidate set. Returns the center for
+    /// `k == 1`.
+    pub fn grid(&self, k: usize) -> Vec<Point> {
+        assert!(k >= 1, "grid resolution must be >= 1");
+        if k == 1 {
+            return vec![self.center()];
+        }
+        let mut out = Vec::with_capacity(k * k);
+        for iy in 0..k {
+            for ix in 0..k {
+                let fx = ix as f64 / (k - 1) as f64;
+                let fy = iy as f64 / (k - 1) as f64;
+                out.push(Point::new(
+                    self.min.x + fx * self.width(),
+                    self.min.y + fy * self.height(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Rect {
+    fn default() -> Self {
+        Rect::square(100.0)
+    }
+}
+
+/// Error returned by [`weighted_geometric_median`] on degenerate input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometricMedianError {
+    /// The anchor set was empty.
+    EmptyAnchors,
+    /// Anchor and weight slices had different lengths.
+    LengthMismatch {
+        /// Number of anchor points supplied.
+        anchors: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// A weight was negative, NaN, or all weights were zero.
+    InvalidWeights,
+}
+
+impl fmt::Display for GeometricMedianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometricMedianError::EmptyAnchors => write!(f, "anchor set was empty"),
+            GeometricMedianError::LengthMismatch { anchors, weights } => write!(
+                f,
+                "anchor/weight length mismatch: {anchors} anchors, {weights} weights"
+            ),
+            GeometricMedianError::InvalidWeights => {
+                write!(f, "weights must be nonnegative, finite, and not all zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometricMedianError {}
+
+/// Options controlling Weiszfeld iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeiszfeldOptions {
+    /// Stop when the iterate moves less than this distance (meters).
+    pub tolerance: f64,
+    /// Hard cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for WeiszfeldOptions {
+    fn default() -> Self {
+        WeiszfeldOptions {
+            tolerance: 1e-7,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Result of a geometric-median computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricMedian {
+    /// The (approximate) minimizing point.
+    pub point: Point,
+    /// The weighted sum of distances at `point`.
+    pub objective: f64,
+    /// Number of Weiszfeld iterations performed.
+    pub iterations: usize,
+}
+
+/// Weighted cost `sum_i w_i * ||p - a_i||` at a candidate point.
+pub fn weighted_distance_sum(p: &Point, anchors: &[Point], weights: &[f64]) -> f64 {
+    anchors
+        .iter()
+        .zip(weights)
+        .map(|(a, w)| w * p.distance(a).value())
+        .sum()
+}
+
+/// Computes the weighted geometric median (Fermat point) of `anchors` with
+/// the given nonnegative `weights` using Weiszfeld's algorithm.
+///
+/// Anchors with zero weight are ignored. If the iterate lands exactly on an
+/// anchor, the standard Vardi–Zhang correction is applied; if that anchor is
+/// optimal the algorithm stops there.
+///
+/// # Errors
+///
+/// Returns [`GeometricMedianError`] if the anchor set is empty, slice
+/// lengths differ, or the weights are invalid (negative / NaN / all zero).
+pub fn weighted_geometric_median(
+    anchors: &[Point],
+    weights: &[f64],
+    options: WeiszfeldOptions,
+) -> Result<GeometricMedian, GeometricMedianError> {
+    if anchors.is_empty() {
+        return Err(GeometricMedianError::EmptyAnchors);
+    }
+    if anchors.len() != weights.len() {
+        return Err(GeometricMedianError::LengthMismatch {
+            anchors: anchors.len(),
+            weights: weights.len(),
+        });
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) || weights.iter().sum::<f64>() <= 0.0 {
+        return Err(GeometricMedianError::InvalidWeights);
+    }
+
+    // Weighted centroid is the classic starting iterate.
+    let wsum: f64 = weights.iter().sum();
+    let mut current = Point::new(
+        anchors
+            .iter()
+            .zip(weights)
+            .map(|(a, w)| a.x * w)
+            .sum::<f64>()
+            / wsum,
+        anchors
+            .iter()
+            .zip(weights)
+            .map(|(a, w)| a.y * w)
+            .sum::<f64>()
+            / wsum,
+    );
+
+    let mut iterations = 0;
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let mut num_x = 0.0;
+        let mut num_y = 0.0;
+        let mut denom = 0.0;
+        let mut at_anchor: Option<usize> = None;
+        for (idx, (a, &w)) in anchors.iter().zip(weights).enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let d = current.distance(a).value();
+            if d < 1e-12 {
+                at_anchor = Some(idx);
+                continue;
+            }
+            let inv = w / d;
+            num_x += a.x * inv;
+            num_y += a.y * inv;
+            denom += inv;
+        }
+
+        let next = if let Some(idx) = at_anchor {
+            // Vardi–Zhang: check whether the anchor itself is the minimizer.
+            // r is the norm of the subgradient contribution of the others.
+            let r = (num_x - current.x * denom).hypot(num_y - current.y * denom);
+            let w_at = weights[idx];
+            if r <= w_at || denom == 0.0 {
+                // Anchor dominates: it is the optimum.
+                break;
+            }
+            let t = (1.0 - w_at / r).max(0.0);
+            let pull = Point::new(num_x / denom, num_y / denom);
+            current.lerp(&pull, t)
+        } else {
+            Point::new(num_x / denom, num_y / denom)
+        };
+
+        let step = current.distance(&next).value();
+        current = next;
+        if step < options.tolerance {
+            break;
+        }
+    }
+
+    Ok(GeometricMedian {
+        point: current,
+        objective: weighted_distance_sum(&current, anchors, weights),
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "expected {a} ~ {b} within {eps}");
+    }
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), Meters::new(5.0));
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(1.5, 2.0));
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn centroid_basic() {
+        assert_eq!(Point::centroid(&[]), None);
+        let c = Point::centroid(&[Point::new(0.0, 0.0), Point::new(2.0, 4.0)]).unwrap();
+        assert_eq!(c, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn rect_contains_clamp() {
+        let r = Rect::square(10.0);
+        assert!(r.contains(&Point::new(5.0, 5.0)));
+        assert!(r.contains(&Point::new(0.0, 10.0)));
+        assert!(!r.contains(&Point::new(-0.1, 5.0)));
+        assert_eq!(r.clamp(Point::new(-3.0, 12.0)), Point::new(0.0, 10.0));
+        assert_eq!(r.center(), Point::new(5.0, 5.0));
+        assert_close(r.area(), 100.0, 1e-12);
+        assert_close(r.diameter().value(), (200.0f64).sqrt(), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rect min must be <= max")]
+    fn rect_rejects_inverted_corners() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn rect_grid_covers_corners() {
+        let r = Rect::square(10.0);
+        let g = r.grid(3);
+        assert_eq!(g.len(), 9);
+        assert!(g.contains(&Point::new(0.0, 0.0)));
+        assert!(g.contains(&Point::new(10.0, 10.0)));
+        assert!(g.contains(&Point::new(5.0, 5.0)));
+        assert_eq!(r.grid(1), vec![r.center()]);
+    }
+
+    #[test]
+    fn median_of_two_points_lies_between() {
+        let anchors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let m = weighted_geometric_median(&anchors, &[1.0, 1.0], WeiszfeldOptions::default())
+            .unwrap();
+        // Any point on the segment is optimal; objective must be 10.
+        assert_close(m.objective, 10.0, 1e-6);
+        assert!(m.point.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_equilateral_triangle_is_fermat_point() {
+        // Equilateral triangle with side 1; Fermat point = centroid,
+        // objective = sqrt(3) (sum of distances = side * sqrt(3)).
+        let h = (3.0f64).sqrt() / 2.0;
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, h),
+        ];
+        let m = weighted_geometric_median(&anchors, &[1.0; 3], WeiszfeldOptions::default())
+            .unwrap();
+        let centroid = Point::centroid(&anchors).unwrap();
+        assert!(m.point.distance(&centroid).value() < 1e-5);
+        assert_close(m.objective, (3.0f64).sqrt(), 1e-6);
+    }
+
+    #[test]
+    fn heavy_weight_pulls_median_to_anchor() {
+        let anchors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let m = weighted_geometric_median(&anchors, &[100.0, 1.0], WeiszfeldOptions::default())
+            .unwrap();
+        // Weight 100 vs 1: optimum is exactly the heavy anchor.
+        assert!(m.point.distance(&anchors[0]).value() < 1e-6);
+    }
+
+    #[test]
+    fn median_stops_when_start_anchor_is_optimal() {
+        // Weighted centroid of x = (0, 10, 5) with weights (1, 1, 2) is x = 5,
+        // exactly the third anchor — and that anchor is the weighted 1-D
+        // median, so the Vardi–Zhang test must stop there immediately.
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.0),
+        ];
+        let m = weighted_geometric_median(&anchors, &[1.0, 1.0, 2.0], WeiszfeldOptions::default())
+            .unwrap();
+        assert!(m.point.distance(&Point::new(5.0, 0.0)).value() < 1e-9);
+    }
+
+    #[test]
+    fn median_starting_on_anchor_escapes_when_not_optimal() {
+        // Anchors x = (0, 9, 10) with weights (1, a, 9) have weighted
+        // centroid exactly 9 for every a, so the iterate starts on the middle
+        // anchor. With a = 0.5 the unique optimum is x = 10, so Weiszfeld
+        // must escape the anchor via the Vardi–Zhang correction.
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(9.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let m = weighted_geometric_median(&anchors, &[1.0, 0.5, 9.0], WeiszfeldOptions::default())
+            .unwrap();
+        assert!(m.point.is_finite());
+        assert!(
+            m.point.distance(&Point::new(10.0, 0.0)).value() < 1e-3,
+            "got {}",
+            m.point
+        );
+    }
+
+    #[test]
+    fn median_single_anchor_is_that_anchor() {
+        let m = weighted_geometric_median(
+            &[Point::new(3.0, 4.0)],
+            &[2.0],
+            WeiszfeldOptions::default(),
+        )
+        .unwrap();
+        assert!(m.point.distance(&Point::new(3.0, 4.0)).value() < 1e-9);
+        assert_close(m.objective, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn median_error_cases() {
+        let opts = WeiszfeldOptions::default();
+        assert_eq!(
+            weighted_geometric_median(&[], &[], opts).unwrap_err(),
+            GeometricMedianError::EmptyAnchors
+        );
+        assert_eq!(
+            weighted_geometric_median(&[Point::ORIGIN], &[1.0, 2.0], opts).unwrap_err(),
+            GeometricMedianError::LengthMismatch {
+                anchors: 1,
+                weights: 2
+            }
+        );
+        assert_eq!(
+            weighted_geometric_median(&[Point::ORIGIN], &[-1.0], opts).unwrap_err(),
+            GeometricMedianError::InvalidWeights
+        );
+        assert_eq!(
+            weighted_geometric_median(&[Point::ORIGIN, Point::ORIGIN], &[0.0, 0.0], opts)
+                .unwrap_err(),
+            GeometricMedianError::InvalidWeights
+        );
+    }
+
+    #[test]
+    fn median_beats_grid_search() {
+        // Weiszfeld's objective should be <= the best of a fine grid.
+        let anchors = [
+            Point::new(1.0, 2.0),
+            Point::new(8.0, 1.0),
+            Point::new(4.0, 9.0),
+            Point::new(6.0, 5.0),
+        ];
+        let weights = [1.0, 2.0, 1.5, 0.5];
+        let m =
+            weighted_geometric_median(&anchors, &weights, WeiszfeldOptions::default()).unwrap();
+        let best_grid = Rect::square(10.0)
+            .grid(60)
+            .iter()
+            .map(|p| weighted_distance_sum(p, &anchors, &weights))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            m.objective <= best_grid + 1e-3,
+            "weiszfeld {} vs grid {}",
+            m.objective,
+            best_grid
+        );
+    }
+}
+
+/// Lloyd's k-means over 2-D points: returns the cluster index of each
+/// point. Deterministic: centroids are seeded by a farthest-point sweep
+/// from the first point (k-means++-style but noise-free), ties break on
+/// index.
+///
+/// Empty clusters are re-seeded on the farthest point from its centroid,
+/// so exactly `min(k, points.len())` nonempty clusters come back.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans(points: &[Point], k: usize, max_iterations: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "k-means needs at least one point");
+    assert!(k >= 1, "k-means needs at least one cluster");
+    let k = k.min(points.len());
+
+    // Farthest-point initialization (deterministic).
+    let mut centers: Vec<Point> = vec![points[0]];
+    while centers.len() < k {
+        let far = points
+            .iter()
+            .enumerate()
+            .max_by(|(i, p), (j, q)| {
+                let dp = centers.iter().map(|c| p.distance_sq(c)).fold(f64::INFINITY, f64::min);
+                let dq = centers.iter().map(|c| q.distance_sq(c)).fold(f64::INFINITY, f64::min);
+                dp.total_cmp(&dq).then(j.cmp(i))
+            })
+            .map(|(_, p)| *p)
+            .expect("points is nonempty");
+        centers.push(far);
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..max_iterations.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centers
+                .iter()
+                .enumerate()
+                .min_by(|(a, ca), (b, cb)| {
+                    p.distance_sq(ca).total_cmp(&p.distance_sq(cb)).then(a.cmp(b))
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        for (c, center) in centers.iter_mut().enumerate() {
+            let members: Vec<Point> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| *p)
+                .collect();
+            match Point::centroid(&members) {
+                Some(new_center) => *center = new_center,
+                None => {
+                    // Re-seed an emptied cluster on the globally farthest
+                    // point from its current assignment's center.
+                    if let Some((i, p)) = points.iter().enumerate().max_by(|(_, p), (_, q)| {
+                        let dp = p.distance_sq(&centers_snapshot(points, &assignment, p));
+                        let dq = q.distance_sq(&centers_snapshot(points, &assignment, q));
+                        dp.total_cmp(&dq)
+                    }) {
+                        *center = *p;
+                        assignment[i] = c;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assignment
+}
+
+/// Centroid of the cluster a point currently belongs to (k-means helper).
+fn centers_snapshot(points: &[Point], assignment: &[usize], p: &Point) -> Point {
+    let idx = points
+        .iter()
+        .position(|q| q == p)
+        .expect("point comes from the slice");
+    let c = assignment[idx];
+    let members: Vec<Point> = points
+        .iter()
+        .zip(assignment)
+        .filter(|(_, &a)| a == c)
+        .map(|(q, _)| *q)
+        .collect();
+    Point::centroid(&members).unwrap_or(*p)
+}
+
+#[cfg(test)]
+mod kmeans_tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_clusters_separate() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(100.0, 100.0),
+            Point::new(101.0, 100.0),
+        ];
+        let a = kmeans(&pts, 2, 50);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[0], a[2]);
+        assert_eq!(a[3], a[4]);
+        assert_ne!(a[0], a[3]);
+    }
+
+    #[test]
+    fn k_larger_than_points_degenerates_gracefully() {
+        let pts = [Point::new(0.0, 0.0), Point::new(5.0, 5.0)];
+        let a = kmeans(&pts, 10, 10);
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1], "two points, two clusters");
+    }
+
+    #[test]
+    fn single_cluster_takes_everything() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
+        let a = kmeans(&pts, 1, 10);
+        assert!(a.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let pts: Vec<Point> = (0..30)
+            .map(|i| Point::new((i * 7 % 13) as f64, (i * 11 % 17) as f64))
+            .collect();
+        assert_eq!(kmeans(&pts, 4, 100), kmeans(&pts, 4, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn rejects_empty_input() {
+        let _ = kmeans(&[], 2, 10);
+    }
+}

@@ -1,0 +1,173 @@
+//! Movement modeling: trips, travel times and movement costs.
+//!
+//! Devices and chargers move in straight lines at constant speed. A
+//! [`Trip`] bundles the derived quantities schedulers and the testbed
+//! executor need: distance, duration and monetary cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccs_wrsn::mobility::Trip;
+//! use ccs_wrsn::geometry::Point;
+//! use ccs_wrsn::units::{MetersPerSecond, CostPerMeter};
+//!
+//! let trip = Trip::new(
+//!     Point::new(0.0, 0.0),
+//!     Point::new(3.0, 4.0),
+//!     MetersPerSecond::new(2.5),
+//!     CostPerMeter::new(0.1),
+//! );
+//! assert_eq!(trip.distance().value(), 5.0);
+//! assert_eq!(trip.duration().value(), 2.0);
+//! assert_eq!(trip.cost().value(), 0.5);
+//! ```
+
+use crate::geometry::Point;
+use crate::units::{Cost, CostPerMeter, Meters, MetersPerSecond, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A straight-line trip with its derived distance, duration and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trip {
+    from: Point,
+    to: Point,
+    speed: MetersPerSecond,
+    cost_rate: CostPerMeter,
+}
+
+impl Trip {
+    /// Creates a trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive or `cost_rate` negative.
+    pub fn new(from: Point, to: Point, speed: MetersPerSecond, cost_rate: CostPerMeter) -> Self {
+        assert!(
+            speed.is_finite() && speed > MetersPerSecond::ZERO,
+            "trip speed must be positive"
+        );
+        assert!(
+            cost_rate.is_finite() && cost_rate >= CostPerMeter::ZERO,
+            "trip cost rate must be nonnegative"
+        );
+        Trip {
+            from,
+            to,
+            speed,
+            cost_rate,
+        }
+    }
+
+    /// Departure point.
+    #[inline]
+    pub fn from(&self) -> Point {
+        self.from
+    }
+
+    /// Arrival point.
+    #[inline]
+    pub fn to(&self) -> Point {
+        self.to
+    }
+
+    /// Straight-line trip distance.
+    #[inline]
+    pub fn distance(&self) -> Meters {
+        self.from.distance(&self.to)
+    }
+
+    /// Travel time at constant speed.
+    #[inline]
+    pub fn duration(&self) -> Seconds {
+        self.distance() / self.speed
+    }
+
+    /// Monetary movement cost.
+    #[inline]
+    pub fn cost(&self) -> Cost {
+        self.cost_rate * self.distance()
+    }
+
+    /// Position `t` seconds after departure (clamped to the endpoints).
+    pub fn position_at(&self, t: Seconds) -> Point {
+        let total = self.duration();
+        if total <= Seconds::ZERO {
+            return self.to;
+        }
+        let frac = (t.max(Seconds::ZERO) / total).min(1.0);
+        self.from.lerp(&self.to, frac)
+    }
+}
+
+/// Total length of a polyline through `points`, in order.
+pub fn path_length(points: &[Point]) -> Meters {
+    points
+        .windows(2)
+        .map(|w| w[0].distance(&w[1]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_derived_quantities() {
+        let t = Trip::new(
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 8.0),
+            MetersPerSecond::new(5.0),
+            CostPerMeter::new(0.2),
+        );
+        assert_eq!(t.distance(), Meters::new(10.0));
+        assert_eq!(t.duration(), Seconds::new(2.0));
+        assert_eq!(t.cost(), Cost::new(2.0));
+        assert_eq!(t.from(), Point::new(0.0, 0.0));
+        assert_eq!(t.to(), Point::new(6.0, 8.0));
+    }
+
+    #[test]
+    fn position_at_interpolates_and_clamps() {
+        let t = Trip::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            MetersPerSecond::new(1.0),
+            CostPerMeter::ZERO,
+        );
+        assert_eq!(t.position_at(Seconds::new(5.0)), Point::new(5.0, 0.0));
+        assert_eq!(t.position_at(Seconds::new(-1.0)), Point::new(0.0, 0.0));
+        assert_eq!(t.position_at(Seconds::new(99.0)), Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn zero_length_trip() {
+        let p = Point::new(2.0, 2.0);
+        let t = Trip::new(p, p, MetersPerSecond::new(1.0), CostPerMeter::new(1.0));
+        assert_eq!(t.distance(), Meters::ZERO);
+        assert_eq!(t.cost(), Cost::ZERO);
+        assert_eq!(t.position_at(Seconds::new(3.0)), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "trip speed must be positive")]
+    fn rejects_zero_speed() {
+        let _ = Trip::new(
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            MetersPerSecond::ZERO,
+            CostPerMeter::ZERO,
+        );
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 10.0),
+        ];
+        assert_eq!(path_length(&pts), Meters::new(11.0));
+        assert_eq!(path_length(&pts[..1]), Meters::ZERO);
+        assert_eq!(path_length(&[]), Meters::ZERO);
+    }
+}

@@ -1,0 +1,217 @@
+//! `ccs` — command-line front end of the CCS reproduction stack.
+//!
+//! ```text
+//! ccs gen  --seed 1 --devices 20 --chargers 5 [--field 300] -o scenario.json
+//! ccs plan --scenario scenario.json [--algo ccsa|ccsga|ncp|opt]
+//!          [--sharing equal|proportional|shapley] [-o schedule.json]
+//! ccs replay --scenario scenario.json [--noise ideal|field]
+//!            [--breakdown P] [--noshow P] [--seed S]
+//! ccs lifetime --scenario scenario.json [--rounds R] [--policy ccsa|ccsga|ncp]
+//! ```
+//!
+//! Scenarios are plain JSON (the `ccs-wrsn` serde format), so workloads can
+//! be generated once and replayed across machines and algorithms.
+
+use ccs_repro::prelude::*;
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("error: {err}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&opts),
+        "plan" => cmd_plan(&opts),
+        "replay" => cmd_replay(&opts),
+        "lifetime" => cmd_lifetime(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: ccs <command> [flags]
+
+commands:
+  gen       generate a scenario        --seed N --devices N --chargers N [--field M] [-o FILE]
+  plan      schedule a scenario        --scenario FILE [--algo ccsa|ccsga|ncp|opt] [--sharing S] [-o FILE]
+  replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
+  lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .or_else(|| flag.strip_prefix('-'))
+            .ok_or_else(|| format!("expected a flag, got '{flag}'"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(opts: &Flags, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for --{key}")),
+        None => Ok(default),
+    }
+}
+
+fn load_scenario(opts: &Flags) -> Result<Scenario, String> {
+    let path = opts
+        .get("scenario")
+        .ok_or("missing --scenario FILE".to_string())?;
+    let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn sharing_from(opts: &Flags) -> Result<Box<dyn CostSharing>, String> {
+    match opts.get("sharing").map(String::as_str).unwrap_or("equal") {
+        "equal" => Ok(Box::new(EqualShare)),
+        "proportional" => Ok(Box::new(ProportionalShare)),
+        "shapley" => Ok(Box::new(ShapleyShare)),
+        other => Err(format!("unknown sharing scheme '{other}'")),
+    }
+}
+
+fn cmd_gen(opts: &Flags) -> Result<(), String> {
+    let seed: u64 = get(opts, "seed", 0)?;
+    let devices: usize = get(opts, "devices", 20)?;
+    let chargers: usize = get(opts, "chargers", 5)?;
+    let field: f64 = get(opts, "field", 300.0)?;
+    let scenario = ScenarioGenerator::new(seed)
+        .devices(devices)
+        .chargers(chargers)
+        .field_side(field)
+        .generate();
+    let json = serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?;
+    match opts.get("o") {
+        Some(path) => {
+            fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote scenario ({devices} devices, {chargers} chargers, seed {seed}) to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_plan(opts: &Flags) -> Result<(), String> {
+    let scenario = load_scenario(opts)?;
+    let problem = CcsProblem::new(scenario);
+    let sharing = sharing_from(opts)?;
+    let algo = opts.get("algo").map(String::as_str).unwrap_or("ccsa");
+    let schedule = match algo {
+        "ccsa" => ccsa(&problem, sharing.as_ref(), CcsaOptions::default()),
+        "ccsga" => {
+            let out = ccsga(&problem, sharing.as_ref(), CcsgaOptions::default());
+            eprintln!(
+                "ccsga: {} switches, {} rounds, Nash-stable: {}",
+                out.switches, out.rounds, out.nash_stable
+            );
+            out.schedule
+        }
+        "ncp" => noncooperation(&problem, sharing.as_ref()),
+        "opt" => optimal(&problem, sharing.as_ref(), OptimalOptions::default())
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    schedule.validate(&problem).map_err(|e| e.to_string())?;
+    eprintln!("{schedule}");
+    if let Some(path) = opts.get("o") {
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
+        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote schedule to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(opts: &Flags) -> Result<(), String> {
+    let scenario = load_scenario(opts)?;
+    let problem = CcsProblem::new(scenario);
+    let sharing = sharing_from(opts)?;
+    let seed: u64 = get(opts, "seed", 0)?;
+    let noise = match opts.get("noise").map(String::as_str).unwrap_or("field") {
+        "ideal" => NoiseModel::ideal(),
+        "field" => NoiseModel::field(),
+        other => return Err(format!("unknown noise model '{other}'")),
+    };
+    let failures = FailureModel {
+        charger_breakdown_prob: get(opts, "breakdown", 0.0)?,
+        device_no_show_prob: get(opts, "noshow", 0.0)?,
+    };
+    let plan = ccsa(&problem, sharing.as_ref(), CcsaOptions::default());
+    let run = execute_with_failures(&problem, &plan, sharing.as_ref(), &noise, &failures, seed);
+    println!(
+        "planned {:.2} $, realized {:.2} $, served {}/{} devices, makespan {:.1} s, mean wait {:.1} s",
+        plan.total_cost().value(),
+        run.total_cost().value(),
+        run.served.iter().filter(|s| **s).count(),
+        run.served.len(),
+        run.makespan.value(),
+        run.average_wait().value(),
+    );
+    Ok(())
+}
+
+fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
+    let scenario = load_scenario(opts)?;
+    let sharing = sharing_from(opts)?;
+    let rounds: usize = get(opts, "rounds", 20)?;
+    let seed: u64 = get(opts, "seed", 0)?;
+    let policy = match opts.get("policy").map(String::as_str).unwrap_or("ccsa") {
+        "ccsa" => Policy::Ccsa(CcsaOptions::default()),
+        "ccsga" => Policy::Ccsga(CcsgaOptions::default()),
+        "ncp" => Policy::Noncooperative,
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+    let config = LifetimeConfig {
+        rounds,
+        seed,
+        ..Default::default()
+    };
+    let report = run_lifetime(
+        &scenario,
+        &CostParams::default(),
+        sharing.as_ref(),
+        policy,
+        &config,
+    );
+    println!(
+        "{} over {rounds} rounds: OPEX {:.2} $, {} hires, {:.1} kJ purchased, survival {:.1}%",
+        policy.name(),
+        report.total_cost.value(),
+        report.hires,
+        report.energy_purchased.value() / 1000.0,
+        report.survival_rate * 100.0,
+    );
+    Ok(())
+}

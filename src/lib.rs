@@ -1,0 +1,45 @@
+//! # ccs-repro — Cooperative Charging as Service (ICDCS'21), reproduced in Rust
+//!
+//! Facade over the reproduction stack:
+//!
+//! * [`ccs_wrsn`] — WRSN world model (units, geometry, energy, WPT,
+//!   entities, scenario generation);
+//! * [`ccs_submodular`] — submodular optimization toolkit (Fujishige–Wolfe
+//!   SFM, Lovász extension, Dinkelbach density search);
+//! * [`ccs_coalition`] — coalition-formation game engine;
+//! * [`ccs_core`] — the CCS problem, cost model, cost sharing, and the
+//!   CCSA / CCSGA / NCP / OPT algorithms;
+//! * [`ccs_testbed`] — discrete-event replay of the paper's 5-charger /
+//!   8-node field testbed.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ccs_repro::prelude::*;
+//!
+//! let scenario = ScenarioGenerator::new(7).devices(20).chargers(5).generate();
+//! let problem = CcsProblem::new(scenario);
+//!
+//! let cooperative = ccsa(&problem, &EqualShare, CcsaOptions::default());
+//! let baseline = noncooperation(&problem, &EqualShare);
+//! let saving = saving_percent(cooperative.total_cost(), baseline.total_cost());
+//! assert!(saving >= 0.0, "cooperation never hurts");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ccs_coalition;
+pub use ccs_core;
+pub use ccs_submodular;
+pub use ccs_testbed;
+pub use ccs_wrsn;
+
+/// One-stop imports for applications built on the stack.
+pub mod prelude {
+    pub use ccs_coalition::prelude::*;
+    pub use ccs_core::prelude::*;
+    pub use ccs_submodular::prelude::*;
+    pub use ccs_testbed::prelude::*;
+    pub use ccs_wrsn::prelude::*;
+}

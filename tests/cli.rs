@@ -1,0 +1,138 @@
+//! Integration tests of the `ccs` command-line binary: gen → plan →
+//! replay → lifetime, end to end through real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ccs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccs"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ccs_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_plan_replay_lifetime_pipeline() {
+    let scenario = temp_path("scenario.json");
+    let schedule = temp_path("schedule.json");
+    let scenario_str = scenario.to_str().unwrap();
+    let schedule_str = schedule.to_str().unwrap();
+
+    // gen
+    let out = ccs(&[
+        "gen", "--seed", "7", "--devices", "10", "--chargers", "3", "-o", scenario_str,
+    ]);
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let json = std::fs::read_to_string(&scenario).unwrap();
+    let parsed: ccs_wrsn::scenario::Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed.devices().len(), 10);
+
+    // plan (every algorithm)
+    for algo in ["ccsa", "ccsga", "ncp", "opt"] {
+        let out = ccs(&[
+            "plan",
+            "--scenario",
+            scenario_str,
+            "--algo",
+            algo,
+            "-o",
+            schedule_str,
+        ]);
+        assert!(out.status.success(), "plan --algo {algo} failed: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("schedule"), "{algo}: {stderr}");
+        let schedule_json = std::fs::read_to_string(&schedule).unwrap();
+        assert!(schedule_json.contains("groups"), "{algo} wrote a schedule");
+    }
+
+    // replay
+    let out = ccs(&[
+        "replay",
+        "--scenario",
+        scenario_str,
+        "--noise",
+        "ideal",
+        "--seed",
+        "1",
+    ]);
+    assert!(out.status.success(), "replay failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served 10/10 devices"), "{stdout}");
+
+    // replay with failures serves fewer
+    let out = ccs(&[
+        "replay",
+        "--scenario",
+        scenario_str,
+        "--noshow",
+        "1.0",
+        "--seed",
+        "1",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served 0/10 devices"), "{stdout}");
+
+    // lifetime
+    let out = ccs(&[
+        "lifetime",
+        "--scenario",
+        scenario_str,
+        "--rounds",
+        "5",
+        "--policy",
+        "ccsga",
+    ]);
+    assert!(out.status.success(), "lifetime failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("over 5 rounds"), "{stdout}");
+
+    let _ = std::fs::remove_file(&scenario);
+    let _ = std::fs::remove_file(&schedule);
+}
+
+#[test]
+fn bad_input_yields_clean_errors() {
+    // Unknown command.
+    let out = ccs(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing scenario file.
+    let out = ccs(&["plan", "--scenario", "/nonexistent/file.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reading"));
+
+    // Bad algorithm name.
+    let scenario = temp_path("err_scenario.json");
+    let scenario_str = scenario.to_str().unwrap();
+    assert!(ccs(&["gen", "--devices", "4", "--chargers", "2", "-o", scenario_str])
+        .status
+        .success());
+    let out = ccs(&["plan", "--scenario", scenario_str, "--algo", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+
+    // Flag without a value.
+    let out = ccs(&["gen", "--seed"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let _ = std::fs::remove_file(&scenario);
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = ccs(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["gen", "plan", "replay", "lifetime"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
