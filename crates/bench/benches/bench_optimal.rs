@@ -10,7 +10,10 @@ fn bench_optimal(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[6usize, 8, 10, 12] {
         let problem = CcsProblem::new(
-            ScenarioGenerator::new(n as u64).devices(n).chargers(4).generate(),
+            ScenarioGenerator::new(n as u64)
+                .devices(n)
+                .chargers(4)
+                .generate(),
         );
         group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
             b.iter(|| optimal(p, &EqualShare, OptimalOptions::default()).unwrap())
@@ -23,7 +26,10 @@ fn bench_noncoop(c: &mut Criterion) {
     let mut group = c.benchmark_group("noncoop");
     for &n in &[10usize, 50, 100] {
         let problem = CcsProblem::new(
-            ScenarioGenerator::new(n as u64).devices(n).chargers(10).generate(),
+            ScenarioGenerator::new(n as u64)
+                .devices(n)
+                .chargers(10)
+                .generate(),
         );
         group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
             b.iter(|| noncooperation(p, &EqualShare))
@@ -36,7 +42,10 @@ fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering_baseline");
     for &n in &[50usize, 200] {
         let problem = CcsProblem::new(
-            ScenarioGenerator::new(n as u64).devices(n).chargers(10).generate(),
+            ScenarioGenerator::new(n as u64)
+                .devices(n)
+                .chargers(10)
+                .generate(),
         );
         group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
             b.iter(|| clustering(p, &EqualShare, ClusterOptions::default()))

@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bill(n: usize) -> SeparableFn {
     // Deterministic pseudo-random weights that mix signs after the penalty.
-    let weights: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 97) as f64 / 10.0).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 97) as f64 / 10.0)
+        .collect();
     SeparableFn::new(weights, 25.0, CardinalityCurve::Sqrt, 3.0)
 }
 

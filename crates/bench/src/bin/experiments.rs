@@ -1,6 +1,11 @@
 //! CLI entry point of the experiment harness.
 //!
 //! Usage: `experiments [--out DIR] [ids...]`; no ids = run everything.
+//!
+//! Every experiment also writes `<out>/<id>.telemetry.json` — a
+//! `ccs-telemetry` RunReport isolating that experiment's counters and phase
+//! timings (the registry is reset between experiments) — and prints a
+//! one-line counter summary next to the timing line.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,14 +40,35 @@ fn main() -> ExitCode {
         ids = ccs_bench::exp::ALL.iter().map(|s| s.to_string()).collect();
     }
 
+    let registry = ccs_telemetry::global();
+    registry.enable();
+
     for id in &ids {
         println!("\n################ {id} ################");
+        registry.reset();
         let started = std::time::Instant::now();
         if let Err(err) = ccs_bench::exp::run(id, &out) {
             eprintln!("experiment {id} failed: {err}");
             return ExitCode::FAILURE;
         }
         println!("({id} finished in {:.1}s)", started.elapsed().as_secs_f64());
+
+        let report = registry.report();
+        let summary: Vec<String> = report
+            .counters
+            .iter()
+            .filter(|(_, v)| **v > 0)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        if !summary.is_empty() {
+            println!("telemetry: {}", summary.join(" "));
+        }
+        let path = out.join(format!("{id}.telemetry.json"));
+        if let Err(err) = std::fs::write(&path, report.to_json_pretty()) {
+            eprintln!("writing {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("telemetry report: {}", path.display());
     }
     println!("\nall results written to {}", out.display());
     ExitCode::SUCCESS

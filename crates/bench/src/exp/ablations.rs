@@ -9,8 +9,8 @@
 //!   identical costs for the exact engines, very different runtimes.
 
 use crate::exp::common::{mean_std, parallel_map, write_csv};
-use ccs_core::prelude::*;
 use ccs_coalition::engine::SwitchRule;
+use ccs_core::prelude::*;
 use ccs_wrsn::scenario::ScenarioGenerator;
 use std::io;
 use std::path::Path;
@@ -28,7 +28,10 @@ fn instance(seed: u64, n: usize) -> CcsProblem {
 /// Gathering-strategy ablation.
 pub fn abl_gathering(out: &Path) -> io::Result<()> {
     println!("== abl_gathering: gathering-point strategy (n = 50, m = 10, 10 seeds) ==");
-    println!("{:>12} {:>12} {:>12} {:>10}", "strategy", "total $", "vs best %", "ms");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "strategy", "total $", "vs best %", "ms"
+    );
     let strategies = [
         ("weiszfeld", GatheringStrategy::Weiszfeld),
         ("centroid", GatheringStrategy::Centroid),
@@ -67,7 +70,12 @@ pub fn abl_gathering(out: &Path) -> io::Result<()> {
         println!("{:>12} {:>12.2} {:>12.2} {:>10.1}", name, total, delta, ms);
         rows.push(format!("{name},{total:.4},{delta:.3},{ms:.3}"));
     }
-    write_csv(out, "abl_gathering.csv", "strategy,total_mean,delta_vs_best_pct,time_ms", &rows)?;
+    write_csv(
+        out,
+        "abl_gathering.csv",
+        "strategy,total_mean,delta_vs_best_pct,time_ms",
+        &rows,
+    )?;
     Ok(())
 }
 
@@ -111,13 +119,14 @@ pub fn abl_switch_rule(out: &Path) -> io::Result<()> {
             let (total, _) = mean_std(&runs.iter().map(|r| r[ri].0).collect::<Vec<_>>());
             let (switches, _) = mean_std(&runs.iter().map(|r| r[ri].1).collect::<Vec<_>>());
             let (rounds, _) = mean_std(&runs.iter().map(|r| r[ri].2).collect::<Vec<_>>());
-            let stable =
-                runs.iter().filter(|r| r[ri].3).count() as f64 / runs.len() as f64 * 100.0;
+            let stable = runs.iter().filter(|r| r[ri].3).count() as f64 / runs.len() as f64 * 100.0;
             println!(
                 "{:>6} {:>12} {:>12.1} {:>10.1} {:>8.1} {:>8.0}",
                 n, name, total, switches, rounds, stable
             );
-            rows.push(format!("{n},{name},{total:.4},{switches:.2},{rounds:.2},{stable:.0}"));
+            rows.push(format!(
+                "{n},{name},{total:.4},{switches:.2},{rounds:.2},{stable:.0}"
+            ));
         }
     }
     write_csv(

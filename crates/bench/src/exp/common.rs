@@ -1,5 +1,5 @@
 //! Shared machinery of the experiment harness: output files, statistics
-//! and a scoped-thread parallel map for seed sweeps.
+//! and a `std::thread::scope`-based parallel map for seed sweeps.
 
 use parking_lot::Mutex;
 use std::fs;
@@ -24,15 +24,11 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_csv(
-    dir: &Path,
-    name: &str,
-    header: &str,
-    rows: &[String],
-) -> io::Result<PathBuf> {
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    let mut content = String::with_capacity(rows.iter().map(|r| r.len() + 1).sum::<usize>() + header.len() + 1);
+    let mut content =
+        String::with_capacity(rows.iter().map(|r| r.len() + 1).sum::<usize>() + header.len() + 1);
     content.push_str(header);
     content.push('\n');
     for row in rows {
@@ -71,13 +67,12 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
-    let results: Mutex<Vec<Option<U>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let next = work.lock().pop();
                 match next {
                     Some((idx, item)) => {
@@ -88,8 +83,7 @@ where
                 }
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
 
     results
         .into_inner()

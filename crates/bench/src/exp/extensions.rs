@@ -85,7 +85,9 @@ pub fn fig13(out: &Path) -> io::Result<()> {
 
 /// Robustness to charger breakdowns.
 pub fn fig14(out: &Path) -> io::Result<()> {
-    println!("== fig14: served fraction & realized cost vs breakdown rate (n = 12, m = 4, 20 seeds) ==");
+    println!(
+        "== fig14: served fraction & realized cost vs breakdown rate (n = 12, m = 4, 20 seeds) =="
+    );
     println!(
         "{:>8} {:>14} {:>14} {:>14} {:>14}",
         "p_break", "ccsa served %", "ncp served %", "ccsa real $", "ncp real $"
@@ -208,13 +210,9 @@ pub fn fig15(out: &Path) -> io::Result<()> {
             .expect("n = 8 fits the exact solver");
         let game = ccsga(&problem, &EqualShare, CcsgaOptions::default());
         let poa = game.schedule.total_cost() / exact.total_cost();
-        let ne_core_stable = is_core_stable(
-            &problem,
-            &game.schedule,
-            ccs_wrsn::units::Cost::new(1e-6),
-        );
-        let opt_core_stable =
-            is_core_stable(&problem, &exact, ccs_wrsn::units::Cost::new(1e-6));
+        let ne_core_stable =
+            is_core_stable(&problem, &game.schedule, ccs_wrsn::units::Cost::new(1e-6));
+        let opt_core_stable = is_core_stable(&problem, &exact, ccs_wrsn::units::Cost::new(1e-6));
         (poa, game.nash_stable, ne_core_stable, opt_core_stable)
     });
 

@@ -57,7 +57,10 @@ pub fn table2(out: &Path) -> io::Result<f64> {
     let _ = writeln!(md, "# Table 2 — field experiment ({TRIALS} noisy trials)\n");
     let _ = writeln!(md, "| metric | CCSA | CCSGA | NCP |");
     let _ = writeln!(md, "|---|---|---|---|");
-    let _ = writeln!(md, "| planned total cost ($) | {ccsa_plan:.2} | — | {ncp_plan:.2} |");
+    let _ = writeln!(
+        md,
+        "| planned total cost ($) | {ccsa_plan:.2} | — | {ncp_plan:.2} |"
+    );
     let _ = writeln!(
         md,
         "| realized total cost ($) | {ccsa_real:.2} ± {ccsa_real_std:.2} | {ccsga_real:.2} | {ncp_real:.2} ± {ncp_real_std:.2} |"

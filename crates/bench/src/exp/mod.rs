@@ -2,8 +2,8 @@
 //! (see the per-experiment index in `DESIGN.md`).
 
 pub mod ablations;
-pub mod extensions;
 pub mod common;
+pub mod extensions;
 pub mod field_exp;
 pub mod params;
 pub mod plot;

@@ -12,35 +12,83 @@ use std::path::Path;
 pub fn table1(out: &Path) -> io::Result<()> {
     // Generate a reference scenario and report observed ranges, so the
     // table reflects what the generator actually does.
-    let s = ScenarioGenerator::new(0).devices(500).chargers(100).generate();
+    let s = ScenarioGenerator::new(0)
+        .devices(500)
+        .chargers(100)
+        .generate();
     let min_max = |xs: Vec<f64>| {
         let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (lo, hi)
     };
     let demand = min_max(s.devices().iter().map(|d| d.demand().value()).collect());
-    let kappa = min_max(s.devices().iter().map(|d| d.move_cost_rate().value()).collect());
+    let kappa = min_max(
+        s.devices()
+            .iter()
+            .map(|d| d.move_cost_rate().value())
+            .collect(),
+    );
     let fee = min_max(s.chargers().iter().map(|c| c.base_fee().value()).collect());
-    let tau = min_max(s.chargers().iter().map(|c| c.travel_cost_rate().value()).collect());
-    let price = min_max(s.chargers().iter().map(|c| c.energy_price().value()).collect());
-    let eta = min_max(s.chargers().iter().map(|c| c.occupancy_rate().value()).collect());
+    let tau = min_max(
+        s.chargers()
+            .iter()
+            .map(|c| c.travel_cost_rate().value())
+            .collect(),
+    );
+    let price = min_max(
+        s.chargers()
+            .iter()
+            .map(|c| c.energy_price().value())
+            .collect(),
+    );
+    let eta = min_max(
+        s.chargers()
+            .iter()
+            .map(|c| c.occupancy_rate().value())
+            .collect(),
+    );
     let noise = NoiseModel::field();
 
     let mut md = String::new();
     let _ = writeln!(md, "# Table 1 — simulation parameter settings\n");
     let _ = writeln!(md, "| parameter | value |");
     let _ = writeln!(md, "|---|---|");
-    let _ = writeln!(md, "| field side | 300 m (default), swept 100–500 m in fig7 |");
-    let _ = writeln!(md, "| devices n | swept 10–100 (fig5), 4–12 vs OPT (fig8) |");
+    let _ = writeln!(
+        md,
+        "| field side | 300 m (default), swept 100–500 m in fig7 |"
+    );
+    let _ = writeln!(
+        md,
+        "| devices n | swept 10–100 (fig5), 4–12 vs OPT (fig8) |"
+    );
     let _ = writeln!(md, "| chargers m | 10 (default), swept 2–20 (fig6) |");
-    let _ = writeln!(md, "| energy demand w_i | {:.0}–{:.0} J |", demand.0, demand.1);
-    let _ = writeln!(md, "| device move cost κ_i | {:.3}–{:.3} $/m |", kappa.0, kappa.1);
+    let _ = writeln!(
+        md,
+        "| energy demand w_i | {:.0}–{:.0} J |",
+        demand.0, demand.1
+    );
+    let _ = writeln!(
+        md,
+        "| device move cost κ_i | {:.3}–{:.3} $/m |",
+        kappa.0, kappa.1
+    );
     let _ = writeln!(md, "| base service fee b_j | {:.1}–{:.1} $ |", fee.0, fee.1);
-    let _ = writeln!(md, "| charger travel cost τ_j | {:.3}–{:.3} $/m |", tau.0, tau.1);
-    let _ = writeln!(md, "| energy price π_j | {:.4}–{:.4} $/J |", price.0, price.1);
+    let _ = writeln!(
+        md,
+        "| charger travel cost τ_j | {:.3}–{:.3} $/m |",
+        tau.0, tau.1
+    );
+    let _ = writeln!(
+        md,
+        "| energy price π_j | {:.4}–{:.4} $/J |",
+        price.0, price.1
+    );
     let _ = writeln!(md, "| occupancy rate η_j | {:.1}–{:.1} $ |", eta.0, eta.1);
     let _ = writeln!(md, "| congestion curve g(k) | sqrt(k) |");
-    let _ = writeln!(md, "| gathering strategy | Weiszfeld weighted geometric median |");
+    let _ = writeln!(
+        md,
+        "| gathering strategy | Weiszfeld weighted geometric median |"
+    );
     let _ = writeln!(
         md,
         "| field noise | detour ×{:.2}±{:.2}, speed ±{:.0}%, WPT efficiency ×{:.2}±{:.2} |",

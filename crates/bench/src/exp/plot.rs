@@ -30,7 +30,10 @@ pub fn render(series: &[Series], width: usize, height: usize) -> String {
     assert!(!series.is_empty(), "nothing to plot");
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];
 
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "all series are empty");
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);

@@ -45,7 +45,10 @@ pub fn fig11(out: &Path) -> io::Result<()> {
                 let schedule = ccsa(&problem, scheme.as_ref(), CcsaOptions::default());
                 let costs = schedule.device_costs(problem.num_devices());
                 let fairness = jain_fairness(&costs);
-                let min = costs.iter().copied().fold(Cost::new(f64::INFINITY), Cost::min);
+                let min = costs
+                    .iter()
+                    .copied()
+                    .fold(Cost::new(f64::INFINITY), Cost::min);
                 let max = costs.iter().copied().fold(Cost::ZERO, Cost::max);
                 let violations = problem
                     .scenario()

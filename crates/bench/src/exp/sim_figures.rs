@@ -62,12 +62,7 @@ fn run_point(make: impl Fn(u64) -> ScenarioGenerator + Sync) -> PointStats {
     }
 }
 
-fn emit(
-    out: &Path,
-    file: &str,
-    x_name: &str,
-    points: Vec<(f64, PointStats)>,
-) -> io::Result<()> {
+fn emit(out: &Path, file: &str, x_name: &str, points: Vec<(f64, PointStats)>) -> io::Result<()> {
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
         x_name, "ccsa avg$", "ccsga avg$", "clu avg$", "ncp avg$", "ccsa save %", "ccsga save %"

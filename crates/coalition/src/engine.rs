@@ -91,7 +91,12 @@ enum Move {
 /// # Panics
 ///
 /// Panics if `initial.num_players() != game.num_players()`.
-pub fn run<G: HedonicGame>(game: &G, initial: Partition, options: EngineOptions) -> ConvergenceReport {
+pub fn run<G: HedonicGame>(
+    game: &G,
+    initial: Partition,
+    options: EngineOptions,
+) -> ConvergenceReport {
+    let _span = ccs_telemetry::span!("coalition_run");
     let n = game.num_players();
     assert_eq!(
         initial.num_players(),
@@ -148,9 +153,11 @@ pub fn run<G: HedonicGame>(game: &G, initial: Partition, options: EngineOptions)
         }
     }
 
+    ccs_telemetry::counter!("coalition.rounds").add(rounds as u64);
+    ccs_telemetry::counter!("coalition.switch_ops").add(switches as u64);
+
     let nash_stable = is_nash_stable(game, &partition, eps);
-    let final_social_cost =
-        game.social_cost(partition.coalitions().map(|(_, members)| members));
+    let final_social_cost = game.social_cost(partition.coalitions().map(|(_, members)| members));
     ConvergenceReport {
         partition,
         rounds,
@@ -174,26 +181,27 @@ fn best_move<G: HedonicGame>(
     options: EngineOptions,
 ) -> Option<(Move, f64)> {
     let eps = options.epsilon;
+    let prefs = ccs_telemetry::counter!("coalition.preference_evals");
+    let attempts = ccs_telemetry::counter!("coalition.switch_ops_attempted");
+    let cost = |p: usize, c: &BTreeSet<usize>| {
+        prefs.incr();
+        game.player_cost(p, c)
+    };
     let from_id = partition.coalition_of(player);
     let from_members = partition.members(from_id);
-    let current_cost = game.player_cost(player, from_members);
+    let current_cost = cost(player, from_members);
     let coalition_count = partition.num_coalitions();
 
     // Costs of the coalition left behind, before and after departure —
     // needed by the utilitarian rule.
     let mut residual: BTreeSet<usize> = from_members.clone();
     residual.remove(&player);
-    let from_cost_before: f64 = from_members
-        .iter()
-        .map(|&q| game.player_cost(q, from_members))
-        .sum();
-    let from_cost_after: f64 = residual
-        .iter()
-        .map(|&q| game.player_cost(q, &residual))
-        .sum();
+    let from_cost_before: f64 = from_members.iter().map(|&q| cost(q, from_members)).sum();
+    let from_cost_after: f64 = residual.iter().map(|&q| cost(q, &residual)).sum();
 
     let mut best: Option<(Move, f64)> = None;
     let mut consider = |mv: Move, gain: f64| {
+        attempts.incr();
         if gain > eps {
             match &best {
                 Some((_, g)) if *g >= gain => {}
@@ -212,7 +220,7 @@ fn best_move<G: HedonicGame>(
         if !game.coalition_feasible(&joined) {
             continue;
         }
-        let new_cost = game.player_cost(player, &joined);
+        let new_cost = cost(player, &joined);
         match options.rule {
             SwitchRule::SelfishWithHistory => {
                 if history[player].contains(&key_of(&joined)) {
@@ -223,16 +231,14 @@ fn best_move<G: HedonicGame>(
             SwitchRule::SelfishWithConsent => {
                 let harmed = members
                     .iter()
-                    .any(|&q| game.player_cost(q, &joined) > game.player_cost(q, members) + eps);
+                    .any(|&q| cost(q, &joined) > cost(q, members) + eps);
                 if !harmed {
                     consider(Move::Join(id), current_cost - new_cost);
                 }
             }
             SwitchRule::Utilitarian => {
-                let to_before: f64 =
-                    members.iter().map(|&q| game.player_cost(q, members)).sum();
-                let to_after: f64 =
-                    joined.iter().map(|&q| game.player_cost(q, &joined)).sum();
+                let to_before: f64 = members.iter().map(|&q| cost(q, members)).sum();
+                let to_after: f64 = joined.iter().map(|&q| cost(q, &joined)).sum();
                 let social_gain = (from_cost_before + to_before) - (from_cost_after + to_after);
                 consider(Move::Join(id), social_gain);
             }
@@ -248,7 +254,7 @@ fn best_move<G: HedonicGame>(
     {
         let solo = BTreeSet::from([player]);
         if game.coalition_feasible(&solo) {
-            let new_cost = game.player_cost(player, &solo);
+            let new_cost = cost(player, &solo);
             match options.rule {
                 // Going solo is the individual-rationality fallback: it is
                 // never blocked by history (see the module docs) and needs
@@ -350,8 +356,7 @@ mod tests {
     fn utilitarian_rule_never_increases_social_cost() {
         let game = line_game(6.0, 5);
         let initial = Partition::singletons(5);
-        let initial_cost =
-            game.social_cost(initial.coalitions().map(|(_, m)| m));
+        let initial_cost = game.social_cost(initial.coalitions().map(|(_, m)| m));
         let report = run(
             &game,
             initial,
@@ -390,7 +395,11 @@ mod tests {
             }
         }
         let game = Capped(line_game(0.1, 5));
-        let report = run(&game, Partition::grand_coalition(5), EngineOptions::default());
+        let report = run(
+            &game,
+            Partition::grand_coalition(5),
+            EngineOptions::default(),
+        );
         assert_eq!(report.partition.num_coalitions(), 1);
         assert_eq!(report.switches, 0);
     }
@@ -398,7 +407,11 @@ mod tests {
     #[test]
     fn starting_from_grand_coalition_also_converges() {
         let game = line_game(2.0, 5);
-        let report = run(&game, Partition::grand_coalition(5), EngineOptions::default());
+        let report = run(
+            &game,
+            Partition::grand_coalition(5),
+            EngineOptions::default(),
+        );
         assert!(report.converged);
         assert!(report.partition.is_consistent());
         // Fee 2 cannot justify the 0..11 spread: the far pair must break off.

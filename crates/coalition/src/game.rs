@@ -89,7 +89,10 @@ impl FeeSharingGame {
     /// Panics if the matrix is not square or `max_size == 0`.
     pub fn new(fee: f64, distance: Vec<Vec<f64>>, max_size: usize) -> Self {
         let n = distance.len();
-        assert!(distance.iter().all(|row| row.len() == n), "matrix not square");
+        assert!(
+            distance.iter().all(|row| row.len() == n),
+            "matrix not square"
+        );
         assert!(max_size >= 1, "max coalition size must be >= 1");
         FeeSharingGame {
             fee,

@@ -285,7 +285,10 @@ mod tests {
         let from = p.move_to_coalition(0, target);
         assert_eq!(from, CoalitionId(0));
         assert_eq!(p.coalition_of(0), target);
-        assert_eq!(p.members(target).iter().copied().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(
+            p.members(target).iter().copied().collect::<Vec<_>>(),
+            vec![0, 3]
+        );
         assert!(p.members(from).is_empty(), "old slot is a tombstone");
         assert_eq!(p.num_coalitions(), 3);
         assert!(p.is_consistent());

@@ -30,7 +30,6 @@
 
 use crate::algo::noncoop::solo_cost;
 use crate::cost::{best_facility, evaluate_facility, FacilityChoice};
-use std::collections::HashMap;
 use crate::gathering::gathering_point;
 use crate::problem::CcsProblem;
 use crate::schedule::{GroupPlan, Schedule};
@@ -42,6 +41,7 @@ use ccs_submodular::set_fn::SetFunction;
 use ccs_wrsn::entities::{ChargerId, DeviceId};
 use ccs_wrsn::geometry::Point;
 use ccs_wrsn::units::Cost;
+use std::collections::HashMap;
 
 /// Which engine solves the per-facility minimum-density subproblem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -105,27 +105,38 @@ impl Default for CcsaOptions {
 /// # Ok::<(), ccs_core::schedule::ScheduleError>(())
 /// ```
 pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOptions) -> Schedule {
+    let _span = ccs_telemetry::span!("ccsa");
     let n = problem.num_devices();
     let mut remaining: Vec<DeviceId> = problem.scenario().device_ids().collect();
     let mut committed: Vec<(ChargerId, Point, Vec<DeviceId>)> = Vec::new();
 
-    while !remaining.is_empty() {
-        let (charger, point, members) = best_round_group(problem, &remaining, options);
-        debug_assert!(!members.is_empty());
-        remaining.retain(|d| !members.contains(d));
-        committed.push((charger, point, members));
+    {
+        let _greedy = ccs_telemetry::span!("greedy");
+        let rounds = ccs_telemetry::counter!("ccsa.rounds");
+        while !remaining.is_empty() {
+            rounds.incr();
+            let (charger, point, members) = best_round_group(problem, &remaining, options);
+            debug_assert!(!members.is_empty());
+            remaining.retain(|d| !members.contains(d));
+            committed.push((charger, point, members));
+        }
     }
 
-    let mut groups: Vec<(ChargerId, Point, Vec<DeviceId>)> = committed
-        .into_iter()
-        .map(|(c, p, members)| refine(problem, c, p, members, options))
-        .collect();
+    let mut groups: Vec<(ChargerId, Point, Vec<DeviceId>)> = {
+        let _refine = ccs_telemetry::span!("refine");
+        committed
+            .into_iter()
+            .map(|(c, p, members)| refine(problem, c, p, members, options))
+            .collect()
+    };
 
     if options.local_improvement {
+        let _improve = ccs_telemetry::span!("local_improvement");
         local_improvement(problem, &mut groups);
     }
 
     if options.ir_repair {
+        let _repair = ccs_telemetry::span!("ir_repair");
         repair_individual_rationality(problem, sharing, &mut groups);
     }
 
@@ -161,9 +172,11 @@ fn best_round_group(
     }
 
     let mut best: Option<(f64, ChargerId, Point, Vec<DeviceId>)> = None;
+    let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
     for charger in problem.scenario().charger_ids() {
         let c = problem.charger(charger);
         for &point in &candidates {
+            facility_evals.incr();
             let fee = c.base_fee() + c.travel_cost_rate() * c.position().distance(&point);
             let weights: Vec<f64> = remaining
                 .iter()
@@ -215,12 +228,7 @@ fn min_density(
     if n == 0 {
         return None;
     }
-    let cap = problem
-        .params()
-        .max_group_size
-        .unwrap_or(n)
-        .min(n)
-        .max(1);
+    let cap = problem.params().max_group_size.unwrap_or(n).min(n).max(1);
 
     match options.minimizer {
         InnerMinimizer::PrefixScan => prefix_scan_density(f, demands, budget, cap),
@@ -336,11 +344,13 @@ fn greedy_accretion_density(
 
 /// The congestion part of the bill as a function of cardinality.
 fn subset_eval_parts(f: &SeparableFn) -> impl Fn(usize) -> f64 + '_ {
+    let oracle_evals = ccs_telemetry::counter!("sfm.oracle_evals");
     move |k| {
         // Reconstruct scale·g(k) from two evaluations to avoid exposing
         // internals: f({k cheapest}) − fee − Σweights = scale·g(k).
         // Cheaper: evaluate via the public SetFunction on an index prefix.
         use ccs_submodular::subset::Subset;
+        oracle_evals.incr();
         let s = Subset::from_indices(f.ground_size(), 0..k);
         let raw = f.eval(&s);
         let weights: f64 = (0..k).map(|i| f.weights()[i]).sum();
@@ -378,17 +388,14 @@ fn refine(
 /// re-picking each touched group's best facility. Each applied move
 /// strictly decreases a bounded-below total, and the loop is additionally
 /// capped, so it terminates.
-fn local_improvement(
-    problem: &CcsProblem,
-    groups: &mut Vec<(ChargerId, Point, Vec<DeviceId>)>,
-) {
+fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, Vec<DeviceId>)>) {
     const MAX_MOVES: usize = 1_000;
     let eps = 1e-9;
     // Facility pricing is by far the hot path here, and the same member
     // sets are re-priced on every scan; memoize by sorted member ids.
     let mut memo: HashMap<Vec<DeviceId>, FacilityChoice> = HashMap::new();
     let priced = |memo: &mut HashMap<Vec<DeviceId>, FacilityChoice>,
-                      sorted: &[DeviceId]|
+                  sorted: &[DeviceId]|
      -> FacilityChoice {
         if let Some(hit) = memo.get(sorted) {
             return hit.clone();
@@ -402,7 +409,9 @@ fn local_improvement(
         .map(|(c, p, members)| {
             let mut sorted = members.clone();
             sorted.sort();
-            evaluate_facility(problem, *c, &sorted, *p).group_cost().value()
+            evaluate_facility(problem, *c, &sorted, *p)
+                .group_cost()
+                .value()
         })
         .collect();
 
@@ -429,9 +438,7 @@ fn local_improvement(
                     }
                     let (joined_cost, old_dst_cost, dst_key) = if dst < groups.len() {
                         let (_, _, dst_members) = &groups[dst];
-                        if dst_members.is_empty()
-                            || !problem.group_size_ok(dst_members.len() + 1)
-                        {
+                        if dst_members.is_empty() || !problem.group_size_ok(dst_members.len() + 1) {
                             continue;
                         }
                         let mut joined = dst_members.clone();
@@ -451,8 +458,7 @@ fn local_improvement(
                         }
                         (priced(&mut memo, &[d]).group_cost().value(), 0.0, None)
                     };
-                    let gain =
-                        (cost_of[src] + old_dst_cost) - (residual_cost + joined_cost);
+                    let gain = (cost_of[src] + old_dst_cost) - (residual_cost + joined_cost);
                     if gain > eps {
                         match &best {
                             Some((_, _, _, g)) if *g >= gain => {}
@@ -462,7 +468,9 @@ fn local_improvement(
                 }
             }
         }
-        let Some((src, local, dst, _gain)) = best else { break };
+        let Some((src, local, dst, _gain)) = best else {
+            break;
+        };
         let d = groups[src].2.remove(local);
         match dst {
             Some(dst) => groups[dst].2.push(d),
@@ -472,7 +480,10 @@ fn local_improvement(
             }
         }
         // Re-pick facilities and refresh cached costs for touched groups.
-        for gi in [Some(src), dst.or(Some(groups.len() - 1))].into_iter().flatten() {
+        for gi in [Some(src), dst.or(Some(groups.len() - 1))]
+            .into_iter()
+            .flatten()
+        {
             if groups[gi].2.is_empty() {
                 cost_of[gi] = 0.0;
                 continue;
@@ -549,7 +560,12 @@ mod tests {
     use ccs_wrsn::scenario::{ParamRange, Placement, ScenarioGenerator};
 
     fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
-        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(m).generate())
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(m)
+                .generate(),
+        )
     }
 
     #[test]
@@ -590,7 +606,10 @@ mod tests {
         }
         // The paper reports ~7.3% above optimal on average; allow slack but
         // catch gross regressions.
-        assert!(worst_ratio < 1.35, "worst ratio {worst_ratio} too far from optimal");
+        assert!(
+            worst_ratio < 1.35,
+            "worst ratio {worst_ratio} too far from optimal"
+        );
     }
 
     #[test]
@@ -677,7 +696,10 @@ mod tests {
             .devices(12)
             .chargers(3)
             .field_side(60.0)
-            .device_placement(Placement::Clustered { count: 2, sigma: 3.0 })
+            .device_placement(Placement::Clustered {
+                count: 2,
+                sigma: 3.0,
+            })
             .base_fee_range(ParamRange::fixed(60.0))
             .generate();
         let p = CcsProblem::new(scenario);
@@ -751,8 +773,7 @@ mod budget_tests {
                     .validate(&p)
                     .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", schedule.algorithm()));
                 for g in schedule.groups() {
-                    let demand: Joules =
-                        g.members.iter().map(|&d| p.device(d).demand()).sum();
+                    let demand: Joules = g.members.iter().map(|&d| p.device(d).demand()).sum();
                     assert!(
                         p.charger(g.charger).can_deliver(demand),
                         "seed {seed} {}: group over budget",

@@ -165,6 +165,7 @@ pub fn ccsga(
     sharing: &dyn CostSharing,
     options: CcsgaOptions,
 ) -> CcsgaOutcome {
+    let _span = ccs_telemetry::span!("ccsga");
     let n = problem.num_devices();
     let game = CcsGame::new(problem, sharing);
     let initial = match options.initial {
@@ -186,6 +187,8 @@ pub fn ccsga(
             epsilon: options.epsilon,
         },
     );
+
+    ccs_telemetry::counter!("ccsga.coalition_cache_entries").add(game.cache.borrow().len() as u64);
 
     let mut plans: Vec<GroupPlan> = report
         .partition
@@ -222,7 +225,12 @@ mod tests {
     use ccs_wrsn::units::Cost;
 
     fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
-        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(m).generate())
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(m)
+                .generate(),
+        )
     }
 
     #[test]
@@ -285,7 +293,10 @@ mod tests {
             .devices(10)
             .chargers(3)
             .field_side(80.0)
-            .device_placement(Placement::Clustered { count: 2, sigma: 4.0 })
+            .device_placement(Placement::Clustered {
+                count: 2,
+                sigma: 4.0,
+            })
             .base_fee_range(ParamRange::fixed(50.0))
             .generate();
         let p = CcsProblem::new(scenario);

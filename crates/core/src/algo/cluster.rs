@@ -126,7 +126,12 @@ mod tests {
     use ccs_wrsn::units::Cost;
 
     fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
-        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(m).generate())
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(m)
+                .generate(),
+        )
     }
 
     #[test]
@@ -156,7 +161,10 @@ mod tests {
                 loses_to_ccsa += 1;
             }
         }
-        assert!(beats_ncp >= 5, "clustering shares fees: {beats_ncp}/6 wins vs NCP");
+        assert!(
+            beats_ncp >= 5,
+            "clustering shares fees: {beats_ncp}/6 wins vs NCP"
+        );
         assert!(
             loses_to_ccsa >= 5,
             "economics-aware CCSA beats geometry-only clustering: {loses_to_ccsa}/6"
@@ -202,6 +210,9 @@ mod tests {
             },
         );
         s.validate(&p).unwrap();
-        assert!(s.groups().len() <= 4, "2 clusters, modulo feasibility splits");
+        assert!(
+            s.groups().len() <= 4,
+            "2 clusters, modulo feasibility splits"
+        );
     }
 }

@@ -137,7 +137,9 @@ pub fn optimal(
         let group = choice[mask];
         debug_assert!(group != 0, "dp must cover every mask");
         let members = members_of(group);
-        let f = facility[group].clone().expect("admissible group was priced");
+        let f = facility[group]
+            .clone()
+            .expect("admissible group was priced");
         groups.push(GroupPlan::from_facility(problem, members, f, sharing));
         mask ^= group;
     }
@@ -166,14 +168,25 @@ mod tests {
     use ccs_wrsn::units::Cost;
 
     fn problem(seed: u64, n: usize) -> CcsProblem {
-        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(3).generate())
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(3)
+                .generate(),
+        )
     }
 
     #[test]
     fn rejects_large_instances() {
         let p = problem(1, 20);
         let err = optimal(&p, &EqualShare, OptimalOptions::default()).unwrap_err();
-        assert!(matches!(err, OptimalError::TooLarge { devices: 20, cap: 16 }));
+        assert!(matches!(
+            err,
+            OptimalError::TooLarge {
+                devices: 20,
+                cap: 16
+            }
+        ));
         assert!(err.to_string().contains("exponential"));
     }
 
@@ -248,7 +261,10 @@ mod tests {
             .devices(6)
             .chargers(2)
             .field_side(50.0)
-            .device_placement(Placement::Clustered { count: 1, sigma: 2.0 })
+            .device_placement(Placement::Clustered {
+                count: 1,
+                sigma: 2.0,
+            })
             .base_fee_range(ParamRange::fixed(50.0))
             .generate();
         let p = CcsProblem::new(scenario);

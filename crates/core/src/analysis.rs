@@ -139,7 +139,12 @@ mod tests {
     use ccs_wrsn::scenario::ScenarioGenerator;
 
     fn problem(seed: u64, n: usize) -> CcsProblem {
-        CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(3).generate())
+        CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(n)
+                .chargers(3)
+                .generate(),
+        )
     }
 
     #[test]

@@ -73,8 +73,7 @@ pub fn group_bill(
         base_fee: c.base_fee(),
         charger_travel: c.travel_cost_rate() * c.position().distance(point),
         energy,
-        congestion: c.occupancy_rate()
-            * problem.params().congestion_curve.eval(members.len()),
+        congestion: c.occupancy_rate() * problem.params().congestion_curve.eval(members.len()),
     }
 }
 

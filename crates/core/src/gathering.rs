@@ -34,7 +34,12 @@ pub enum GatheringStrategy {
 }
 
 /// The spatial objective `τ_j·d(q_j,p) + Σ κ_i·d(p_i,p)` at candidate `p`.
-pub fn spatial_cost(problem: &CcsProblem, charger: ChargerId, members: &[DeviceId], p: &Point) -> f64 {
+pub fn spatial_cost(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    p: &Point,
+) -> f64 {
     let c = problem.charger(charger);
     let mut total = c.travel_cost_rate().value() * c.position().distance(p).value();
     for &d in members {
@@ -61,8 +66,10 @@ pub fn gathering_point(
     let field = problem.scenario().field();
     match strategy {
         GatheringStrategy::Weiszfeld => {
-            let mut anchors: Vec<Point> =
-                members.iter().map(|&d| problem.device(d).position()).collect();
+            let mut anchors: Vec<Point> = members
+                .iter()
+                .map(|&d| problem.device(d).position())
+                .collect();
             let mut weights: Vec<f64> = members
                 .iter()
                 .map(|&d| problem.device(d).move_cost_rate().value())
@@ -79,8 +86,10 @@ pub fn gathering_point(
             field.clamp(median.point)
         }
         GatheringStrategy::Centroid => {
-            let anchors: Vec<Point> =
-                members.iter().map(|&d| problem.device(d).position()).collect();
+            let anchors: Vec<Point> = members
+                .iter()
+                .map(|&d| problem.device(d).position())
+                .collect();
             field.clamp(Point::centroid(&anchors).expect("nonempty members"))
         }
         GatheringStrategy::BestMember => members
@@ -166,7 +175,12 @@ mod tests {
     fn best_member_returns_a_member_position() {
         let p = problem();
         let members = ids(&[2, 4, 6]);
-        let g = gathering_point(&p, ChargerId::new(0), &members, GatheringStrategy::BestMember);
+        let g = gathering_point(
+            &p,
+            ChargerId::new(0),
+            &members,
+            GatheringStrategy::BestMember,
+        );
         assert!(members
             .iter()
             .any(|&d| p.device(d).position().distance(&g).value() < 1e-12));
@@ -183,7 +197,10 @@ mod tests {
             GatheringStrategy::Grid(3),
         ] {
             let g = gathering_point(&p, ChargerId::new(2), &members, strategy);
-            assert!(p.scenario().field().contains(&g), "{strategy:?} left the field");
+            assert!(
+                p.scenario().field().contains(&g),
+                "{strategy:?} left the field"
+            );
         }
     }
 

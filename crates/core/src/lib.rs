@@ -49,16 +49,17 @@ pub mod sharing;
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
     pub use crate::algo::{
-        ccsa, ccsga, clustering, noncooperation, optimal, CcsaOptions, CcsgaOptions,
-        CcsgaOutcome, ClusterOptions, InitialPartition, InnerMinimizer, OptimalError,
-        OptimalOptions,
+        ccsa, ccsga, clustering, noncooperation, optimal, CcsaOptions, CcsgaOptions, CcsgaOutcome,
+        ClusterOptions, InitialPartition, InnerMinimizer, OptimalError, OptimalOptions,
     };
     pub use crate::analysis::{
         find_blocking_coalition, individual_rationality_violations, is_core_stable,
         BlockingCoalition,
     };
     pub use crate::cost::{best_facility, FacilityChoice, GroupBill};
-    pub use crate::exclusive::{enforce_exclusivity, exclusivity_ratio, hungarian, ExclusivityError};
+    pub use crate::exclusive::{
+        enforce_exclusivity, exclusivity_ratio, hungarian, ExclusivityError,
+    };
     pub use crate::gathering::GatheringStrategy;
     pub use crate::lifetime::{run_lifetime, LifetimeConfig, LifetimeReport, Policy};
     pub use crate::metrics::{compare, gap_above_optimal_percent, jain_fairness, saving_percent};

@@ -46,7 +46,10 @@ pub fn gap_above_optimal_percent(candidate: Cost, optimal: Cost) -> f64 {
 ///
 /// Panics if `costs` is empty.
 pub fn jain_fairness(costs: &[Cost]) -> f64 {
-    assert!(!costs.is_empty(), "fairness of an empty vector is undefined");
+    assert!(
+        !costs.is_empty(),
+        "fairness of an empty vector is undefined"
+    );
     let sum: f64 = costs.iter().map(|c| c.value()).sum();
     let sum_sq: f64 = costs.iter().map(|c| c.value() * c.value()).sum();
     if sum_sq == 0.0 {
@@ -107,13 +110,71 @@ mod tests {
     #[test]
     fn gap_percent_basic() {
         assert!((gap_above_optimal_percent(Cost::new(107.3), Cost::new(100.0)) - 7.3).abs() < 1e-9);
-        assert_eq!(gap_above_optimal_percent(Cost::new(100.0), Cost::new(100.0)), 0.0);
+        assert_eq!(
+            gap_above_optimal_percent(Cost::new(100.0), Cost::new(100.0)),
+            0.0
+        );
     }
 
     #[test]
     #[should_panic(expected = "non-positive baseline")]
     fn saving_rejects_zero_baseline() {
         let _ = saving_percent(Cost::new(1.0), Cost::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "saving undefined against a non-positive baseline")]
+    fn saving_rejects_negative_baseline() {
+        let _ = saving_percent(Cost::new(1.0), Cost::new(-5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gap undefined against a non-positive optimum")]
+    fn gap_rejects_zero_optimum() {
+        let _ = gap_above_optimal_percent(Cost::new(1.0), Cost::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap undefined against a non-positive optimum")]
+    fn gap_rejects_negative_optimum() {
+        let _ = gap_above_optimal_percent(Cost::new(1.0), Cost::new(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness of an empty vector is undefined")]
+    fn jain_rejects_empty_vector() {
+        let _ = jain_fairness(&[]);
+    }
+
+    #[test]
+    fn jain_fairness_uniform_vectors_are_perfectly_fair() {
+        for n in 1..=6 {
+            let uniform = vec![Cost::new(13.7); n];
+            assert!(
+                (jain_fairness(&uniform) - 1.0).abs() < 1e-12,
+                "uniform vector of length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn jain_fairness_single_element_and_single_nonzero() {
+        // One device is always "fair to itself".
+        assert_eq!(jain_fairness(&[Cost::new(42.0)]), 1.0);
+        assert_eq!(jain_fairness(&[Cost::ZERO]), 1.0);
+        // One nonzero among n approaches the 1/n lower bound.
+        for n in [2usize, 5, 10] {
+            let mut v = vec![Cost::ZERO; n];
+            v[0] = Cost::new(9.0);
+            assert!((jain_fairness(&v) - 1.0 / n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jain_fairness_is_scale_invariant() {
+        let base = [Cost::new(1.0), Cost::new(4.0), Cost::new(2.5)];
+        let scaled: Vec<Cost> = base.iter().map(|c| *c * 1000.0).collect();
+        assert!((jain_fairness(&base) - jain_fairness(&scaled)).abs() < 1e-12);
     }
 
     #[test]

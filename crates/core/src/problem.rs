@@ -71,7 +71,10 @@ impl CcsProblem {
         // unschedulable (singletons are the universal fallback).
         for d in scenario.devices() {
             assert!(
-                scenario.chargers().iter().any(|c| c.can_deliver(d.demand())),
+                scenario
+                    .chargers()
+                    .iter()
+                    .any(|c| c.can_deliver(d.demand())),
                 "device {} demands {} but no charger's energy budget covers it",
                 d.id(),
                 d.demand()
@@ -129,7 +132,8 @@ impl CcsProblem {
 
     /// Whether one hire of `charger` can deliver the group's demand.
     pub fn charger_can_serve(&self, charger: ChargerId, members: &[DeviceId]) -> bool {
-        self.charger(charger).can_deliver(self.group_demand(members))
+        self.charger(charger)
+            .can_deliver(self.group_demand(members))
     }
 
     /// Whether the group is admissible at all: within the size cap and
@@ -247,8 +251,7 @@ mod budget_tests {
         let charger = Charger::builder(ChargerId::new(0), Point::new(5.0, 5.0))
             .energy_budget(Joules::new(1_000.0))
             .build();
-        let scenario =
-            ccs_wrsn::scenario::Scenario::new(field, vec![dev], vec![charger]).unwrap();
+        let scenario = ccs_wrsn::scenario::Scenario::new(field, vec![dev], vec![charger]).unwrap();
         let _ = CcsProblem::new(scenario);
     }
 

@@ -124,7 +124,10 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::NotAPartition { device, occurrences } => {
+            ScheduleError::NotAPartition {
+                device,
+                occurrences,
+            } => {
                 write!(f, "device {device} scheduled {occurrences} times")
             }
             ScheduleError::GroupTooLarge { group, size } => {
@@ -283,7 +286,11 @@ impl fmt::Display for Schedule {
             self.total_cost().value()
         )?;
         for (i, g) in self.groups.iter().enumerate() {
-            write!(f, "  group {i}: charger {} at {} members [", g.charger, g.gathering_point)?;
+            write!(
+                f,
+                "  group {i}: charger {} at {} members [",
+                g.charger, g.gathering_point
+            )?;
             for (k, d) in g.members.iter().enumerate() {
                 if k > 0 {
                     write!(f, " ")?;
@@ -344,17 +351,10 @@ mod tests {
     #[test]
     fn duplicated_device_fails_validation() {
         let p = problem(3);
-        let s = Schedule::new(
-            vec![plan(&p, &[0, 1]), plan(&p, &[1, 2])],
-            "test",
-            "equal",
-        );
+        let s = Schedule::new(vec![plan(&p, &[0, 1]), plan(&p, &[1, 2])], "test", "equal");
         assert!(matches!(
             s.validate(&p).unwrap_err(),
-            ScheduleError::NotAPartition {
-                occurrences: 2,
-                ..
-            }
+            ScheduleError::NotAPartition { occurrences: 2, .. }
         ));
     }
 

@@ -90,10 +90,7 @@ impl CostSharing for ProportionalShare {
         if total_demand <= 0.0 {
             return vec![total / members.len() as f64; members.len()];
         }
-        demands
-            .iter()
-            .map(|w| total * (w / total_demand))
-            .collect()
+        demands.iter().map(|w| total * (w / total_demand)).collect()
     }
 
     fn name(&self) -> &'static str {

@@ -111,9 +111,7 @@ pub fn brute_force_min_density<F: SetFunction>(f: &F) -> (Subset, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::set_fn::{
-        CardinalityCurve, ConcaveCardinality, FnSetFunction, Modular, SumFn,
-    };
+    use crate::set_fn::{CardinalityCurve, ConcaveCardinality, FnSetFunction, Modular, SumFn};
 
     #[test]
     fn modular_is_submodular_and_monotone_with_nonneg_weights() {

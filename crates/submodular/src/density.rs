@@ -31,7 +31,10 @@ impl fmt::Display for DensityError {
         match self {
             DensityError::EmptyGroundSet => write!(f, "ground set is empty"),
             DensityError::NotNormalized => {
-                write!(f, "set function must satisfy f(empty) = 0 for density search")
+                write!(
+                    f,
+                    "set function must satisfy f(empty) = 0 for density search"
+                )
             }
         }
     }
@@ -93,6 +96,12 @@ where
         best_ratio = ratio;
         best_set = s;
     }
+
+    ccs_telemetry::counter!("sfm.dinkelbach_calls").incr();
+    ccs_telemetry::counter!("sfm.dinkelbach_iters").add(iterations as u64);
+    // Singleton seeding plus the per-iteration ratio refresh are direct
+    // oracle evaluations outside the inner minimizer.
+    ccs_telemetry::counter!("sfm.oracle_evals").add(n as u64 + iterations as u64);
 
     Ok(DensityResult {
         minimizer: best_set,

@@ -34,6 +34,8 @@ fn order_by(w: &[f64]) -> Vec<usize> {
 pub fn greedy_vertex<F: SetFunction>(f: &F, w: &[f64]) -> Vec<f64> {
     let n = f.ground_size();
     assert_eq!(w.len(), n, "weight vector length mismatch");
+    // `n + 1` set-function evaluations: one per prefix plus `at_empty`.
+    ccs_telemetry::counter!("sfm.oracle_evals").add(n as u64 + 1);
     let order = order_by(w);
     let mut vertex = vec![0.0; n];
     let mut prefix = Subset::empty(n);
@@ -60,6 +62,7 @@ pub fn greedy_vertex<F: SetFunction>(f: &F, w: &[f64]) -> Vec<f64> {
 pub fn lovasz_extension<F: SetFunction>(f: &F, z: &[f64]) -> f64 {
     let n = f.ground_size();
     assert_eq!(z.len(), n, "argument length mismatch");
+    ccs_telemetry::counter!("sfm.lovasz_evals").incr();
     let neg: Vec<f64> = z.iter().map(|v| -v).collect();
     let vertex = greedy_vertex(f, &neg);
     z.iter().zip(&vertex).map(|(zi, vi)| zi * vi).sum()
@@ -143,7 +146,9 @@ mod tests {
             }
         });
         for s in all_subsets(4) {
-            let z: Vec<f64> = (0..4).map(|i| if s.contains(i) { 1.0 } else { 0.0 }).collect();
+            let z: Vec<f64> = (0..4)
+                .map(|i| if s.contains(i) { 1.0 } else { 0.0 })
+                .collect();
             let ext = lovasz_extension(&f, &z);
             assert!(
                 (ext - f.eval(&s)).abs() < 1e-9,

@@ -159,12 +159,7 @@ mod tests {
 
     #[test]
     fn separable_fn_is_submodular() {
-        let f = SeparableFn::new(
-            vec![1.0, -2.0, 3.0, 0.5],
-            5.0,
-            CardinalityCurve::Sqrt,
-            2.0,
-        );
+        let f = SeparableFn::new(vec![1.0, -2.0, 3.0, 0.5], 5.0, CardinalityCurve::Sqrt, 2.0);
         assert!(is_submodular(&f, 1e-9));
         assert_eq!(f.eval(&Subset::empty(4)), 0.0, "empty set pays nothing");
         let s = Subset::from_indices(4, [0, 1]);

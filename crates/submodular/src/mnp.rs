@@ -171,6 +171,7 @@ fn combine(points: &[Vec<f64>], coeffs: &[f64], n: usize) -> Vec<f64> {
 /// The caller is responsible for actually passing a *submodular* function;
 /// on non-submodular input the result is a heuristic local answer.
 pub fn minimize<F: SetFunction>(f: &F, options: MnpOptions) -> SfmResult {
+    ccs_telemetry::counter!("sfm.mnp_calls").incr();
     let n = f.ground_size();
     if n == 0 {
         return SfmResult {
@@ -294,6 +295,10 @@ pub fn minimize<F: SetFunction>(f: &F, options: MnpOptions) -> SfmResult {
         }
     }
 
+    ccs_telemetry::counter!("sfm.mnp_major_iters").add(major_iterations as u64);
+    // The extraction sweep above costs another `n` oracle evaluations.
+    ccs_telemetry::counter!("sfm.oracle_evals").add(n as u64);
+
     SfmResult {
         value: best_val + offset,
         minimizer: best_set,
@@ -366,7 +371,10 @@ mod tests {
         for lambda in [0.5, 2.0, 5.0, 10.0] {
             let bill = SumFn::new(vec![
                 Box::new(Modular::new(vec![3.0, 1.0, 4.0, 1.5, 2.5])) as Box<dyn SetFunction>,
-                Box::new(FnSetFunction::new(5, |s| if s.is_empty() { 0.0 } else { 6.0 })),
+                Box::new(FnSetFunction::new(
+                    5,
+                    |s| if s.is_empty() { 0.0 } else { 6.0 },
+                )),
                 Box::new(ConcaveCardinality::new(5, CardinalityCurve::Sqrt, 2.0)),
             ])
             .unwrap();

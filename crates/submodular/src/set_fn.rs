@@ -387,10 +387,7 @@ pub struct FnSetFunction {
 
 impl FnSetFunction {
     /// Wraps a closure as a set function.
-    pub fn new(
-        ground_size: usize,
-        f: impl Fn(&Subset) -> f64 + Send + Sync + 'static,
-    ) -> Self {
+    pub fn new(ground_size: usize, f: impl Fn(&Subset) -> f64 + Send + Sync + 'static) -> Self {
         FnSetFunction {
             ground_size,
             f: Arc::new(f),
@@ -490,8 +487,8 @@ mod tests {
     fn sum_fn_rejects_mismatch_and_empty() {
         let err = SumFn::<Modular>::new(vec![]).unwrap_err();
         assert!(err.to_string().contains("no terms"));
-        let err = SumFn::new(vec![Modular::new(vec![1.0]), Modular::new(vec![1.0, 2.0])])
-            .unwrap_err();
+        let err =
+            SumFn::new(vec![Modular::new(vec![1.0]), Modular::new(vec![1.0, 2.0])]).unwrap_err();
         assert!(err.to_string().contains("mismatch"));
     }
 

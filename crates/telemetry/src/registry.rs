@@ -1,0 +1,335 @@
+//! The metrics registry: named counters, gauges, and timers.
+
+use crate::report::{RunReport, TimerStats};
+use crate::sink::EventSink;
+use crate::span::Span;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on retained per-timer samples; beyond it, samples are overwritten
+/// pseudo-randomly so percentiles stay representative with bounded memory.
+const SAMPLE_CAP: usize = 4096;
+
+#[derive(Debug, Default)]
+pub(crate) struct TimerData {
+    pub(crate) count: u64,
+    pub(crate) total_s: f64,
+    pub(crate) min_s: f64,
+    pub(crate) max_s: f64,
+    pub(crate) samples: Vec<f64>,
+}
+
+impl TimerData {
+    fn record(&mut self, seconds: f64) {
+        if self.count == 0 {
+            self.min_s = seconds;
+            self.max_s = seconds;
+        } else {
+            self.min_s = self.min_s.min(seconds);
+            self.max_s = self.max_s.max(seconds);
+        }
+        self.count += 1;
+        self.total_s += seconds;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(seconds);
+        } else {
+            // Weyl-sequence slot choice: cheap, deterministic, well spread.
+            let slot = (self.count.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+            self.samples[slot % SAMPLE_CAP] = seconds;
+        }
+    }
+
+    pub(crate) fn stats(&self) -> TimerStats {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let percentile = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank]
+        };
+        TimerStats {
+            count: self.count,
+            total_ms: self.total_s * 1e3,
+            min_ms: if self.count == 0 {
+                0.0
+            } else {
+                self.min_s * 1e3
+            },
+            max_ms: self.max_s * 1e3,
+            mean_ms: if self.count == 0 {
+                0.0
+            } else {
+                self.total_s / self.count as f64 * 1e3
+            },
+            p50_ms: percentile(0.50) * 1e3,
+            p95_ms: percentile(0.95) * 1e3,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Tables {
+    pub(crate) counters: BTreeMap<String, Arc<AtomicU64>>,
+    pub(crate) gauges: BTreeMap<String, Arc<Mutex<f64>>>,
+    pub(crate) timers: BTreeMap<String, Arc<Mutex<TimerData>>>,
+    pub(crate) spans: BTreeMap<String, Arc<Mutex<TimerData>>>,
+}
+
+pub(crate) struct RegistryInner {
+    pub(crate) enabled: AtomicBool,
+    pub(crate) tables: Mutex<Tables>,
+    pub(crate) sink: Mutex<Option<EventSink>>,
+}
+
+/// A concurrent registry of named metrics.
+///
+/// Cloning is cheap (an `Arc` bump) and all clones share state. Metric
+/// handles ([`Counter`], [`Gauge`], [`Timer`]) stay valid for the life of
+/// the registry and are meant to be hoisted out of hot loops.
+#[derive(Clone)]
+pub struct Registry {
+    pub(crate) inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates a disabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                enabled: AtomicBool::new(false),
+                tables: Mutex::new(Tables::default()),
+                sink: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off (handles keep working, recording becomes a
+    /// no-op).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut tables = self.inner.tables.lock();
+        let cell = tables
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter {
+            inner: self.inner.clone(),
+            value: cell,
+        }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut tables = self.inner.tables.lock();
+        let cell = tables
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(0.0)))
+            .clone();
+        Gauge {
+            inner: self.inner.clone(),
+            value: cell,
+        }
+    }
+
+    /// Returns (registering on first use) the timer named `name`.
+    pub fn timer(&self, name: &str) -> Timer {
+        let mut tables = self.inner.tables.lock();
+        let cell = tables.timers.entry(name.to_string()).or_default().clone();
+        Timer {
+            inner: self.inner.clone(),
+            data: cell,
+        }
+    }
+
+    /// Opens a hierarchical timing span named `name`; its wall-clock time
+    /// is recorded when the returned guard drops, under a `/`-joined path
+    /// of the spans enclosing it on this thread (`plan/greedy/round`).
+    /// While the registry is disabled this is a no-op guard.
+    pub fn span(&self, name: &str) -> Span {
+        Span::open(self, name)
+    }
+
+    pub(crate) fn record_span(&self, path: &str, seconds: f64) {
+        let cell = {
+            let mut tables = self.inner.tables.lock();
+            tables.spans.entry(path.to_string()).or_default().clone()
+        };
+        cell.lock().record(seconds);
+    }
+
+    /// Routes span events (and [`Registry::emit`] calls) to a JSONL sink.
+    pub fn set_sink(&self, sink: EventSink) {
+        *self.inner.sink.lock() = Some(sink);
+    }
+
+    /// Writes one event line to the sink, if one is attached and the
+    /// registry is enabled. `fields` are merged into the event object.
+    pub fn emit(&self, event: &str, fields: &[(&str, serde_json::Value)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(sink) = self.inner.sink.lock().as_ref() {
+            sink.write_event(event, fields);
+        }
+    }
+
+    /// Snapshots every metric into a serializable report.
+    pub fn report(&self) -> RunReport {
+        let tables = self.inner.tables.lock();
+        RunReport {
+            counters: tables
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: tables
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), *v.lock()))
+                .collect(),
+            timers: tables
+                .timers
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().stats()))
+                .collect(),
+            spans: tables
+                .spans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().stats()))
+                .collect(),
+        }
+    }
+
+    /// Resets every metric to zero (the registrations survive, so hoisted
+    /// handles remain valid). Useful between experiment repetitions.
+    pub fn reset(&self) {
+        let tables = self.inner.tables.lock();
+        for v in tables.counters.values() {
+            v.store(0, Ordering::Relaxed);
+        }
+        for v in tables.gauges.values() {
+            *v.lock() = 0.0;
+        }
+        for v in tables.timers.values() {
+            *v.lock() = TimerData::default();
+        }
+        for v in tables.spans.values() {
+            *v.lock() = TimerData::default();
+        }
+    }
+}
+
+/// Monotonic event counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<RegistryInner>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`; a relaxed load plus branch while disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins numeric gauge handle.
+#[derive(Clone)]
+pub struct Gauge {
+    inner: Arc<RegistryInner>,
+    value: Arc<Mutex<f64>>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            *self.value.lock() = value;
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        *self.value.lock()
+    }
+}
+
+/// Wall-clock duration accumulator handle.
+#[derive(Clone)]
+pub struct Timer {
+    inner: Arc<RegistryInner>,
+    data: Arc<Mutex<TimerData>>,
+}
+
+impl Timer {
+    /// Records one observed duration.
+    #[inline]
+    pub fn record(&self, duration: Duration) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            self.data.lock().record(duration.as_secs_f64());
+        }
+    }
+
+    /// Records one observed duration given in seconds.
+    #[inline]
+    pub fn record_secs(&self, seconds: f64) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            self.data.lock().record(seconds);
+        }
+    }
+
+    /// Times `f`, records its wall-clock duration, and returns its output.
+    /// Skips the clock entirely while disabled.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        self.data.lock().record(start.elapsed().as_secs_f64());
+        out
+    }
+}

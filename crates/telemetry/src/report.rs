@@ -1,0 +1,49 @@
+//! Serializable snapshot of a registry.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics of one timer or span (milliseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimerStats {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub total_ms: f64,
+    /// Smallest observation (0 when empty).
+    pub min_ms: f64,
+    /// Largest observation (0 when empty).
+    pub max_ms: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean_ms: f64,
+    /// Median over the retained sample reservoir.
+    pub p50_ms: f64,
+    /// 95th percentile over the retained sample reservoir.
+    pub p95_ms: f64,
+}
+
+/// Point-in-time snapshot of every metric in a registry, produced by
+/// [`crate::Registry::report`] and written by the CLI `--report` flag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Explicit timers by name.
+    pub timers: BTreeMap<String, TimerStats>,
+    /// RAII span timings by `/`-joined hierarchical path.
+    pub spans: BTreeMap<String, TimerStats>,
+}
+
+impl RunReport {
+    /// Counter value, or 0 if never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serialization is infallible")
+    }
+}

@@ -1,0 +1,56 @@
+//! Line-delimited JSON event sink.
+
+use parking_lot::Mutex;
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// Appends one JSON object per event to a writer (typically a file opened
+/// via [`EventSink::create`]). Every line carries the event name and a
+/// monotonic `t_ms` timestamp relative to sink creation.
+pub struct EventSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    epoch: Instant,
+}
+
+impl EventSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<EventSink> {
+        let file = File::create(path)?;
+        Ok(EventSink::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (used by tests to capture events).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> EventSink {
+        EventSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+            epoch: Instant::now(),
+        }
+    }
+
+    pub(crate) fn write_event(&self, event: &str, fields: &[(&str, Value)]) {
+        let mut object = BTreeMap::new();
+        object.insert("event".to_string(), Value::String(event.to_string()));
+        object.insert(
+            "t_ms".to_string(),
+            Value::Number(Number::Float(self.epoch.elapsed().as_secs_f64() * 1e3)),
+        );
+        for (key, value) in fields {
+            object.insert((*key).to_string(), value.clone());
+        }
+        let line = serde_json::to_string(&Value::Object(object))
+            .expect("Value serialization is infallible");
+        let mut writer = self.writer.lock();
+        // Telemetry must never take down the run it observes; drop the
+        // line on I/O failure.
+        let _ = writeln!(writer, "{line}");
+        let _ = writer.flush();
+    }
+}

@@ -1,0 +1,77 @@
+//! Hierarchical RAII timing spans.
+
+use crate::registry::Registry;
+use serde_json::Value;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of open span names on this thread; joined with `/` it forms
+    /// the path new spans record under.
+    static SPAN_PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard that measures the wall-clock time between its creation and drop
+/// and records it under the span's hierarchical path. Obtained from
+/// [`Registry::span`]; a no-op when the registry is disabled.
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+struct SpanState {
+    registry: Registry,
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn open(registry: &Registry, name: &str) -> Span {
+        if !registry.is_enabled() {
+            return Span { state: None };
+        }
+        let path = SPAN_PATH.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}/{}", stack.join("/"), name)
+            };
+            stack.push(name.to_string());
+            path
+        });
+        Span {
+            state: Some(SpanState {
+                registry: registry.clone(),
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The `/`-joined path this span records under, if active.
+    pub fn path(&self) -> Option<&str> {
+        self.state.as_ref().map(|s| s.path.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let seconds = state.start.elapsed().as_secs_f64();
+            SPAN_PATH.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            state.registry.record_span(&state.path, seconds);
+            state.registry.emit(
+                "span",
+                &[
+                    ("path", Value::String(state.path.clone())),
+                    (
+                        "dur_ms",
+                        serde_json::Value::Number(serde_json::Number::Float(seconds * 1e3)),
+                    ),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Behavioural tests of the telemetry registry: aggregation, concurrency,
+//! enable/disable gating, span hierarchy, and report round-tripping.
+
+use ccs_telemetry::{Registry, RunReport};
+use std::time::Duration;
+
+#[test]
+fn counter_aggregates_adds_and_increments() {
+    let registry = Registry::new();
+    registry.enable();
+    let c = registry.counter("work.items");
+    c.incr();
+    c.add(41);
+    assert_eq!(c.get(), 42);
+    assert_eq!(registry.report().counter("work.items"), 42);
+    // Handles to the same name share the underlying cell.
+    let again = registry.counter("work.items");
+    again.incr();
+    assert_eq!(c.get(), 43);
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let registry = Registry::new();
+    let c = registry.counter("quiet");
+    let t = registry.timer("quiet_timer");
+    let g = registry.gauge("quiet_gauge");
+    c.add(10);
+    t.record(Duration::from_millis(5));
+    g.set(3.0);
+    let _span = registry.span("quiet_span");
+    drop(_span);
+    let report = registry.report();
+    assert_eq!(report.counter("quiet"), 0);
+    assert_eq!(report.timers["quiet_timer"].count, 0);
+    assert_eq!(report.gauges["quiet_gauge"], 0.0);
+    assert!(report.spans.is_empty(), "disabled spans never register");
+}
+
+#[test]
+fn reenabling_resumes_counting_on_the_same_handles() {
+    let registry = Registry::new();
+    let c = registry.counter("toggled");
+    c.incr(); // disabled: dropped
+    registry.enable();
+    c.incr();
+    registry.disable();
+    c.incr(); // dropped again
+    registry.enable();
+    c.incr();
+    assert_eq!(c.get(), 2);
+}
+
+#[test]
+fn timer_aggregation_tracks_extremes_and_mean() {
+    let registry = Registry::new();
+    registry.enable();
+    let t = registry.timer("step");
+    for ms in [10.0, 20.0, 60.0] {
+        t.record_secs(ms / 1e3);
+    }
+    let stats = &registry.report().timers["step"];
+    assert_eq!(stats.count, 3);
+    assert!((stats.min_ms - 10.0).abs() < 1e-9);
+    assert!((stats.max_ms - 60.0).abs() < 1e-9);
+    assert!((stats.mean_ms - 30.0).abs() < 1e-9);
+    assert!((stats.total_ms - 90.0).abs() < 1e-9);
+    // p50 of {10, 20, 60} is the middle sample; p95 the largest.
+    assert!((stats.p50_ms - 20.0).abs() < 1e-9);
+    assert!((stats.p95_ms - 60.0).abs() < 1e-9);
+}
+
+#[test]
+fn timer_time_returns_the_closure_output() {
+    let registry = Registry::new();
+    registry.enable();
+    let t = registry.timer("closure");
+    let out = t.time(|| 7 * 6);
+    assert_eq!(out, 42);
+    let stats = &registry.report().timers["closure"];
+    assert_eq!(stats.count, 1);
+    assert!(stats.total_ms >= 0.0);
+}
+
+#[test]
+fn timer_retention_stays_bounded_under_many_samples() {
+    let registry = Registry::new();
+    registry.enable();
+    let t = registry.timer("flood");
+    // Far more samples than the retention cap; aggregates must stay exact
+    // even though percentiles come from a bounded reservoir.
+    for i in 0..20_000u64 {
+        t.record_secs(i as f64 * 1e-6);
+    }
+    let stats = &registry.report().timers["flood"];
+    assert_eq!(stats.count, 20_000);
+    assert!((stats.max_ms - 19_999.0 * 1e-3).abs() < 1e-9);
+    assert!(stats.p50_ms > 0.0, "reservoir keeps representative samples");
+}
+
+#[test]
+fn concurrent_increments_do_not_lose_updates() {
+    let registry = Registry::new();
+    registry.enable();
+    let c = registry.counter("contended");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let c = c.clone();
+            scope.spawn(move || {
+                for _ in 0..10_000 {
+                    c.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 80_000);
+}
+
+#[test]
+fn spans_nest_into_slash_joined_paths() {
+    let registry = Registry::new();
+    registry.enable();
+    {
+        let _outer = registry.span("plan");
+        {
+            let _inner = registry.span("greedy");
+        }
+        {
+            let _inner = registry.span("greedy");
+        }
+    }
+    let report = registry.report();
+    assert_eq!(report.spans["plan"].count, 1);
+    assert_eq!(report.spans["plan/greedy"].count, 2);
+    assert!(
+        !report.spans.contains_key("greedy"),
+        "nesting prefixes the path"
+    );
+}
+
+#[test]
+fn report_serialization_round_trips() {
+    let registry = Registry::new();
+    registry.enable();
+    registry.counter("a.count").add(7);
+    registry.gauge("b.gauge").set(2.5);
+    registry.timer("c.timer").record_secs(0.125);
+    {
+        let _span = registry.span("d");
+    }
+    let report = registry.report();
+    let json = report.to_json_pretty();
+    let back: RunReport = serde_json::from_str(&json).expect("report JSON parses");
+    assert_eq!(back, report, "serialize → deserialize must be lossless");
+}
+
+#[test]
+fn reset_zeroes_metrics_but_keeps_handles_alive() {
+    let registry = Registry::new();
+    registry.enable();
+    let c = registry.counter("resettable");
+    c.add(5);
+    registry.timer("resettable_timer").record_secs(1.0);
+    registry.reset();
+    let report = registry.report();
+    assert_eq!(report.counter("resettable"), 0);
+    assert_eq!(report.timers["resettable_timer"].count, 0);
+    c.incr();
+    assert_eq!(c.get(), 1, "old handles keep working after a reset");
+}

@@ -161,9 +161,15 @@ mod tests {
         let n = 20_000;
         let mean_detour: f64 = (0..n).map(|_| m.detour(&mut rng)).sum::<f64>() / n as f64;
         // Clamping at 1.0 shifts the mean slightly above 1.25.
-        assert!((1.20..1.32).contains(&mean_detour), "mean detour {mean_detour}");
+        assert!(
+            (1.20..1.32).contains(&mean_detour),
+            "mean detour {mean_detour}"
+        );
         let mean_eff: f64 = (0..n).map(|_| m.efficiency(&mut rng)).sum::<f64>() / n as f64;
-        assert!((0.80..0.90).contains(&mean_eff), "mean efficiency {mean_eff}");
+        assert!(
+            (0.80..0.90).contains(&mean_eff),
+            "mean efficiency {mean_eff}"
+        );
     }
 
     #[test]

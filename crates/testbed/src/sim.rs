@@ -124,7 +124,14 @@ pub fn execute(
     noise: &NoiseModel,
     seed: u64,
 ) -> FieldOutcome {
-    execute_with_failures(problem, schedule, sharing, noise, &FailureModel::none(), seed)
+    execute_with_failures(
+        problem,
+        schedule,
+        sharing,
+        noise,
+        &FailureModel::none(),
+        seed,
+    )
 }
 
 /// Replays `schedule` under `noise` plus hard [`FailureModel`] failures.
@@ -146,6 +153,7 @@ pub fn execute_with_failures(
     failures: &FailureModel,
     seed: u64,
 ) -> FieldOutcome {
+    let _span = ccs_telemetry::span!("testbed_execute");
     noise.validate();
     failures.validate();
     schedule
@@ -268,7 +276,9 @@ pub fn execute_with_failures(
         }
     };
     let mut trace = Trace::new();
+    let events_emitted = ccs_telemetry::counter!("testbed.events_emitted");
     while let Some((now, ev)) = queue.pop() {
+        events_emitted.incr();
         match ev {
             Ev::DeviceArrived { group, local } => {
                 trace.record(
@@ -280,7 +290,14 @@ pub fn execute_with_failures(
                 states[group].arrival_time[local] = Some(now);
                 states[group].ready.push(local);
                 try_start_service(
-                    problem, groups, &mut states, &mut queue, group, now, &dev_eff, &mut wait,
+                    problem,
+                    groups,
+                    &mut states,
+                    &mut queue,
+                    group,
+                    now,
+                    &dev_eff,
+                    &mut wait,
                     &mut trace,
                 );
             }
@@ -298,7 +315,14 @@ pub fn execute_with_failures(
                     chain(&mut queue, now, group);
                 } else {
                     try_start_service(
-                        problem, groups, &mut states, &mut queue, group, now, &dev_eff, &mut wait,
+                        problem,
+                        groups,
+                        &mut states,
+                        &mut queue,
+                        group,
+                        now,
+                        &dev_eff,
+                        &mut wait,
                         &mut trace,
                     );
                 }
@@ -307,8 +331,7 @@ pub fn execute_with_failures(
                 let g = &groups[group];
                 let d = g.members[local];
                 trace.record(now.seconds(), TraceKind::ServiceCompleted { device: d });
-                energy_transmitted +=
-                    problem.device(d).demand() / dev_eff[d.index()];
+                energy_transmitted += problem.device(d).demand() / dev_eff[d.index()];
                 served[d.index()] = true;
                 makespan = makespan.max(now);
                 states[group].busy = false;
@@ -318,7 +341,14 @@ pub fn execute_with_failures(
                     chain(&mut queue, now, group);
                 } else {
                     try_start_service(
-                        problem, groups, &mut states, &mut queue, group, now, &dev_eff, &mut wait,
+                        problem,
+                        groups,
+                        &mut states,
+                        &mut queue,
+                        group,
+                        now,
+                        &dev_eff,
+                        &mut wait,
                         &mut trace,
                     );
                 }
@@ -357,9 +387,22 @@ pub fn execute_with_failures(
                 * problem.params().congestion_curve.eval(g.members.len()),
         };
         group_bills[gi] = realized_bill.total();
-        let shares = sharing.shares(problem, g.charger, &g.members, &g.gathering_point, &realized_bill);
+        let shares = sharing.shares(
+            problem,
+            g.charger,
+            &g.members,
+            &g.gathering_point,
+            &realized_bill,
+        );
         for (local, &d) in g.members.iter().enumerate() {
             device_costs[d.index()] = shares[local] + moving_cost[d.index()];
+        }
+    }
+
+    let wait_timer = ccs_telemetry::timer!("testbed.service_wait_s");
+    for (i, w) in wait.iter().enumerate() {
+        if served[i] {
+            wait_timer.record_secs(w.value());
         }
     }
 
@@ -479,7 +522,10 @@ mod tests {
         assert_eq!(a.device_costs, b.device_costs);
         assert_eq!(a.makespan, b.makespan);
         let c = execute(&p, &s, &EqualShare, &NoiseModel::field(), 8);
-        assert_ne!(a.device_costs, c.device_costs, "different seed, different run");
+        assert_ne!(
+            a.device_costs, c.device_costs,
+            "different seed, different run"
+        );
     }
 
     #[test]
@@ -490,7 +536,10 @@ mod tests {
             .devices(6)
             .chargers(2)
             .field_side(30.0)
-            .device_placement(Placement::Clustered { count: 1, sigma: 2.0 })
+            .device_placement(Placement::Clustered {
+                count: 1,
+                sigma: 2.0,
+            })
             .base_fee_range(ParamRange::fixed(80.0))
             .generate();
         let p = CcsProblem::new(scenario);
@@ -572,8 +621,7 @@ mod failure_sim_tests {
             charger_breakdown_prob: 1.0,
             device_no_show_prob: 0.0,
         };
-        let out =
-            execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        let out = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
         assert_eq!(out.served_fraction(), 0.0);
         assert_eq!(out.energy_transmitted, Joules::ZERO);
         // Hires refunded: devices pay their trip only.
@@ -592,8 +640,7 @@ mod failure_sim_tests {
             charger_breakdown_prob: 0.0,
             device_no_show_prob: 1.0,
         };
-        let out =
-            execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        let out = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
         assert_eq!(out.served_fraction(), 0.0);
         assert_eq!(out.energy_transmitted, Joules::ZERO);
         // Bills still include the base fee and travel (the hire happened),
@@ -635,12 +682,24 @@ mod failure_sim_tests {
             let p = problem(seed, 12, 4);
             let coop = ccsa(&p, &EqualShare, CcsaOptions::default());
             let solo = noncooperation(&p, &EqualShare);
-            coop_served +=
-                execute_with_failures(&p, &coop, &EqualShare, &NoiseModel::ideal(), &failures, seed)
-                    .served_fraction();
-            solo_served +=
-                execute_with_failures(&p, &solo, &EqualShare, &NoiseModel::ideal(), &failures, seed)
-                    .served_fraction();
+            coop_served += execute_with_failures(
+                &p,
+                &coop,
+                &EqualShare,
+                &NoiseModel::ideal(),
+                &failures,
+                seed,
+            )
+            .served_fraction();
+            solo_served += execute_with_failures(
+                &p,
+                &solo,
+                &EqualShare,
+                &NoiseModel::ideal(),
+                &failures,
+                seed,
+            )
+            .served_fraction();
         }
         assert!(
             coop_served >= solo_served,
@@ -660,7 +719,11 @@ mod trace_integration_tests {
     #[test]
     fn trace_covers_every_served_device() {
         let p = CcsProblem::new(
-            ScenarioGenerator::new(2).devices(8).chargers(3).field_side(60.0).generate(),
+            ScenarioGenerator::new(2)
+                .devices(8)
+                .chargers(3)
+                .field_side(60.0)
+                .generate(),
         );
         let s = ccsa(&p, &EqualShare, CcsaOptions::default());
         let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
@@ -669,7 +732,10 @@ mod trace_integration_tests {
             assert!(arrived.is_some(), "{d} must arrive");
             assert!(started.is_some(), "{d} must start charging");
             assert!(completed.is_some(), "{d} must finish");
-            assert!(arrived <= started && started <= completed, "{d} phases ordered");
+            assert!(
+                arrived <= started && started <= completed,
+                "{d} phases ordered"
+            );
         }
         // One charger arrival per group.
         let charger_arrivals = out
@@ -687,15 +753,18 @@ mod trace_integration_tests {
     #[test]
     fn no_shows_never_arrive_in_the_trace() {
         let p = CcsProblem::new(
-            ScenarioGenerator::new(3).devices(5).chargers(2).field_side(50.0).generate(),
+            ScenarioGenerator::new(3)
+                .devices(5)
+                .chargers(2)
+                .field_side(50.0)
+                .generate(),
         );
         let s = ccsa(&p, &EqualShare, CcsaOptions::default());
         let failures = FailureModel {
             charger_breakdown_prob: 0.0,
             device_no_show_prob: 1.0,
         };
-        let out =
-            execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        let out = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
         for d in p.scenario().device_ids() {
             let (arrived, started, _) = out.trace.device_phases(d);
             assert!(arrived.is_none(), "{d} no-showed");

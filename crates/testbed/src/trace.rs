@@ -143,7 +143,11 @@ impl Trace {
             }
             out.push_str(&format!("{d:>4} |{}|\n", row.iter().collect::<String>()));
         }
-        out.push_str(&format!("      0 s {:>width$.1} s\n", end, width = width.saturating_sub(4)));
+        out.push_str(&format!(
+            "      0 s {:>width$.1} s\n",
+            end,
+            width = width.saturating_sub(4)
+        ));
         out
     }
 }
@@ -155,7 +159,11 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{:>8.1}s] {device} arrived", self.time_s)
             }
             TraceKind::ChargerArrived { charger, group } => {
-                write!(f, "[{:>8.1}s] {charger} arrived at group {group}", self.time_s)
+                write!(
+                    f,
+                    "[{:>8.1}s] {charger} arrived at group {group}",
+                    self.time_s
+                )
             }
             TraceKind::ServiceStarted { device } => {
                 write!(f, "[{:>8.1}s] {device} charging", self.time_s)
@@ -173,7 +181,12 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new();
-        t.record(1.0, TraceKind::DeviceArrived { device: DeviceId::new(0) });
+        t.record(
+            1.0,
+            TraceKind::DeviceArrived {
+                device: DeviceId::new(0),
+            },
+        );
         t.record(
             2.0,
             TraceKind::ChargerArrived {
@@ -181,8 +194,18 @@ mod tests {
                 group: 0,
             },
         );
-        t.record(2.0, TraceKind::ServiceStarted { device: DeviceId::new(0) });
-        t.record(5.0, TraceKind::ServiceCompleted { device: DeviceId::new(0) });
+        t.record(
+            2.0,
+            TraceKind::ServiceStarted {
+                device: DeviceId::new(0),
+            },
+        );
+        t.record(
+            5.0,
+            TraceKind::ServiceCompleted {
+                device: DeviceId::new(0),
+            },
+        );
         t
     }
 

@@ -436,8 +436,8 @@ mod tests {
     #[test]
     fn median_of_two_points_lies_between() {
         let anchors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
-        let m = weighted_geometric_median(&anchors, &[1.0, 1.0], WeiszfeldOptions::default())
-            .unwrap();
+        let m =
+            weighted_geometric_median(&anchors, &[1.0, 1.0], WeiszfeldOptions::default()).unwrap();
         // Any point on the segment is optimal; objective must be 10.
         assert_close(m.objective, 10.0, 1e-6);
         assert!(m.point.y.abs() < 1e-6);
@@ -453,8 +453,8 @@ mod tests {
             Point::new(1.0, 0.0),
             Point::new(0.5, h),
         ];
-        let m = weighted_geometric_median(&anchors, &[1.0; 3], WeiszfeldOptions::default())
-            .unwrap();
+        let m =
+            weighted_geometric_median(&anchors, &[1.0; 3], WeiszfeldOptions::default()).unwrap();
         let centroid = Point::centroid(&anchors).unwrap();
         assert!(m.point.distance(&centroid).value() < 1e-5);
         assert_close(m.objective, (3.0f64).sqrt(), 1e-6);
@@ -507,12 +507,9 @@ mod tests {
 
     #[test]
     fn median_single_anchor_is_that_anchor() {
-        let m = weighted_geometric_median(
-            &[Point::new(3.0, 4.0)],
-            &[2.0],
-            WeiszfeldOptions::default(),
-        )
-        .unwrap();
+        let m =
+            weighted_geometric_median(&[Point::new(3.0, 4.0)], &[2.0], WeiszfeldOptions::default())
+                .unwrap();
         assert!(m.point.distance(&Point::new(3.0, 4.0)).value() < 1e-9);
         assert_close(m.objective, 0.0, 1e-9);
     }
@@ -552,8 +549,7 @@ mod tests {
             Point::new(6.0, 5.0),
         ];
         let weights = [1.0, 2.0, 1.5, 0.5];
-        let m =
-            weighted_geometric_median(&anchors, &weights, WeiszfeldOptions::default()).unwrap();
+        let m = weighted_geometric_median(&anchors, &weights, WeiszfeldOptions::default()).unwrap();
         let best_grid = Rect::square(10.0)
             .grid(60)
             .iter()
@@ -591,8 +587,14 @@ pub fn kmeans(points: &[Point], k: usize, max_iterations: usize) -> Vec<usize> {
             .iter()
             .enumerate()
             .max_by(|(i, p), (j, q)| {
-                let dp = centers.iter().map(|c| p.distance_sq(c)).fold(f64::INFINITY, f64::min);
-                let dq = centers.iter().map(|c| q.distance_sq(c)).fold(f64::INFINITY, f64::min);
+                let dp = centers
+                    .iter()
+                    .map(|c| p.distance_sq(c))
+                    .fold(f64::INFINITY, f64::min);
+                let dq = centers
+                    .iter()
+                    .map(|c| q.distance_sq(c))
+                    .fold(f64::INFINITY, f64::min);
                 dp.total_cmp(&dq).then(j.cmp(i))
             })
             .map(|(_, p)| *p)
@@ -609,7 +611,9 @@ pub fn kmeans(points: &[Point], k: usize, max_iterations: usize) -> Vec<usize> {
                 .iter()
                 .enumerate()
                 .min_by(|(a, ca), (b, cb)| {
-                    p.distance_sq(ca).total_cmp(&p.distance_sq(cb)).then(a.cmp(b))
+                    p.distance_sq(ca)
+                        .total_cmp(&p.distance_sq(cb))
+                        .then(a.cmp(b))
                 })
                 .map(|(c, _)| c)
                 .expect("k >= 1");

@@ -101,10 +101,7 @@ impl Trip {
 
 /// Total length of a polyline through `points`, in order.
 pub fn path_length(points: &[Point]) -> Meters {
-    points
-        .windows(2)
-        .map(|w| w[0].distance(&w[1]))
-        .sum()
+    points.windows(2).map(|w| w[0].distance(&w[1])).sum()
 }
 
 #[cfg(test)]

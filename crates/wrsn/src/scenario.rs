@@ -410,9 +410,7 @@ impl ScenarioGenerator {
             .map(|(j, pos)| {
                 let mut b = Charger::builder(ChargerId::new(j as u32), pos)
                     .base_fee(Cost::new(self.base_fee.sample(&mut rng)))
-                    .travel_cost_rate(CostPerMeter::new(
-                        self.charger_travel_cost.sample(&mut rng),
-                    ))
+                    .travel_cost_rate(CostPerMeter::new(self.charger_travel_cost.sample(&mut rng)))
                     .energy_price(CostPerJoule::new(self.energy_price.sample(&mut rng)))
                     .occupancy_rate(Cost::new(self.occupancy_rate.sample(&mut rng)))
                     .speed(MetersPerSecond::new(self.charger_speed.sample(&mut rng)))

@@ -210,7 +210,10 @@ mod tests {
     #[test]
     fn zero_duration_delivers_nothing() {
         let m = WptModel::default();
-        assert_eq!(m.energy_delivered(Seconds::ZERO, Meters::new(0.1)), Joules::ZERO);
+        assert_eq!(
+            m.energy_delivered(Seconds::ZERO, Meters::new(0.1)),
+            Joules::ZERO
+        );
         assert_eq!(
             m.energy_delivered(Seconds::new(-5.0), Meters::new(0.1)),
             Joules::ZERO

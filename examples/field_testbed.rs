@@ -15,7 +15,10 @@ use ccs_repro::prelude::*;
 fn main() {
     let trials = 10u64;
     let noise = NoiseModel::field();
-    println!("field testbed: 8 nodes, 5 chargers, {} noisy trials\n", trials);
+    println!(
+        "field testbed: 8 nodes, 5 chargers, {} noisy trials\n",
+        trials
+    );
     println!(
         "{:>5} {:>13} {:>13} {:>13} {:>13} {:>10} {:>10}",
         "trial", "ccsa plan $", "ccsa real $", "ncp plan $", "ncp real $", "wait s", "makespan s"

@@ -36,7 +36,9 @@ fn main() {
         let ccsga_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         greedy.validate(&problem).expect("valid ccsa schedule");
-        game.schedule.validate(&problem).expect("valid ccsga schedule");
+        game.schedule
+            .validate(&problem)
+            .expect("valid ccsga schedule");
 
         println!(
             "{:>6} {:>12.1} {:>12.1} {:>11.1} {:>11.1} {:>9} {:>9} {:>6}",

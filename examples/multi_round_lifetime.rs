@@ -59,7 +59,8 @@ fn main() {
             None => baseline = Some(report.total_cost),
             Some(ncp) => println!(
                 "{:<8} season saving over noncooperation: {:.1}%",
-                "", saving_percent(report.total_cost, *ncp)
+                "",
+                saving_percent(report.total_cost, *ncp)
             ),
         }
     }
@@ -72,7 +73,11 @@ fn main() {
         Policy::Ccsa(CcsaOptions::default()),
         &config,
     );
-    let busy_rounds = report.per_round_cost.iter().filter(|c| **c > Cost::ZERO).count();
+    let busy_rounds = report
+        .per_round_cost
+        .iter()
+        .filter(|c| **c > Cost::ZERO)
+        .count();
     println!(
         "\nccsa bought charging in {busy_rounds}/{} rounds; peak round {:.2} $",
         config.rounds,

@@ -21,7 +21,10 @@ fn main() {
         .devices(24)
         .chargers(6)
         .field_side(400.0)
-        .device_placement(Placement::Clustered { count: 4, sigma: 25.0 })
+        .device_placement(Placement::Clustered {
+            count: 4,
+            sigma: 25.0,
+        })
         .base_fee_range(ParamRange::new(35.0, 55.0))
         .demand_range(ParamRange::new(3_000.0, 9_000.0))
         .generate();
@@ -41,7 +44,10 @@ fn main() {
             .expect("ccsa produces valid schedules");
         let costs = schedule.device_costs(problem.num_devices());
         let fairness = jain_fairness(&costs);
-        let min = costs.iter().copied().fold(Cost::new(f64::INFINITY), Cost::min);
+        let min = costs
+            .iter()
+            .copied()
+            .fold(Cost::new(f64::INFINITY), Cost::min);
         let max = costs.iter().copied().fold(Cost::ZERO, Cost::max);
         println!(
             "{:<14} total {:>9.2} $  saving {:>5.1}%  groups {:>2}  fairness {:.3}  per-device [{:.2}, {:.2}]",
@@ -70,7 +76,10 @@ fn main() {
         biggest.members.len(),
         biggest.bill.total().value(),
     );
-    println!("{:<6} {:>10} {:>10} {:>12} {:>12}", "device", "share $", "move $", "combined $", "solo $");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12}",
+        "device", "share $", "move $", "combined $", "solo $"
+    );
     for (idx, &d) in biggest.members.iter().enumerate() {
         let combined = biggest.member_cost(idx);
         let solo_cost = solo.device_cost(d).expect("ncp schedules everyone");

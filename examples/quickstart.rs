@@ -9,7 +9,10 @@ use ccs_repro::prelude::*;
 fn main() {
     // A 300 m × 300 m field with 12 rechargeable devices and 4 mobile
     // charging-service providers, deterministic from the seed.
-    let scenario = ScenarioGenerator::new(2024).devices(12).chargers(4).generate();
+    let scenario = ScenarioGenerator::new(2024)
+        .devices(12)
+        .chargers(4)
+        .generate();
     let problem = CcsProblem::new(scenario);
 
     println!(
@@ -29,7 +32,10 @@ fn main() {
     let exact = optimal(&problem, &sharing, OptimalOptions::default())
         .expect("12 devices is within the exact solver's budget");
 
-    println!("{:<8} {:>12} {:>10} {:>8} {:>14} {:>12}", "algo", "total $", "avg $", "groups", "save vs NCP %", "gap vs OPT %");
+    println!(
+        "{:<8} {:>12} {:>10} {:>8} {:>14} {:>12}",
+        "algo", "total $", "avg $", "groups", "save vs NCP %", "gap vs OPT %"
+    );
     for schedule in [&solo, &clu, &greedy, &game.schedule, &exact] {
         let row = compare(schedule, Some(&solo), Some(&exact));
         println!(

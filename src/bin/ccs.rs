@@ -11,6 +11,15 @@
 //!
 //! Scenarios are plain JSON (the `ccs-wrsn` serde format), so workloads can
 //! be generated once and replayed across machines and algorithms.
+//!
+//! `plan`, `replay`, and `lifetime` additionally accept `--report FILE`
+//! (write a `ccs-telemetry` [`RunReport`](ccs_repro::ccs_telemetry::RunReport)
+//! snapshot as JSON) and `--trace-json FILE` (stream telemetry events as
+//! JSONL while the run executes). Either flag enables the otherwise-dormant
+//! global telemetry registry.
+//!
+//! Human-readable results go to stdout; stderr carries errors and
+//! diagnostics only.
 
 use ccs_repro::prelude::*;
 use std::collections::HashMap;
@@ -57,7 +66,11 @@ commands:
   gen       generate a scenario        --seed N --devices N --chargers N [--field M] [-o FILE]
   plan      schedule a scenario        --scenario FILE [--algo ccsa|ccsga|ncp|opt] [--sharing S] [-o FILE]
   replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
-  lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]";
+  lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]
+
+telemetry (plan, replay, lifetime):
+  --report FILE      write a JSON RunReport (counters, timers, span timings)
+  --trace-json FILE  stream telemetry events to FILE as JSON Lines";
 
 type Flags = HashMap<String, String>;
 
@@ -94,6 +107,35 @@ fn load_scenario(opts: &Flags) -> Result<Scenario, String> {
     serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// Arms the global telemetry registry when `--report` or `--trace-json` is
+/// present. Returns the `--report` path so the command can snapshot at exit
+/// via [`write_report`].
+fn telemetry_setup(opts: &Flags) -> Result<Option<String>, String> {
+    let report = opts.get("report").cloned();
+    let trace = opts.get("trace-json");
+    if report.is_none() && trace.is_none() {
+        return Ok(None);
+    }
+    let registry = ccs_repro::ccs_telemetry::global();
+    if let Some(path) = trace {
+        let sink = ccs_repro::ccs_telemetry::sink::EventSink::create(path)
+            .map_err(|e| format!("creating {path}: {e}"))?;
+        registry.set_sink(sink);
+    }
+    registry.enable();
+    Ok(report)
+}
+
+/// Writes the global registry's [`RunReport`] snapshot to `path` as pretty
+/// JSON.
+fn write_report(path: &str) -> Result<(), String> {
+    let report = ccs_repro::ccs_telemetry::global().report();
+    let json = report.to_json_pretty();
+    fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote telemetry report to {path}");
+    Ok(())
+}
+
 fn sharing_from(opts: &Flags) -> Result<Box<dyn CostSharing>, String> {
     match opts.get("sharing").map(String::as_str).unwrap_or("equal") {
         "equal" => Ok(Box::new(EqualShare)),
@@ -117,7 +159,9 @@ fn cmd_gen(opts: &Flags) -> Result<(), String> {
     match opts.get("o") {
         Some(path) => {
             fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
-            println!("wrote scenario ({devices} devices, {chargers} chargers, seed {seed}) to {path}");
+            println!(
+                "wrote scenario ({devices} devices, {chargers} chargers, seed {seed}) to {path}"
+            );
         }
         None => println!("{json}"),
     }
@@ -125,6 +169,7 @@ fn cmd_gen(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_plan(opts: &Flags) -> Result<(), String> {
+    let report_path = telemetry_setup(opts)?;
     let scenario = load_scenario(opts)?;
     let problem = CcsProblem::new(scenario);
     let sharing = sharing_from(opts)?;
@@ -145,16 +190,20 @@ fn cmd_plan(opts: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown algorithm '{other}'")),
     };
     schedule.validate(&problem).map_err(|e| e.to_string())?;
-    eprintln!("{schedule}");
+    println!("{schedule}");
     if let Some(path) = opts.get("o") {
         let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
         fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote schedule to {path}");
     }
+    if let Some(path) = report_path {
+        write_report(&path)?;
+    }
     Ok(())
 }
 
 fn cmd_replay(opts: &Flags) -> Result<(), String> {
+    let report_path = telemetry_setup(opts)?;
     let scenario = load_scenario(opts)?;
     let problem = CcsProblem::new(scenario);
     let sharing = sharing_from(opts)?;
@@ -179,10 +228,14 @@ fn cmd_replay(opts: &Flags) -> Result<(), String> {
         run.makespan.value(),
         run.average_wait().value(),
     );
+    if let Some(path) = report_path {
+        write_report(&path)?;
+    }
     Ok(())
 }
 
 fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
+    let report_path = telemetry_setup(opts)?;
     let scenario = load_scenario(opts)?;
     let sharing = sharing_from(opts)?;
     let rounds: usize = get(opts, "rounds", 20)?;
@@ -213,5 +266,8 @@ fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
         report.energy_purchased.value() / 1000.0,
         report.survival_rate * 100.0,
     );
+    if let Some(path) = report_path {
+        write_report(&path)?;
+    }
     Ok(())
 }

@@ -10,7 +10,10 @@
 //! * [`ccs_core`] — the CCS problem, cost model, cost sharing, and the
 //!   CCSA / CCSGA / NCP / OPT algorithms;
 //! * [`ccs_testbed`] — discrete-event replay of the paper's 5-charger /
-//!   8-node field testbed.
+//!   8-node field testbed;
+//! * [`ccs_telemetry`] — counters, spans, and JSONL run reports shared by
+//!   every layer above (disabled by default; the `ccs` CLI's `--report` /
+//!   `--trace-json` flags switch it on).
 //!
 //! # Quickstart
 //!
@@ -32,6 +35,7 @@
 pub use ccs_coalition;
 pub use ccs_core;
 pub use ccs_submodular;
+pub use ccs_telemetry;
 pub use ccs_testbed;
 pub use ccs_wrsn;
 

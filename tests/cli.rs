@@ -26,7 +26,15 @@ fn gen_plan_replay_lifetime_pipeline() {
 
     // gen
     let out = ccs(&[
-        "gen", "--seed", "7", "--devices", "10", "--chargers", "3", "-o", scenario_str,
+        "gen",
+        "--seed",
+        "7",
+        "--devices",
+        "10",
+        "--chargers",
+        "3",
+        "-o",
+        scenario_str,
     ]);
     assert!(out.status.success(), "gen failed: {out:?}");
     let json = std::fs::read_to_string(&scenario).unwrap();
@@ -45,8 +53,10 @@ fn gen_plan_replay_lifetime_pipeline() {
             schedule_str,
         ]);
         assert!(out.status.success(), "plan --algo {algo} failed: {out:?}");
-        let stderr = String::from_utf8_lossy(&out.stderr);
-        assert!(stderr.contains("schedule"), "{algo}: {stderr}");
+        // Human-readable results belong on stdout; stderr is reserved for
+        // errors and diagnostics.
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("schedule"), "{algo}: {stdout}");
         let schedule_json = std::fs::read_to_string(&schedule).unwrap();
         assert!(schedule_json.contains("groups"), "{algo} wrote a schedule");
     }
@@ -112,9 +122,17 @@ fn bad_input_yields_clean_errors() {
     // Bad algorithm name.
     let scenario = temp_path("err_scenario.json");
     let scenario_str = scenario.to_str().unwrap();
-    assert!(ccs(&["gen", "--devices", "4", "--chargers", "2", "-o", scenario_str])
-        .status
-        .success());
+    assert!(ccs(&[
+        "gen",
+        "--devices",
+        "4",
+        "--chargers",
+        "2",
+        "-o",
+        scenario_str
+    ])
+    .status
+    .success());
     let out = ccs(&["plan", "--scenario", scenario_str, "--algo", "nope"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
@@ -125,6 +143,66 @@ fn bad_input_yields_clean_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
 
     let _ = std::fs::remove_file(&scenario);
+}
+
+#[test]
+fn report_and_trace_flags_emit_telemetry_files() {
+    let scenario = temp_path("telemetry_scenario.json");
+    let report = temp_path("telemetry_report.json");
+    let trace = temp_path("telemetry_trace.jsonl");
+    let scenario_str = scenario.to_str().unwrap();
+
+    assert!(ccs(&[
+        "gen",
+        "--seed",
+        "1",
+        "--devices",
+        "8",
+        "--chargers",
+        "3",
+        "-o",
+        scenario_str
+    ])
+    .status
+    .success());
+    let out = ccs(&[
+        "plan",
+        "--scenario",
+        scenario_str,
+        "--algo",
+        "ccsga",
+        "--report",
+        report.to_str().unwrap(),
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "plan with telemetry flags failed: {out:?}"
+    );
+
+    let report_json = std::fs::read_to_string(&report).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&report_json).unwrap();
+    assert!(
+        parsed.field("counters").as_object().is_some(),
+        "report has counters"
+    );
+
+    // The trace is JSON Lines: every line parses on its own and names its
+    // event kind.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(!trace_text.trim().is_empty(), "trace must contain events");
+    for line in trace_text.lines() {
+        let ev: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(
+            matches!(ev.field("event"), serde_json::Value::String(_)),
+            "bad trace line: {line}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&scenario);
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&trace);
 }
 
 #[test]

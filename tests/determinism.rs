@@ -6,15 +6,28 @@ use ccs_repro::prelude::*;
 #[test]
 fn scenario_generation_is_reproducible() {
     for seed in [0u64, 1, 99, u64::MAX] {
-        let a = ScenarioGenerator::new(seed).devices(25).chargers(6).generate();
-        let b = ScenarioGenerator::new(seed).devices(25).chargers(6).generate();
+        let a = ScenarioGenerator::new(seed)
+            .devices(25)
+            .chargers(6)
+            .generate();
+        let b = ScenarioGenerator::new(seed)
+            .devices(25)
+            .chargers(6)
+            .generate();
         assert_eq!(a, b, "seed {seed}");
     }
 }
 
 #[test]
 fn all_schedulers_are_deterministic() {
-    let make = || CcsProblem::new(ScenarioGenerator::new(13).devices(16).chargers(5).generate());
+    let make = || {
+        CcsProblem::new(
+            ScenarioGenerator::new(13)
+                .devices(16)
+                .chargers(5)
+                .generate(),
+        )
+    };
     let p1 = make();
     let p2 = make();
 
@@ -58,7 +71,12 @@ fn different_seeds_change_the_world_not_the_invariants() {
         CcsaOptions::default(),
     );
     for seed in 1..=5 {
-        let p = CcsProblem::new(ScenarioGenerator::new(seed).devices(12).chargers(4).generate());
+        let p = CcsProblem::new(
+            ScenarioGenerator::new(seed)
+                .devices(12)
+                .chargers(4)
+                .generate(),
+        );
         let s = ccsa(&p, &EqualShare, CcsaOptions::default());
         s.validate(&p).unwrap();
         if s != reference {

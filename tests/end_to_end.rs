@@ -5,7 +5,12 @@
 use ccs_repro::prelude::*;
 
 fn problem(seed: u64, n: usize, m: usize) -> CcsProblem {
-    CcsProblem::new(ScenarioGenerator::new(seed).devices(n).chargers(m).generate())
+    CcsProblem::new(
+        ScenarioGenerator::new(seed)
+            .devices(n)
+            .chargers(m)
+            .generate(),
+    )
 }
 
 #[test]
@@ -17,9 +22,18 @@ fn cost_ordering_opt_le_heuristics_le_ncp() {
         let game = ccsga(&p, &EqualShare, CcsgaOptions::default());
         let solo = noncooperation(&p, &EqualShare);
         let eps = Cost::new(1e-6);
-        assert!(opt.total_cost() <= greedy.total_cost() + eps, "seed {seed}: OPT > CCSA");
-        assert!(opt.total_cost() <= game.schedule.total_cost() + eps, "seed {seed}: OPT > CCSGA");
-        assert!(greedy.total_cost() <= solo.total_cost() + eps, "seed {seed}: CCSA > NCP");
+        assert!(
+            opt.total_cost() <= greedy.total_cost() + eps,
+            "seed {seed}: OPT > CCSA"
+        );
+        assert!(
+            opt.total_cost() <= game.schedule.total_cost() + eps,
+            "seed {seed}: OPT > CCSGA"
+        );
+        assert!(
+            greedy.total_cost() <= solo.total_cost() + eps,
+            "seed {seed}: CCSA > NCP"
+        );
         assert!(
             game.schedule.total_cost() <= solo.total_cost() + eps,
             "seed {seed}: CCSGA > NCP"
@@ -55,7 +69,10 @@ fn headline_shape_simulation() {
         let greedy = ccsa(&p, &EqualShare, CcsaOptions::default());
         let solo = noncooperation(&p, &EqualShare);
         savings.push(saving_percent(greedy.total_cost(), solo.total_cost()));
-        gaps.push(gap_above_optimal_percent(greedy.total_cost(), opt.total_cost()));
+        gaps.push(gap_above_optimal_percent(
+            greedy.total_cost(),
+            opt.total_cost(),
+        ));
     }
     let avg_saving = savings.iter().sum::<f64>() / savings.len() as f64;
     let avg_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
@@ -63,7 +80,10 @@ fn headline_shape_simulation() {
         avg_saving > 15.0,
         "expected substantial cooperative saving, got {avg_saving:.1}%"
     );
-    assert!(avg_gap < 15.0, "expected near-optimal CCSA, got {avg_gap:.1}% above OPT");
+    assert!(
+        avg_gap < 15.0,
+        "expected near-optimal CCSA, got {avg_gap:.1}% above OPT"
+    );
     assert!(avg_gap >= 0.0);
 }
 
@@ -142,6 +162,91 @@ fn scenario_serde_preserves_scheduling_results() {
     let a = ccsa(&p, &EqualShare, CcsaOptions::default());
     let b = ccsa(&p2, &EqualShare, CcsaOptions::default());
     assert_eq!(a, b, "scheduling must be invariant under serde round-trip");
+}
+
+/// Runs the `ccs` binary with `--report` and parses the emitted JSON into a
+/// typed [`ccs_repro::ccs_telemetry::RunReport`]. Separate processes give
+/// each run a fresh (process-wide) telemetry registry.
+fn run_report_for(algo: &str) -> ccs_repro::ccs_telemetry::RunReport {
+    use std::process::Command;
+    let dir = std::env::temp_dir();
+    let scenario = dir.join(format!(
+        "ccs_e2e_{}_{algo}_scenario.json",
+        std::process::id()
+    ));
+    let report = dir.join(format!("ccs_e2e_{}_{algo}_report.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_ccs"))
+        .args(["gen", "--seed", "3", "--devices", "12", "--chargers", "4"])
+        .args(["-o", scenario.to_str().unwrap()])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let out = Command::new(env!("CARGO_BIN_EXE_ccs"))
+        .args(["plan", "--scenario", scenario.to_str().unwrap()])
+        .args(["--algo", algo, "--report", report.to_str().unwrap()])
+        .output()
+        .expect("plan runs");
+    assert!(out.status.success(), "plan --algo {algo} failed: {out:?}");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    let _ = std::fs::remove_file(&scenario);
+    let _ = std::fs::remove_file(&report);
+    serde_json::from_str(&json).expect("report parses as a RunReport")
+}
+
+#[test]
+fn ccsga_run_report_records_game_dynamics() {
+    let report = run_report_for("ccsga");
+    assert!(
+        report.counter("coalition.switch_ops") > 0,
+        "expected switch operations, got {:?}",
+        report.counters
+    );
+    assert!(
+        report.counter("coalition.rounds") > 0,
+        "{:?}",
+        report.counters
+    );
+    // Phase wall-clock timings: the outer algorithm span and the nested
+    // engine span must both be present with real durations.
+    for span in ["ccsga", "ccsga/coalition_run"] {
+        let stats = report.spans.get(span).unwrap_or_else(|| {
+            panic!(
+                "missing span {span:?} in {:?}",
+                report.spans.keys().collect::<Vec<_>>()
+            )
+        });
+        assert_eq!(stats.count, 1, "{span} opened once");
+        assert!(stats.total_ms > 0.0, "{span} has wall-clock time");
+    }
+}
+
+#[test]
+fn ccsa_run_report_records_oracle_evaluations() {
+    let report = run_report_for("ccsa");
+    assert!(
+        report.counter("sfm.oracle_evals") > 0,
+        "the prefix-scan inner minimizer must count its set-function \
+         evaluations, got {:?}",
+        report.counters
+    );
+    assert!(report.counter("ccsa.rounds") > 0, "{:?}", report.counters);
+    assert!(
+        report.spans.contains_key("ccsa/greedy"),
+        "{:?}",
+        report.spans.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn telemetry_stays_dormant_without_opt_in() {
+    // Library calls must not accumulate anything unless a surface enables
+    // the global registry: the schedulers above ran in this process, so an
+    // empty report here proves the disabled path really is a no-op.
+    let p = problem(2, 8, 3);
+    let _ = ccsa(&p, &EqualShare, CcsaOptions::default());
+    let report = ccs_repro::ccs_telemetry::global().report();
+    assert_eq!(report.counter("sfm.oracle_evals"), 0);
+    assert!(report.spans.is_empty());
 }
 
 #[test]

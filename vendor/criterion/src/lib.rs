@@ -1,0 +1,170 @@
+//! Vendored, std-only stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's six `harness = false` bench
+//! targets use (`benchmark_group`, `bench_with_input`, `bench_function`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`, `black_box`).
+//! Instead of criterion's statistical analysis it runs a short warm-up, a
+//! fixed measurement loop, and prints mean/min wall-clock times — enough to
+//! compare runs by hand and to keep `cargo bench` compiling and running.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name plus a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Prevents the compiler from optimising away a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, Rf: FnMut() -> O>(&mut self, mut routine: Rf) {
+        // Warm-up: one untimed call.
+        hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            if elapsed < self.min {
+                self.min = elapsed;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / (b.iters as u32)
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "bench {}/{}: mean {:?}, min {:?} ({} iters)",
+            self.name, label, mean, b.min, b.iters
+        );
+    }
+
+    /// Benchmarks `routine` against a fixed input.
+    pub fn bench_with_input<I: ?Sized, Rf>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: Rf,
+    ) -> &mut Self
+    where
+        Rf: FnOnce(&mut Bencher, &I),
+    {
+        self.run(&id.label.clone(), |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<Rf>(&mut self, label: &str, routine: Rf) -> &mut Self
+    where
+        Rf: FnOnce(&mut Bencher),
+    {
+        self.run(label, routine);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<Rf>(&mut self, label: &str, routine: Rf) -> &mut Self
+    where
+        Rf: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(label, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,62 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Returns `(min, max_exclusive)` bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a sampled length.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// comes from `size`.
+///
+/// # Panics
+///
+/// Panics if the size specification is empty.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    assert!(min < max_exclusive, "empty size range for collection::vec");
+    VecStrategy {
+        element,
+        min,
+        max_exclusive,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.max_exclusive - self.min;
+        let len = self.min + rng.index(span.max(1)) * usize::from(span > 0);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,111 @@
+//! Vendored, std-only stand-in for the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]` header),
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `Just`, range and tuple
+//! strategies, `prop_map`, `collection::vec`, and `any::<bool|u64>()`.
+//!
+//! Unlike the real crate there is no shrinking and no failure persistence:
+//! each test runs `cases` deterministic random samples and panics with the
+//! case number on the first failure, which is reproducible because the
+//! generator is seeded per test from a fixed constant.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let result = (|rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), ::std::string::String> {
+                        $(
+                            let $pat = $crate::strategy::Strategy::sample(&($strat), rng);
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })(&mut rng);
+                    if let ::std::result::Result::Err(message) = result {
+                        panic!("proptest case {case}/{} failed: {message}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, not the
+/// whole process, mirroring the real macro's early-return behaviour).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {left:?}\n right: {right:?}",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}

@@ -1,0 +1,59 @@
+//! Uniform distribution over `f64` (the only distribution this workspace
+//! samples through the `Distribution` trait).
+
+use crate::{unit_f64, RngCore};
+
+/// Types that can generate samples of `T` given an entropy source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over an `f64` interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform over the half-open interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform::new called with empty range");
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive called with empty range");
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = if self.inclusive {
+            (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        } else {
+            unit_f64(rng.next_u64())
+        };
+        self.lo + (self.hi - self.lo) * unit
+    }
+}

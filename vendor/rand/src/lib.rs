@@ -1,0 +1,151 @@
+//! Vendored, std-only stand-in for the `rand` crate (0.8-compatible API
+//! subset: `RngCore`, blanket `Rng` with `gen_range`, `SeedableRng` with the
+//! SplitMix64-based `seed_from_u64`, and `distributions::{Distribution,
+//! Uniform}` over `f64`).
+//!
+//! Streams are deterministic for a given seed but NOT bit-compatible with
+//! the real crate; the workspace's tests only assert within-run determinism,
+//! never golden values.
+
+pub mod distributions;
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` half-open or `a..=b`
+    /// inclusive; float and integer element types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same scheme the
+    /// real crate uses) and constructs the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` with 53-bit precision.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Element types [`Rng::gen_range`] can sample uniformly.
+///
+/// A single generic `SampleRange` impl per range shape (mirroring the real
+/// crate's structure) keeps type inference working for unsuffixed literals
+/// like `rng.gen_range(0..3)` used as an index.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let unit = if inclusive {
+            // 53-bit grid over [0, 1]; the endpoint is reachable.
+            (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        } else {
+            unit_f64(rng.next_u64())
+        };
+        lo + (hi - lo) * unit
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                // Modulo bias is negligible for the spans this workspace uses.
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+}

@@ -1,0 +1,48 @@
+//! Deserialization error type.
+
+use std::fmt;
+
+/// Error produced when a [`crate::value::Value`] tree does not match the
+/// shape the target type expects.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Error from a free-form message.
+    pub fn message(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a kind mismatch ("expected X, found Y").
+    pub fn expected(expected: &str, found: &str) -> Self {
+        Error {
+            message: format!("expected {expected}, found {found}"),
+        }
+    }
+
+    /// Error for a missing required field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error {
+            message: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// Prefix the message with the context of an enclosing type/field, so
+    /// nested failures read like a path.
+    pub fn context(mut self, ctx: &str) -> Self {
+        self.message = format!("{ctx}: {}", self.message);
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,289 @@
+//! Vendored, std-only stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace ships a minimal serialization framework under the same
+//! crate name. Unlike real serde's zero-copy visitor architecture, this shim
+//! funnels everything through an owned JSON-like [`value::Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`value::Value`];
+//! * [`Deserialize`] rebuilds a type from a [`value::Value`];
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   shim) generates both for plain structs and externally-tagged enums.
+//!
+//! The supported attribute surface is exactly what this workspace uses:
+//! `#[serde(transparent)]` (implied for one-field tuple structs) and
+//! `#[serde(default)]` (implied: missing fields deserialize from `Null`,
+//! which succeeds for `Option` fields and errors otherwise).
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use value::{Number, Value};
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::Error`] when the tree does not match the expected
+    /// shape (wrong kind, missing field, out-of-range number).
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // JSON has no NaN/Infinity literals; real serde_json emits
+            // `null` for them, so accept the round trip.
+            Value::Null => Ok(f64::NAN),
+            other => Err(de::Error::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let raw = match v {
+                    Value::Number(Number::PosInt(u)) => Ok(*u),
+                    Value::Number(Number::Float(f))
+                        if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+                    {
+                        Ok(*f as u64)
+                    }
+                    other => Err(de::Error::expected("unsigned integer", other.kind())),
+                }?;
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::message(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        u64::from_value(v).and_then(|u| {
+            usize::try_from(u).map_err(|_| de::Error::message(format!("integer {u} out of range")))
+        })
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = i64::from(*self);
+                if x >= 0 {
+                    Value::Number(Number::PosInt(x as u64))
+                } else {
+                    Value::Number(Number::NegInt(x))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let raw: i64 = match v {
+                    Value::Number(Number::PosInt(u)) => i64::try_from(*u)
+                        .map_err(|_| de::Error::message(format!("integer {u} out of range"))),
+                    Value::Number(Number::NegInt(i)) => Ok(*i),
+                    Value::Number(Number::Float(f)) if f.fract() == 0.0 => Ok(*f as i64),
+                    other => Err(de::Error::expected("integer", other.kind())),
+                }?;
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::message(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| T::from_value(v).map(|t| (k.clone(), t)))
+                .collect(),
+            other => Err(de::Error::expected("object", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashMap<String, T> {
+    fn to_value(&self) -> Value {
+        // Deterministic key order keeps serialized output reproducible.
+        let mut sorted: Vec<(&String, &T)> = self.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for HashMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| T::from_value(v).map(|t| (k.clone(), t)))
+                .collect(),
+            other => Err(de::Error::expected("object", other.kind())),
+        }
+    }
+}

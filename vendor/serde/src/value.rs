@@ -1,0 +1,79 @@
+//! The owned value tree every (de)serialization in this shim flows through.
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number that preserves integer fidelity where possible.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Lossy conversion to `f64` (exact for all values this workspace uses).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::PosInt(u) => *u as f64,
+            Number::NegInt(i) => *i as f64,
+            Number::Float(f) => *f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            // Mixed integer/float comparisons go through f64 so a value that
+            // was emitted as `3` and parsed back as an integer still equals
+            // the original `3.0`.
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrow the contained object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Look up `key`, treating a missing field as `Null` (how this shim
+    /// models `#[serde(default)]` for `Option` fields).
+    pub fn field(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Vendored, syn-free `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! The codegen only ever needs field *names*, never field types: the
+//! generated bodies call `::serde::Serialize::to_value` /
+//! `::serde::Deserialize::from_value` and let trait resolution infer the
+//! rest. That insight lets this macro parse the item with a hand-rolled
+//! `TokenTree` walk instead of depending on `syn`/`quote` (unavailable in
+//! this offline build environment).
+//!
+//! Supported shapes (the full set this workspace derives on):
+//! * named-field structs → JSON objects (missing keys read as `Null`, so
+//!   `#[serde(default)]` on `Option` fields behaves as expected);
+//! * tuple structs → transparent for one field, arrays otherwise;
+//! * enums, externally tagged: unit variants → `"Name"`, newtype variants →
+//!   `{"Name": value}`, struct variants → `{"Name": {fields}}`.
+//!
+//! Generics are not supported; no derived type in the workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advance past any `#[...]` attributes starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len()
+        && is_punct(&toks[i], '#')
+        && matches!(&toks[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advance past `pub` / `pub(crate)` / `pub(in ...)` starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len()
+            && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advance to the position just after the next top-level `,`, tracking
+/// `<`/`>` depth so commas inside generic arguments don't terminate early
+/// (`BTreeMap<String, Value>`). Grouped delimiters arrive as atomic
+/// `TokenTree::Group`s, so only angle brackets need explicit tracking.
+fn skip_past_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < toks.len() {
+        if angle == 0 && is_punct(&toks[i], ',') {
+            return i + 1;
+        }
+        if is_punct(&toks[i], '<') {
+            angle += 1;
+        } else if is_punct(&toks[i], '>') {
+            angle -= 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive shim: expected field name, got {:?}", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 1; // name
+        assert!(is_punct(&toks[i], ':'), "serde_derive shim: expected `:`");
+        i = skip_past_comma(&toks, i + 1);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        n += 1;
+        i = skip_past_comma(&toks, i);
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde_derive shim: generic types are not supported (deriving on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = toks.get(i) else {
+                panic!("serde_derive shim: expected enum body for `{name}`");
+            };
+            let vt: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < vt.len() {
+                j = skip_attrs(&vt, j);
+                if j >= vt.len() {
+                    break;
+                }
+                let TokenTree::Ident(vname) = &vt[j] else {
+                    panic!("serde_derive shim: expected variant name, got {:?}", vt[j]);
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let fields = match vt.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push((vname, fields));
+                // Skip any explicit discriminant, then the trailing comma.
+                j = skip_past_comma(&vt, j);
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive on `{other}` items"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::value::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let mut s =
+                        String::from("let mut map = ::std::collections::BTreeMap::new();\n");
+                    for f in fs {
+                        s.push_str(&format!(
+                            "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                        ));
+                    }
+                    s.push_str("::serde::value::Value::Object(map)");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(x0) => {{\n\
+                             let mut outer = ::std::collections::BTreeMap::new();\n\
+                             outer.insert(\"{vname}\".to_string(), ::serde::Serialize::to_value(x0));\n\
+                             ::serde::value::Value::Object(outer)\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                                 let mut outer = ::std::collections::BTreeMap::new();\n\
+                                 outer.insert(\"{vname}\".to_string(), ::serde::value::Value::Array(vec![{}]));\n\
+                                 ::serde::value::Value::Object(outer)\n\
+                             }}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let mut inserts = String::new();
+                        for f in fs {
+                            inserts.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut inner = ::std::collections::BTreeMap::new();\n\
+                                 {inserts}\
+                                 let mut outer = ::std::collections::BTreeMap::new();\n\
+                                 outer.insert(\"{vname}\".to_string(), ::serde::value::Value::Object(inner));\n\
+                                 ::serde::value::Value::Object(outer)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_named_constructor(path: &str, fs: &[String], src: &str, ctx: &str) -> String {
+    let mut inits = String::new();
+    for f in fs {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value({src}.field(\"{f}\"))\
+                 .map_err(|e| e.context(\"{ctx}.{f}\"))?,\n"
+        ));
+    }
+    format!("Ok({path} {{\n{inits}}})")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match v {{\n\
+                         ::serde::value::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::de::Error::expected(\"null\", other.kind())\
+                             .context(\"{name}\")),\n\
+                     }}"
+                ),
+                Fields::Tuple(1) => format!(
+                    "Ok({name}(::serde::Deserialize::from_value(v)\
+                         .map_err(|e| e.context(\"{name}\"))?))"
+                ),
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for k in 0..*n {
+                        items.push_str(&format!(
+                            "::serde::Deserialize::from_value(&items[{k}])\
+                                 .map_err(|e| e.context(\"{name}.{k}\"))?,\n"
+                        ));
+                    }
+                    format!(
+                        "match v {{\n\
+                             ::serde::value::Value::Array(items) if items.len() == {n} => \
+                                 Ok({name}(\n{items})),\n\
+                             other => Err(::serde::de::Error::expected(\"array of {n}\", other.kind())\
+                                 .context(\"{name}\")),\n\
+                         }}"
+                    )
+                }
+                Fields::Named(fs) => {
+                    let ctor = gen_named_constructor(name, fs, "v", name);
+                    format!(
+                        "match v {{\n\
+                             ::serde::value::Value::Object(_) => {ctor},\n\
+                             other => Err(::serde::de::Error::expected(\"object\", other.kind())\
+                                 .context(\"{name}\")),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> \
+                         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        tagged_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)\
+                                 .map_err(|e| e.context(\"{name}::{vname}\"))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut items = String::new();
+                        for k in 0..*n {
+                            items.push_str(&format!(
+                                "::serde::Deserialize::from_value(&items[{k}])\
+                                     .map_err(|e| e.context(\"{name}::{vname}.{k}\"))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match inner {{\n\
+                                 ::serde::value::Value::Array(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}(\n{items})),\n\
+                                 other => Err(::serde::de::Error::expected(\"array of {n}\", other.kind())\
+                                     .context(\"{name}::{vname}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let path = format!("{name}::{vname}");
+                        let ctor = gen_named_constructor(&path, fs, "inner", &path);
+                        tagged_arms.push_str(&format!("\"{vname}\" => {ctor},\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> \
+                         ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match v {{\n\
+                             ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::de::Error::message(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::value::Value::Object(map) if map.len() == 1 => {{\n\
+                                 let (tag, inner) = map.iter().next().unwrap();\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err(::serde::de::Error::message(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::de::Error::expected(\
+                                 \"string or single-key object\", other.kind())\
+                                 .context(\"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
