@@ -1,0 +1,283 @@
+//! `bench_smoke` — fast wall-clock benches of the parallelized hot paths,
+//! with a regression gate for CI.
+//!
+//! ```text
+//! bench_smoke [--out FILE] [--check] [--iters N]
+//! ```
+//!
+//! Runs each bench twice — pinned to 1 worker thread (the exact serial
+//! path) and to 4 — and emits a JSON document:
+//!
+//! ```json
+//! {
+//!   "schema": "ccs-bench-smoke/v1",
+//!   "available_parallelism": 4,
+//!   "benches": {
+//!     "ccsga_n100": { "serial_ms": 123.4, "par_ms": 61.7, "speedup": 2.0 }
+//!   }
+//! }
+//! ```
+//!
+//! With `--check`, the newest committed `BENCH_<N>.json` in the working
+//! directory is used as a baseline *before* any output is written: if any
+//! bench's `serial_ms` regresses by more than 20% the process exits with
+//! status 1. When no baseline exists the gate is skipped gracefully, so
+//! the first run of a fresh checkout always passes.
+//!
+//! Every run also cross-checks that the 1-thread and 4-thread schedules
+//! are bit-identical — the determinism contract of `ccs-par` — and aborts
+//! loudly if they ever diverge.
+
+use ccs_core::prelude::*;
+use ccs_submodular::minimize::SeparableFn;
+use ccs_submodular::mnp::{minimize, MnpOptions};
+use ccs_submodular::set_fn::{CardinalityCurve, CardinalityPenalized};
+use ccs_wrsn::scenario::ScenarioGenerator;
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Serial-mean regression tolerance of the `--check` gate.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+fn instance(n: usize) -> CcsProblem {
+    CcsProblem::new(
+        ScenarioGenerator::new(n as u64)
+            .devices(n)
+            .chargers((n / 10).max(2))
+            .generate(),
+    )
+}
+
+fn sfm_instance(n: usize) -> CardinalityPenalized<SeparableFn> {
+    let weights: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 97) as f64 / 10.0)
+        .collect();
+    let bill = SeparableFn::new(weights, 25.0, CardinalityCurve::Sqrt, 3.0);
+    CardinalityPenalized::new(bill, 4.0)
+}
+
+/// One warmup call, then the mean of `iters` timed calls, in milliseconds.
+/// Returns the mean and a determinism fingerprint of the workload's result.
+fn time_ms(iters: usize, f: &dyn Fn() -> u64) -> (f64, u64) {
+    let fingerprint = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(f(), fingerprint, "bench workload is nondeterministic");
+    }
+    let mean = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    (mean, fingerprint)
+}
+
+struct BenchResult {
+    serial_ms: f64,
+    par_ms: f64,
+}
+
+/// Runs `f` under 1 and 4 worker threads, asserting bit-identical results.
+fn run_bench(name: &str, iters: usize, f: &dyn Fn() -> u64) -> BenchResult {
+    ccs_par::set_threads(1);
+    let (serial_ms, serial_fp) = time_ms(iters, f);
+    ccs_par::set_threads(4);
+    let (par_ms, par_fp) = time_ms(iters, f);
+    ccs_par::set_threads(0);
+    assert_eq!(
+        serial_fp, par_fp,
+        "{name}: 1-thread and 4-thread results diverged — determinism bug"
+    );
+    eprintln!("bench {name}: serial {serial_ms:.2} ms, par {par_ms:.2} ms");
+    BenchResult { serial_ms, par_ms }
+}
+
+fn benches(iters: usize) -> BTreeMap<String, BenchResult> {
+    let mut out = BTreeMap::new();
+
+    let p40 = instance(40);
+    out.insert(
+        "ccsa_n40".to_string(),
+        run_bench("ccsa_n40", iters, &|| {
+            ccsa(&p40, &EqualShare, CcsaOptions::default())
+                .total_cost()
+                .value()
+                .to_bits()
+        }),
+    );
+
+    let p50 = instance(50);
+    out.insert(
+        "ccsga_n50".to_string(),
+        run_bench("ccsga_n50", iters, &|| {
+            ccsga(&p50, &EqualShare, CcsgaOptions::default())
+                .schedule
+                .total_cost()
+                .value()
+                .to_bits()
+        }),
+    );
+
+    let p100 = instance(100);
+    out.insert(
+        "ccsga_n100".to_string(),
+        run_bench("ccsga_n100", iters, &|| {
+            ccsga(&p100, &EqualShare, CcsgaOptions::default())
+                .schedule
+                .total_cost()
+                .value()
+                .to_bits()
+        }),
+    );
+
+    let f48 = sfm_instance(48);
+    out.insert(
+        "sfm_mnp_n48".to_string(),
+        run_bench("sfm_mnp_n48", iters, &|| {
+            let sol = minimize(&f48, MnpOptions::default());
+            sol.value.to_bits() ^ sol.minimizer.len() as u64
+        }),
+    );
+
+    out
+}
+
+/// The newest committed baseline: the `BENCH_<N>.json` with the largest N
+/// in the current directory, parsed, or `None` when absent/unreadable.
+fn newest_baseline() -> Option<(String, Value)> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(n, _)| num > *n) {
+            best = Some((num, name));
+        }
+    }
+    let (_, name) = best?;
+    let text = std::fs::read_to_string(&name).ok()?;
+    let value = serde_json::from_str(&text).ok()?;
+    Some((name, value))
+}
+
+/// Compares serial means against the baseline; lists every regression
+/// beyond the tolerance. Benches absent from either side are ignored.
+fn regressions(current: &BTreeMap<String, BenchResult>, baseline: &Value) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(benches) = baseline.field("benches").as_object() else {
+        return failures;
+    };
+    for (name, result) in current {
+        let Value::Number(n) = benches
+            .get(name)
+            .map(|b| b.field("serial_ms"))
+            .unwrap_or(&Value::Null)
+        else {
+            continue;
+        };
+        let base = n.as_f64();
+        if base > 0.0 && result.serial_ms > base * (1.0 + REGRESSION_TOLERANCE) {
+            failures.push(format!(
+                "{name}: serial {:.2} ms vs baseline {base:.2} ms (+{:.0}%)",
+                result.serial_ms,
+                (result.serial_ms / base - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(Number::Float((x * 100.0).round() / 100.0))
+}
+
+fn to_json(results: &BTreeMap<String, BenchResult>) -> Value {
+    let mut benches = BTreeMap::new();
+    for (name, r) in results {
+        let mut entry = BTreeMap::new();
+        entry.insert("serial_ms".to_string(), num(r.serial_ms));
+        entry.insert("par_ms".to_string(), num(r.par_ms));
+        entry.insert("speedup".to_string(), num(r.serial_ms / r.par_ms));
+        benches.insert(name.clone(), Value::Object(entry));
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("ccs-bench-smoke/v1".to_string()),
+    );
+    root.insert(
+        "available_parallelism".to_string(),
+        Value::Number(Number::PosInt(cores)),
+    );
+    root.insert("benches".to_string(), Value::Object(benches));
+    Value::Object(root)
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check = false;
+    let mut iters = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check = true,
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(3)
+            }
+            other => {
+                eprintln!("usage: bench_smoke [--out FILE] [--check] [--iters N] (got '{other}')");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Capture the baseline before writing anything, so `--out BENCH_2.json
+    // --check` compares against the committed file, not the fresh one.
+    let baseline = newest_baseline();
+
+    let results = benches(iters);
+    let json = serde_json::to_string_pretty(&to_json(&results)).expect("results serialize");
+
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if check {
+        match baseline {
+            Some((name, base)) => {
+                let failures = regressions(&results, &base);
+                if failures.is_empty() {
+                    eprintln!("bench-regression gate: ok vs {name}");
+                } else {
+                    eprintln!("bench-regression gate: FAILED vs {name} (>20% slower):");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                eprintln!("bench-regression gate: no committed BENCH_*.json baseline, skipping")
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

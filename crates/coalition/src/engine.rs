@@ -172,7 +172,20 @@ fn key_of(members: &BTreeSet<usize>) -> Vec<usize> {
     members.iter().copied().collect()
 }
 
+/// One materialized candidate deviation, ready for batch evaluation.
+struct Candidate {
+    mv: Move,
+    joined: BTreeSet<usize>,
+}
+
 /// The best admissible improving move for `player`, or `None`.
+///
+/// Candidates are materialized in the serial scan order, their gains are
+/// evaluated as one `ccs-par` batch (each gain is a pure function of the
+/// candidate, so the batch is deterministic), and a serial reduce applies
+/// the original first-wins tie-break by candidate index — making the chosen
+/// move, and therefore the whole partition trajectory, bit-identical at any
+/// thread count.
 fn best_move<G: HedonicGame>(
     game: &G,
     partition: &Partition,
@@ -199,77 +212,95 @@ fn best_move<G: HedonicGame>(
     let from_cost_before: f64 = from_members.iter().map(|&q| cost(q, from_members)).sum();
     let from_cost_after: f64 = residual.iter().map(|&q| cost(q, &residual)).sum();
 
-    let mut best: Option<(Move, f64)> = None;
-    let mut consider = |mv: Move, gain: f64| {
-        attempts.incr();
-        if gain > eps {
-            match &best {
-                Some((_, g)) if *g >= gain => {}
-                _ => best = Some((mv, gain)),
-            }
-        }
-    };
-
-    // Candidate: join each other coalition.
+    // Candidate joins, in coalition order; history-blocked compositions are
+    // pruned here (pure and cheap) so they cost no game evaluations.
+    let mut candidates: Vec<Candidate> = Vec::new();
     for (id, members) in partition.coalitions() {
         if id == from_id {
             continue;
         }
         let mut joined: BTreeSet<usize> = members.clone();
         joined.insert(player);
-        if !game.coalition_feasible(&joined) {
+        if options.rule == SwitchRule::SelfishWithHistory
+            && history[player].contains(&key_of(&joined))
+        {
             continue;
         }
-        let new_cost = cost(player, &joined);
-        match options.rule {
-            SwitchRule::SelfishWithHistory => {
-                if history[player].contains(&key_of(&joined)) {
-                    continue;
-                }
-                consider(Move::Join(id), current_cost - new_cost);
-            }
-            SwitchRule::SelfishWithConsent => {
-                let harmed = members
-                    .iter()
-                    .any(|&q| cost(q, &joined) > cost(q, members) + eps);
-                if !harmed {
-                    consider(Move::Join(id), current_cost - new_cost);
-                }
-            }
-            SwitchRule::Utilitarian => {
-                let to_before: f64 = members.iter().map(|&q| cost(q, members)).sum();
-                let to_after: f64 = joined.iter().map(|&q| cost(q, &joined)).sum();
-                let social_gain = (from_cost_before + to_before) - (from_cost_after + to_after);
-                consider(Move::Join(id), social_gain);
-            }
-        }
+        candidates.push(Candidate {
+            mv: Move::Join(id),
+            joined,
+        });
     }
-
     // Candidate: split off into a singleton (only meaningful from a larger
-    // coalition, and only if the coalition budget allows one more).
+    // coalition, and only if the coalition budget allows one more). Going
+    // solo is the individual-rationality fallback: it is never blocked by
+    // history (see the module docs) and needs nobody's consent.
     if from_members.len() > 1
         && game
             .max_coalitions()
             .is_none_or(|cap| coalition_count < cap)
     {
-        let solo = BTreeSet::from([player]);
-        if game.coalition_feasible(&solo) {
-            let new_cost = cost(player, &solo);
-            match options.rule {
-                // Going solo is the individual-rationality fallback: it is
-                // never blocked by history (see the module docs) and needs
-                // nobody's consent.
-                SwitchRule::SelfishWithHistory | SwitchRule::SelfishWithConsent => {
-                    consider(Move::Singleton, current_cost - new_cost);
+        candidates.push(Candidate {
+            mv: Move::Singleton,
+            joined: BTreeSet::from([player]),
+        });
+    }
+
+    // Parallel gain evaluation; `None` marks an inadmissible candidate
+    // (infeasible, or a join the receiving coalition would veto).
+    let gains: Vec<Option<f64>> = ccs_par::par_map(&candidates, |_, cand| {
+        if !game.coalition_feasible(&cand.joined) {
+            return None;
+        }
+        let new_cost = cost(player, &cand.joined);
+        match options.rule {
+            SwitchRule::SelfishWithHistory => Some(current_cost - new_cost),
+            SwitchRule::SelfishWithConsent => match cand.mv {
+                Move::Singleton => Some(current_cost - new_cost),
+                Move::Join(id) => {
+                    let members = partition.members(id);
+                    let harmed = members
+                        .iter()
+                        .any(|&q| cost(q, &cand.joined) > cost(q, members) + eps);
+                    if harmed {
+                        None
+                    } else {
+                        Some(current_cost - new_cost)
+                    }
                 }
-                SwitchRule::Utilitarian => {
-                    let social_gain = from_cost_before - (from_cost_after + new_cost);
-                    consider(Move::Singleton, social_gain);
-                }
+            },
+            SwitchRule::Utilitarian => {
+                let (to_before, to_after) = match cand.mv {
+                    Move::Join(id) => {
+                        let members = partition.members(id);
+                        (
+                            members.iter().map(|&q| cost(q, members)).sum::<f64>(),
+                            cand.joined
+                                .iter()
+                                .map(|&q| cost(q, &cand.joined))
+                                .sum::<f64>(),
+                        )
+                    }
+                    Move::Singleton => (0.0, new_cost),
+                };
+                Some((from_cost_before + to_before) - (from_cost_after + to_after))
+            }
+        }
+    });
+
+    // Deterministic serial reduce: strictly larger gain wins, first
+    // candidate wins ties — exactly the serial scan's behaviour.
+    let mut best: Option<(Move, f64)> = None;
+    for (cand, gain) in candidates.iter().zip(&gains) {
+        let Some(gain) = *gain else { continue };
+        attempts.incr();
+        if gain > eps {
+            match &best {
+                Some((_, g)) if *g >= gain => {}
+                _ => best = Some((cand.mv, gain)),
             }
         }
     }
-
     best
 }
 
@@ -416,6 +447,40 @@ mod tests {
         assert!(report.partition.is_consistent());
         // Fee 2 cannot justify the 0..11 spread: the far pair must break off.
         assert!(report.partition.num_coalitions() >= 2);
+    }
+
+    #[test]
+    fn default_round_cap_stops_nonconverging_dynamics() {
+        // A pathological (non-hedonic) game whose cost falls on every
+        // evaluation: under the utilitarian rule the later-evaluated state
+        // always looks cheaper, so singletons merge, pairs split, and the
+        // dynamics cycle forever. `max_rounds = 0` must clamp to the
+        // documented `100 * n` and report `converged: false` instead of
+        // looping.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct EverCheaper(AtomicU64);
+        impl HedonicGame for EverCheaper {
+            fn num_players(&self) -> usize {
+                2
+            }
+            fn player_cost(&self, _p: usize, _c: &BTreeSet<usize>) -> f64 {
+                1e6 - self.0.fetch_add(1, Ordering::Relaxed) as f64
+            }
+        }
+        let game = EverCheaper(AtomicU64::new(0));
+        let report = run(
+            &game,
+            Partition::singletons(2),
+            EngineOptions {
+                rule: SwitchRule::Utilitarian,
+                max_rounds: 0,
+                ..EngineOptions::default()
+            },
+        );
+        assert!(!report.converged, "cycling dynamics must not converge");
+        assert_eq!(report.rounds, 100 * 2, "cap must clamp to 100 * n");
+        assert!(report.switches >= report.rounds, "every round kept moving");
+        assert!(report.partition.is_consistent());
     }
 
     #[test]

@@ -11,7 +11,12 @@ use std::collections::BTreeSet;
 ///
 /// Lower cost is preferred. Implementations must be deterministic and
 /// finite-valued on every feasible coalition containing the player.
-pub trait HedonicGame {
+///
+/// The `Sync` supertrait lets the engine evaluate a player's candidate
+/// moves in parallel (`ccs-par`); determinism then guarantees the selected
+/// move — and therefore the whole partition trajectory — is identical at
+/// any thread count.
+pub trait HedonicGame: Sync {
     /// Number of players.
     fn num_players(&self) -> usize;
 

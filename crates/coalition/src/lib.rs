@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod engine;
 pub mod game;
 pub mod partition;
@@ -33,6 +34,7 @@ pub mod stability;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
+    pub use crate::cache::CoalitionCache;
     pub use crate::engine::{run, ConvergenceReport, EngineOptions, SwitchRule};
     pub use crate::game::{FeeSharingGame, HedonicGame};
     pub use crate::partition::{CoalitionId, Partition};

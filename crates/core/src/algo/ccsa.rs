@@ -157,6 +157,12 @@ pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOption
 
 /// The best `(facility, member set)` of one greedy round: minimum
 /// per-member group cost over all facilities.
+///
+/// Every `(charger, gathering point)` facility is priced independently, so
+/// the scan runs as one `ccs-par` batch; the winner is then picked by a
+/// serial reduce in facility order with the original strict-improvement
+/// tie-break, keeping the committed group bit-identical at any thread
+/// count.
 fn best_round_group(
     problem: &CcsProblem,
     remaining: &[DeviceId],
@@ -171,12 +177,23 @@ fn best_round_group(
         candidates.extend(problem.scenario().field().grid(options.candidate_grid));
     }
 
-    let mut best: Option<(f64, ChargerId, Point, Vec<DeviceId>)> = None;
+    // The demand vector is facility-independent; hoist it out of the batch.
+    let demands: Vec<f64> = remaining
+        .iter()
+        .map(|&d| problem.device(d).demand().value())
+        .collect();
+
+    let facilities: Vec<(ChargerId, Point)> = problem
+        .scenario()
+        .charger_ids()
+        .flat_map(|charger| candidates.iter().map(move |&point| (charger, point)))
+        .collect();
+
     let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
-    for charger in problem.scenario().charger_ids() {
-        let c = problem.charger(charger);
-        for &point in &candidates {
+    let priced: Vec<Option<(f64, Vec<usize>)>> =
+        ccs_par::par_map(&facilities, |_, &(charger, point)| {
             facility_evals.incr();
+            let c = problem.charger(charger);
             let fee = c.base_fee() + c.travel_cost_rate() * c.position().distance(&point);
             let weights: Vec<f64> = remaining
                 .iter()
@@ -187,10 +204,6 @@ fn best_round_group(
                     .value()
                 })
                 .collect();
-            let demands: Vec<f64> = remaining
-                .iter()
-                .map(|&d| problem.device(d).demand().value())
-                .collect();
             let budget = c.energy_budget().map(|b| b.value());
             let f = SeparableFn::new(
                 weights,
@@ -198,16 +211,21 @@ fn best_round_group(
                 problem.params().congestion_curve.clone(),
                 c.occupancy_rate().value(),
             );
-            if let Some((density, picked)) = min_density(&f, &demands, budget, problem, options) {
-                let better = match &best {
-                    Some((b, _, _, _)) => density < *b - 1e-12,
-                    None => true,
-                };
-                if better {
-                    let members: Vec<DeviceId> = picked.iter().map(|&i| remaining[i]).collect();
-                    best = Some((density, charger, point, members));
-                }
-            }
+            min_density(&f, &demands, budget, problem, options)
+        });
+
+    let mut best: Option<(f64, ChargerId, Point, Vec<DeviceId>)> = None;
+    for (&(charger, point), result) in facilities.iter().zip(&priced) {
+        let Some((density, picked)) = result else {
+            continue;
+        };
+        let better = match &best {
+            Some((b, _, _, _)) => *density < *b - 1e-12,
+            None => true,
+        };
+        if better {
+            let members: Vec<DeviceId> = picked.iter().map(|&i| remaining[i]).collect();
+            best = Some((*density, charger, point, members));
         }
     }
     let (_, charger, point, members) = best.expect("some facility always admits a group");

@@ -9,19 +9,23 @@
 //! resulting partition is checked for pure Nash stability and converted to
 //! a schedule.
 //!
-//! Facility choices and shares are memoized per coalition composition, so
-//! the game engine's many repeated evaluations stay cheap.
+//! Facility choices and shares are memoized per coalition composition in a
+//! thread-safe [`CoalitionCache`] shared across rounds, so the game
+//! engine's many repeated evaluations stay cheap — including when the
+//! engine's best-response scan evaluates candidate moves in parallel
+//! (`ccs-par`). Cache effectiveness is visible in run reports as
+//! `cache.hits` / `cache.misses`.
 
 use crate::cost::{best_facility, FacilityChoice};
 use crate::problem::CcsProblem;
 use crate::schedule::{GroupPlan, Schedule};
 use crate::sharing::CostSharing;
+use ccs_coalition::cache::CoalitionCache;
 use ccs_coalition::engine::{run, EngineOptions, SwitchRule};
 use ccs_coalition::game::HedonicGame;
 use ccs_coalition::partition::Partition;
-use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Where the game dynamics start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,11 +78,13 @@ pub struct CcsgaOutcome {
 
 /// The hedonic game induced by a CCS instance and a sharing scheme.
 ///
-/// Caches `(facility, shares)` per coalition composition.
+/// Caches `(facility, shares)` per coalition composition in a thread-safe
+/// [`CoalitionCache`], so the engine's parallel candidate batches share the
+/// memo and re-pricing survives across rounds.
 struct CcsGame<'a> {
     problem: &'a CcsProblem,
     sharing: &'a dyn CostSharing,
-    cache: RefCell<HashMap<Vec<usize>, Rc<CachedCoalition>>>,
+    cache: CoalitionCache<CachedCoalition>,
 }
 
 struct CachedCoalition {
@@ -91,30 +97,26 @@ impl<'a> CcsGame<'a> {
         CcsGame {
             problem,
             sharing,
-            cache: RefCell::new(HashMap::new()),
+            cache: CoalitionCache::new(),
         }
     }
 
-    fn evaluate(&self, coalition: &BTreeSet<usize>) -> Rc<CachedCoalition> {
-        let key: Vec<usize> = coalition.iter().copied().collect();
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return Rc::clone(hit);
-        }
-        let members: Vec<ccs_wrsn::entities::DeviceId> = key
-            .iter()
-            .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
-            .collect();
-        let facility = best_facility(self.problem, &members);
-        let shares = self.sharing.shares(
-            self.problem,
-            facility.charger,
-            &members,
-            &facility.point,
-            &facility.bill,
-        );
-        let entry = Rc::new(CachedCoalition { facility, shares });
-        self.cache.borrow_mut().insert(key, Rc::clone(&entry));
-        entry
+    fn evaluate(&self, coalition: &BTreeSet<usize>) -> Arc<CachedCoalition> {
+        self.cache.get_or_insert_with(coalition, || {
+            let members: Vec<ccs_wrsn::entities::DeviceId> = coalition
+                .iter()
+                .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
+                .collect();
+            let facility = best_facility(self.problem, &members);
+            let shares = self.sharing.shares(
+                self.problem,
+                facility.charger,
+                &members,
+                &facility.point,
+                &facility.bill,
+            );
+            CachedCoalition { facility, shares }
+        })
     }
 }
 
@@ -188,7 +190,7 @@ pub fn ccsga(
         },
     );
 
-    ccs_telemetry::counter!("ccsga.coalition_cache_entries").add(game.cache.borrow().len() as u64);
+    ccs_telemetry::counter!("ccsga.coalition_cache_entries").add(game.cache.len() as u64);
 
     let mut plans: Vec<GroupPlan> = report
         .partition

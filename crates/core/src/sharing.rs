@@ -17,7 +17,11 @@ use ccs_wrsn::units::Cost;
 use std::fmt;
 
 /// A budget-balanced division of a group's bill among its members.
-pub trait CostSharing: fmt::Debug {
+///
+/// `Send + Sync` because sharing schemes are consulted from the parallel
+/// evaluation batches of CCSGA's induced hedonic game; all schemes are
+/// stateless, so this costs implementations nothing.
+pub trait CostSharing: fmt::Debug + Send + Sync {
     /// Splits `bill` among `members` (shares align with `members`).
     ///
     /// The extra context (`problem`, `charger`, `point`) lets schemes like

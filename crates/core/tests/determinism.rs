@@ -1,0 +1,113 @@
+//! Property tests of the determinism guarantee of the parallel evaluation
+//! layer: CCSGA partitions and CCSA schedules must be **bit-identical**
+//! across `threads ∈ {1, 2, 8}` for random scenarios and seeds.
+//!
+//! The thread-count knob is process-wide, but because every parallel batch
+//! is deterministic, concurrently running tests are unaffected by the knob
+//! changing under them — that is exactly the property being verified.
+
+use ccs_core::prelude::*;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn problem(seed: u64, devices: usize, chargers: usize) -> CcsProblem {
+    CcsProblem::new(
+        ScenarioGenerator::new(seed)
+            .devices(devices)
+            .chargers(chargers)
+            .generate(),
+    )
+}
+
+/// Serializes a schedule to canonical JSON: equal strings ⇔ every group,
+/// member, facility coordinate, and cost share is bit-identical.
+fn schedule_json(s: &ccs_core::schedule::Schedule) -> String {
+    serde_json::to_string(s).expect("schedules serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ccsga_partitions_bit_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        devices in 6usize..16,
+        chargers in 2usize..5,
+    ) {
+        let p = problem(seed, devices, chargers);
+        let mut reference: Option<(Vec<Vec<usize>>, String, u64)> = None;
+        for &t in &THREAD_COUNTS {
+            ccs_par::set_threads(t);
+            let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
+            ccs_par::set_threads(0);
+            let got = (
+                out_partition(&out),
+                schedule_json(&out.schedule),
+                out.schedule.total_cost().value().to_bits(),
+            );
+            match &reference {
+                Some(expected) => prop_assert_eq!(&got, expected),
+                None => reference = Some(got),
+            }
+        }
+    }
+
+    #[test]
+    fn ccsa_schedules_bit_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        devices in 6usize..16,
+        chargers in 2usize..5,
+    ) {
+        let p = problem(seed, devices, chargers);
+        let mut reference: Option<(String, u64)> = None;
+        for &t in &THREAD_COUNTS {
+            ccs_par::set_threads(t);
+            let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+            ccs_par::set_threads(0);
+            let got = (schedule_json(&s), s.total_cost().value().to_bits());
+            match &reference {
+                Some(expected) => prop_assert_eq!(&got, expected),
+                None => reference = Some(got),
+            }
+        }
+    }
+}
+
+/// The group structure of a CCSGA outcome as sorted member lists.
+fn out_partition(out: &ccs_core::algo::ccsga::CcsgaOutcome) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = out
+        .schedule
+        .groups()
+        .iter()
+        .map(|g| g.members.iter().map(|d| d.index()).collect())
+        .collect();
+    groups.sort();
+    groups
+}
+
+/// The general SFM machinery must agree with itself across thread counts
+/// too (it drives the Dinkelbach ablation paths).
+#[test]
+fn dinkelbach_mnp_ccsa_variant_is_thread_invariant() {
+    let p = problem(42, 12, 3);
+    let mut reference: Option<String> = None;
+    for &t in &THREAD_COUNTS {
+        ccs_par::set_threads(t);
+        let s = ccsa(
+            &p,
+            &EqualShare,
+            CcsaOptions {
+                minimizer: InnerMinimizer::DinkelbachMnp,
+                ..Default::default()
+            },
+        );
+        ccs_par::set_threads(0);
+        let got = schedule_json(&s);
+        match &reference {
+            Some(expected) => assert_eq!(&got, expected, "threads = {t} diverged"),
+            None => reference = Some(got),
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! # ccs-par
+//!
+//! A small **deterministic** parallel-map layer over [`std::thread::scope`]
+//! for the embarrassingly parallel evaluation batches inside the CCS
+//! schedulers (CCSA's facility scan, CCSGA's best-response scan, the
+//! submodular oracle's prefix chains).
+//!
+//! ## Determinism contract
+//!
+//! [`par_eval`] and [`par_map`] return results **in index order**, exactly
+//! as the equivalent serial loop would, regardless of how the work was
+//! interleaved across threads. As long as the supplied closure is a pure
+//! function of its index (which every caller in this workspace guarantees),
+//! the output is *bit-identical at any thread count* — callers then apply
+//! their own serial reductions (first-wins argmin, prefix diffs, …) on top,
+//! so whole-algorithm results do not drift when `CCS_THREADS` changes.
+//!
+//! ## The thread-count knob
+//!
+//! The worker count is a process-wide knob resolved in this order:
+//!
+//! 1. [`set_threads`] (the `--threads` CLI flag calls this),
+//! 2. the `CCS_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A count of `1` short-circuits to the **exact serial path**: no threads
+//! are spawned and the closure runs inline in index order.
+//!
+//! ## Zero-dependency design
+//!
+//! Like `ccs-telemetry`, this crate uses nothing beyond `std` (plus the
+//! telemetry counters themselves). The build environment has no registry
+//! access, and a scoped-thread fan-out with an atomic work cursor covers
+//! everything the schedulers need — a full `rayon` would add weight for
+//! features (nested pools, splitting heuristics) the hot paths never use.
+
+use std::num::NonZeroUsize;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// `0` means "no override": fall back to `CCS_THREADS` or the machine.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The environment/default resolution, done once per process.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("CCS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// The worker count parallel batches currently run with (always `>= 1`).
+pub fn threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the process-wide worker count. `0` clears the override,
+/// restoring the `CCS_THREADS`-or-machine default; `1` forces the exact
+/// serial path.
+///
+/// Because every parallel batch is deterministic (see the module docs),
+/// changing this concurrently with running work affects only performance,
+/// never results.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Evaluates `f(0), f(1), …, f(n-1)` and returns the results in index
+/// order, fanning the evaluations out over scoped threads.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven per-index
+/// cost does not idle workers; results are scattered back by index, so the
+/// output order is always the serial order. With [`threads`]` == 1` or
+/// `n <= 1` no thread is spawned and `f` runs inline.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_eval<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    ccs_telemetry::counter!("par.batches").incr();
+    ccs_telemetry::counter!("par.items").add(n as u64);
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        acc.push((i, f(i)));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(pairs) => {
+                    for (i, value) in pairs {
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over `items`, returning results in item order. The closure also
+/// receives the item index so callers can carry positional context without
+/// allocating.
+///
+/// Same determinism and fallback semantics as [`par_eval`].
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_eval(items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_eval(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_passes_items_and_indices() {
+        let items = vec![10u64, 20, 30];
+        let out = par_map(&items, |i, &x| x + i as u64);
+        assert_eq!(out, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let work = |i: usize| ((i as f64) * 0.37).sin().to_bits();
+        let mut reference: Option<Vec<u64>> = None;
+        for t in [1usize, 2, 3, 8] {
+            set_threads(t);
+            let got = par_eval(257, work);
+            match &reference {
+                Some(expected) => assert_eq!(&got, expected, "threads = {t}"),
+                None => reference = Some(got),
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        assert_eq!(par_eval(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_eval(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_index_evaluated_exactly_once() {
+        set_threads(4);
+        let calls = AtomicU64::new(0);
+        let out = par_eval(1000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        set_threads(0);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        set_threads(2);
+        let result = panic::catch_unwind(|| {
+            par_eval(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        set_threads(0);
+        assert!(result.is_err());
+    }
+}

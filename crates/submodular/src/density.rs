@@ -71,14 +71,16 @@ where
         return Err(DensityError::NotNormalized);
     }
 
-    // Start from the cheapest singleton ratio (an upper bound on the answer).
+    // Start from the cheapest singleton ratio (an upper bound on the
+    // answer). The n singleton probes are independent, so they run as one
+    // parallel oracle batch; the min is then taken over the batch in index
+    // order, which reproduces the serial scan's selection exactly.
     let empty = Subset::empty(n);
-    let (mut best_set, mut best_ratio) = (0..n)
-        .map(|i| {
-            let s = empty.with(i);
-            let r = f.eval(&s);
-            (s, r)
-        })
+    let singleton_values: Vec<f64> = ccs_par::par_eval(n, |i| f.eval(&empty.with(i)));
+    let (mut best_set, mut best_ratio) = singleton_values
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (empty.with(i), r))
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("nonempty ground set has singletons");
 

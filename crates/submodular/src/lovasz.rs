@@ -23,10 +23,43 @@ fn order_by(w: &[f64]) -> Vec<usize> {
     idx
 }
 
+/// Ground-set size below which the prefix chain is evaluated inline: for
+/// tiny instances the scoped-thread fan-out costs more than the chain.
+const PAR_PREFIX_MIN: usize = 16;
+
+/// Evaluates `f` on every prefix of `order`, fanning the evaluations out
+/// over `ccs-par` when the chain is long enough to amortize the threads.
+///
+/// The prefixes are independent subsets once the order is fixed, so the
+/// batched values are identical to the serial ones; callers diff adjacent
+/// values to recover marginals.
+pub(crate) fn prefix_values<F: SetFunction>(f: &F, order: &[usize]) -> Vec<f64> {
+    let n = order.len();
+    if ccs_par::threads() == 1 || n < PAR_PREFIX_MIN {
+        let mut values = Vec::with_capacity(n);
+        let mut prefix = Subset::empty(f.ground_size());
+        for &i in order {
+            prefix.insert(i);
+            values.push(f.eval(&prefix));
+        }
+        return values;
+    }
+    let mut prefixes: Vec<Subset> = Vec::with_capacity(n);
+    let mut prefix = Subset::empty(f.ground_size());
+    for &i in order {
+        prefix.insert(i);
+        prefixes.push(prefix.clone());
+    }
+    ccs_par::par_map(&prefixes, |_, s| f.eval(s))
+}
+
 /// Edmonds' greedy vertex: the vertex of `B(f − f(∅))` minimizing `<w, ·>`.
 ///
 /// `f` is normalized internally (its value at the empty set is subtracted),
-/// so callers may pass un-normalized functions.
+/// so callers may pass un-normalized functions. The prefix chain — the
+/// oracle-evaluation bulk of every min-norm-point major iteration — is
+/// evaluated as one parallel batch; results are identical at any thread
+/// count.
 ///
 /// # Panics
 ///
@@ -37,12 +70,10 @@ pub fn greedy_vertex<F: SetFunction>(f: &F, w: &[f64]) -> Vec<f64> {
     // `n + 1` set-function evaluations: one per prefix plus `at_empty`.
     ccs_telemetry::counter!("sfm.oracle_evals").add(n as u64 + 1);
     let order = order_by(w);
+    let values = prefix_values(f, &order);
     let mut vertex = vec![0.0; n];
-    let mut prefix = Subset::empty(n);
     let mut prev = f.at_empty();
-    for &i in &order {
-        prefix.insert(i);
-        let cur = f.eval(&prefix);
+    for (&i, &cur) in order.iter().zip(&values) {
         vertex[i] = cur - prev;
         prev = cur;
     }

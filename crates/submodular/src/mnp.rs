@@ -279,16 +279,19 @@ pub fn minimize<F: SetFunction>(f: &F, options: MnpOptions) -> SfmResult {
     }
 
     // Robust extraction: all prefixes of the ground set ordered by x*,
-    // plus the empty set, are candidate minimizers.
+    // plus the empty set, are candidate minimizers. The prefix values are
+    // one parallel oracle batch; the scan stays serial so the first-best
+    // tie-break is identical at any thread count.
     let offset = f.at_empty();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| x[a].total_cmp(&x[b]).then(a.cmp(&b)));
+    let values = crate::lovasz::prefix_values(f, &order);
     let mut best_set = Subset::empty(n);
     let mut best_val = 0.0; // normalized f(∅) = 0
     let mut prefix = Subset::empty(n);
-    for &i in &order {
+    for (&i, &raw) in order.iter().zip(&values) {
         prefix.insert(i);
-        let v = f.eval(&prefix) - offset;
+        let v = raw - offset;
         if v < best_val - 1e-15 {
             best_val = v;
             best_set = prefix.clone();

@@ -36,7 +36,11 @@ use std::sync::Arc;
 /// Implementations must be deterministic: repeated evaluation of the same
 /// subset returns the same value. Optimization code additionally assumes
 /// finiteness on every subset.
-pub trait SetFunction {
+///
+/// The `Send + Sync` supertraits let the oracle batches in this crate fan
+/// evaluations out over `ccs-par` scoped threads; determinism then makes
+/// the batched results identical to the serial ones.
+pub trait SetFunction: Send + Sync {
     /// Size of the ground set `{0, .., n-1}`.
     fn ground_size(&self) -> usize;
 

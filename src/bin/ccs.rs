@@ -18,6 +18,10 @@
 //! JSONL while the run executes). Either flag enables the otherwise-dormant
 //! global telemetry registry.
 //!
+//! Every command accepts `--threads N` to pin the worker count of the
+//! deterministic parallel evaluation layer (`ccs-par`); `CCS_THREADS` is
+//! the environment equivalent. Schedules are bit-identical at any setting.
+//!
 //! Human-readable results go to stdout; stderr carries errors and
 //! diagnostics only.
 
@@ -39,6 +43,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global knob: worker threads for the parallel evaluation batches
+    // (default: CCS_THREADS env, then available parallelism; results are
+    // deterministic at any setting, `1` forces the exact serial path).
+    match get(&opts, "threads", 0usize) {
+        Ok(n) => {
+            if n > 0 {
+                ccs_repro::ccs_par::set_threads(n);
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "gen" => cmd_gen(&opts),
         "plan" => cmd_plan(&opts),
@@ -70,7 +88,12 @@ commands:
 
 telemetry (plan, replay, lifetime):
   --report FILE      write a JSON RunReport (counters, timers, span timings)
-  --trace-json FILE  stream telemetry events to FILE as JSON Lines";
+  --trace-json FILE  stream telemetry events to FILE as JSON Lines
+
+performance (all commands):
+  --threads N        worker threads for parallel evaluation batches
+                     (default: CCS_THREADS env, then available cores;
+                     1 = exact serial path; results are identical at any N)";
 
 type Flags = HashMap<String, String>;
 
@@ -126,8 +149,8 @@ fn telemetry_setup(opts: &Flags) -> Result<Option<String>, String> {
     Ok(report)
 }
 
-/// Writes the global registry's [`RunReport`] snapshot to `path` as pretty
-/// JSON.
+/// Writes the global registry's [`RunReport`](ccs_repro::ccs_telemetry::RunReport)
+/// snapshot to `path` as pretty JSON.
 fn write_report(path: &str) -> Result<(), String> {
     let report = ccs_repro::ccs_telemetry::global().report();
     let json = report.to_json_pretty();

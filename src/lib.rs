@@ -13,7 +13,10 @@
 //!   8-node field testbed;
 //! * [`ccs_telemetry`] — counters, spans, and JSONL run reports shared by
 //!   every layer above (disabled by default; the `ccs` CLI's `--report` /
-//!   `--trace-json` flags switch it on).
+//!   `--trace-json` flags switch it on);
+//! * [`ccs_par`] — the deterministic scoped-thread parallel layer the hot
+//!   paths fan out over (`CCS_THREADS` env / `--threads` CLI knob; results
+//!   are bit-identical at any thread count).
 //!
 //! # Quickstart
 //!
@@ -34,6 +37,7 @@
 
 pub use ccs_coalition;
 pub use ccs_core;
+pub use ccs_par;
 pub use ccs_submodular;
 pub use ccs_telemetry;
 pub use ccs_testbed;

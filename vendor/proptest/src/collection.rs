@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// Length specifications accepted by [`vec()`]: an exact `usize` or a
 /// half-open `Range<usize>`.
 pub trait IntoSizeRange {
     /// Returns `(min, max_exclusive)` bounds.
