@@ -30,6 +30,7 @@ pub const ALL: &[&str] = &[
     "fig13_lifetime",
     "fig14_failures",
     "fig15_poa",
+    "fig16_recovery",
     "abl_gathering",
     "abl_switch_rule",
     "abl_sfm",
@@ -57,6 +58,7 @@ pub fn run(id: &str, out: &Path) -> io::Result<()> {
         "fig13_lifetime" => extensions::fig13(out),
         "fig14_failures" => extensions::fig14(out),
         "fig15_poa" => extensions::fig15(out),
+        "fig16_recovery" => extensions::fig16(out),
         "abl_gathering" => ablations::abl_gathering(out),
         "abl_switch_rule" => ablations::abl_switch_rule(out),
         "abl_sfm" => ablations::abl_sfm(out),

@@ -43,6 +43,7 @@ pub mod gathering;
 pub mod lifetime;
 pub mod metrics;
 pub mod problem;
+pub mod recover;
 pub mod schedule;
 pub mod sharing;
 
@@ -61,9 +62,16 @@ pub mod prelude {
         enforce_exclusivity, exclusivity_ratio, hungarian, ExclusivityError,
     };
     pub use crate::gathering::GatheringStrategy;
-    pub use crate::lifetime::{run_lifetime, LifetimeConfig, LifetimeReport, Policy};
+    pub use crate::lifetime::{
+        run_lifetime, run_lifetime_with, LifetimeConfig, LifetimeDriver, LifetimeReport,
+        PlannedDelivery, Policy, RoundDelivery,
+    };
     pub use crate::metrics::{compare, gap_above_optimal_percent, jain_fairness, saving_percent};
     pub use crate::problem::{CcsProblem, CostParams};
+    pub use crate::recover::{
+        recover_with, RecoveryConfig, RecoveryExecutor, RecoveryOutcome, RecoveryRound,
+        RoundExecution, RoundMode,
+    };
     pub use crate::schedule::{GroupPlan, Schedule, ScheduleError};
     pub use crate::sharing::{
         all_schemes, CostSharing, EqualShare, ProportionalShare, ShapleyShare,

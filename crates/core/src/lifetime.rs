@@ -15,6 +15,7 @@
 
 use crate::algo::{ccsa, ccsga, noncooperation, CcsaOptions, CcsgaOptions};
 use crate::problem::{CcsProblem, CostParams};
+use crate::schedule::Schedule;
 use crate::sharing::CostSharing;
 use ccs_wrsn::energy::{Battery, EnergyDemand};
 use ccs_wrsn::entities::{Device, DeviceId};
@@ -41,6 +42,63 @@ impl Policy {
             Policy::Ccsa(_) => "ccsa",
             Policy::Ccsga(_) => "ccsga",
             Policy::Noncooperative => "ncp",
+        }
+    }
+
+    /// Plans one round with this policy. The single dispatch point shared
+    /// by the lifetime loop and the recovery engine, so "re-plan with the
+    /// same algorithm" means exactly that.
+    pub fn plan(&self, problem: &CcsProblem, sharing: &dyn CostSharing) -> Schedule {
+        match self {
+            Policy::Ccsa(options) => ccsa(problem, sharing, *options),
+            Policy::Ccsga(options) => ccsga(problem, sharing, *options).schedule,
+            Policy::Noncooperative => noncooperation(problem, sharing),
+        }
+    }
+}
+
+/// What one round's schedule actually delivered, as reported by a
+/// [`LifetimeDriver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundDelivery {
+    /// Whether each *round-local* device (index into the round problem)
+    /// received its energy.
+    pub served: Vec<bool>,
+    /// Realized total comprehensive cost of the round.
+    pub total_cost: Cost,
+    /// Charger hires actually made (recovery re-dispatches add hires).
+    pub hires: usize,
+}
+
+/// Executes one planned round of the lifetime loop.
+///
+/// The default driver ([`PlannedDelivery`]) trusts the planner: every
+/// scheduled device is served at the planned cost. A testbed-backed driver
+/// replays the schedule under noise and hard failures (optionally with
+/// closed-loop recovery) and reports what was *really* delivered; devices
+/// it leaves unserved keep their depleted batteries and re-request in the
+/// next round.
+pub trait LifetimeDriver {
+    /// Delivers `schedule` for `problem`, round index `round`.
+    fn deliver(&mut self, problem: &CcsProblem, schedule: &Schedule, round: usize)
+        -> RoundDelivery;
+}
+
+/// The planner-faithful driver: everything planned is delivered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlannedDelivery;
+
+impl LifetimeDriver for PlannedDelivery {
+    fn deliver(
+        &mut self,
+        problem: &CcsProblem,
+        schedule: &Schedule,
+        _round: usize,
+    ) -> RoundDelivery {
+        RoundDelivery {
+            served: vec![true; problem.num_devices()],
+            total_cost: schedule.total_cost(),
+            hires: schedule.groups().len(),
         }
     }
 }
@@ -88,6 +146,9 @@ pub struct LifetimeReport {
     pub dead_device_rounds: usize,
     /// Fraction of device-rounds with a non-empty battery, in `[0, 1]`.
     pub survival_rate: f64,
+    /// Refill requests that went unserved (failure-aware drivers only;
+    /// always zero under the planner-faithful default driver).
+    pub unserved_requests: usize,
 }
 
 /// Runs the multi-round loop.
@@ -126,6 +187,36 @@ pub fn run_lifetime(
     policy: Policy,
     config: &LifetimeConfig,
 ) -> LifetimeReport {
+    run_lifetime_with(
+        scenario,
+        params,
+        sharing,
+        policy,
+        config,
+        &mut PlannedDelivery,
+    )
+}
+
+/// Runs the multi-round loop with an explicit [`LifetimeDriver`].
+///
+/// Same contract as [`run_lifetime`], but each planned round is handed to
+/// `driver` for delivery: only the devices the driver reports as served get
+/// their batteries refilled (and their demand counted as purchased energy),
+/// and the round is accounted at the driver's *realized* cost. Unserved
+/// requesters stay depleted and naturally re-request next round — the
+/// lifetime-level recovery loop.
+///
+/// # Panics
+///
+/// Same as [`run_lifetime`].
+pub fn run_lifetime_with(
+    scenario: &Scenario,
+    params: &CostParams,
+    sharing: &dyn CostSharing,
+    policy: Policy,
+    config: &LifetimeConfig,
+    driver: &mut dyn LifetimeDriver,
+) -> LifetimeReport {
     assert!(config.rounds > 0, "need at least one round");
     assert!(
         config.refill_threshold > 0.0 && config.refill_threshold < config.target_soc,
@@ -145,8 +236,9 @@ pub fn run_lifetime(
     let mut hires = 0usize;
     let mut energy_purchased = Joules::ZERO;
     let mut dead_device_rounds = 0usize;
+    let mut unserved_requests = 0usize;
 
-    for _round in 0..config.rounds {
+    for round in 0..config.rounds {
         // 1. Consumption (dead devices stay dead but keep consuming nothing).
         for battery in batteries.iter_mut() {
             let draw = Joules::new(config.consumption.sample(&mut rng));
@@ -201,21 +293,25 @@ pub fn run_lifetime(
         .expect("round scenario is valid by construction");
         let problem = CcsProblem::with_params(round_scenario, params.clone());
 
-        // 4. Plan and account.
-        let schedule = match policy {
-            Policy::Ccsa(options) => ccsa(&problem, sharing, options),
-            Policy::Ccsga(options) => ccsga(&problem, sharing, options).schedule,
-            Policy::Noncooperative => noncooperation(&problem, sharing),
-        };
+        // 4. Plan, deliver, account. The driver decides who was actually
+        // served and what the round really cost; anyone left unserved keeps
+        // a depleted battery and re-requests next round.
+        let schedule = policy.plan(&problem, sharing);
         debug_assert!(schedule.validate(&problem).is_ok());
-        let round_cost = schedule.total_cost();
+        let delivery = driver.deliver(&problem, &schedule, round);
+        debug_assert_eq!(delivery.served.len(), problem.num_devices());
+        let round_cost = delivery.total_cost;
         total_cost += round_cost;
         per_round_cost.push(round_cost);
-        hires += schedule.groups().len();
+        hires += delivery.hires;
 
-        // 5. Deliver the energy.
+        // 5. Deliver the energy to the served devices.
         for group in schedule.groups() {
             for &local in &group.members {
+                if !delivery.served[local.index()] {
+                    unserved_requests += 1;
+                    continue;
+                }
                 let global = origin[local.index()];
                 let demand = requesters
                     .iter()
@@ -236,6 +332,7 @@ pub fn run_lifetime(
         energy_purchased,
         dead_device_rounds,
         survival_rate: 1.0 - dead_device_rounds as f64 / device_rounds as f64,
+        unserved_requests,
     }
 }
 
@@ -361,6 +458,44 @@ mod tests {
         assert_eq!(report.total_cost, Cost::ZERO);
         assert_eq!(report.hires, 0);
         assert_eq!(report.survival_rate, 1.0);
+    }
+
+    #[test]
+    fn failing_driver_leaves_requests_unserved_and_buys_nothing() {
+        struct NothingDelivered;
+        impl LifetimeDriver for NothingDelivered {
+            fn deliver(
+                &mut self,
+                problem: &CcsProblem,
+                _schedule: &Schedule,
+                _round: usize,
+            ) -> RoundDelivery {
+                RoundDelivery {
+                    served: vec![false; problem.num_devices()],
+                    total_cost: Cost::ZERO,
+                    hires: 0,
+                }
+            }
+        }
+        let s = scenario();
+        let cfg = config(10);
+        let params = CostParams::default();
+        let report = run_lifetime_with(
+            &s,
+            &params,
+            &EqualShare,
+            Policy::Noncooperative,
+            &cfg,
+            &mut NothingDelivered,
+        );
+        assert!(report.unserved_requests > 0, "someone must have requested");
+        assert_eq!(report.energy_purchased, Joules::ZERO);
+        assert_eq!(report.total_cost, Cost::ZERO);
+        assert_eq!(report.hires, 0);
+        // Never refilled, so devices die more than under the faithful driver.
+        let faithful = run_lifetime(&s, &params, &EqualShare, Policy::Noncooperative, &cfg);
+        assert_eq!(faithful.unserved_requests, 0);
+        assert!(report.dead_device_rounds >= faithful.dead_device_rounds);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod event;
 pub mod field;
 pub mod noise;
+pub mod recover;
 pub mod sim;
 pub mod trace;
 
@@ -37,6 +38,7 @@ pub mod prelude {
     pub use crate::event::{EventQueue, SimTime};
     pub use crate::field::{field_noise, field_problem, field_scenario};
     pub use crate::noise::{FailureModel, NoiseModel};
+    pub use crate::recover::{recover, FieldExecutor, FieldRun, TestbedDriver};
     pub use crate::sim::{execute, execute_with_failures, FieldOutcome};
     pub use crate::trace::{Trace, TraceEvent, TraceKind};
 }

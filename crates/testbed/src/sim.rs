@@ -27,16 +27,17 @@ use ccs_core::problem::CcsProblem;
 use ccs_core::schedule::Schedule;
 use ccs_core::sharing::CostSharing;
 use ccs_wrsn::entities::ChargerId;
+use ccs_wrsn::geometry::Point;
 use ccs_wrsn::units::{Cost, Joules, Meters, Seconds};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Distance between the charger coil and a device under service.
 const LINK_DISTANCE_M: f64 = 0.3;
 
 /// Measured outcome of one testbed replay.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FieldOutcome {
     /// Realized comprehensive cost per device, indexed by `DeviceId::index()`.
     pub device_costs: Vec<Cost>,
@@ -44,7 +45,9 @@ pub struct FieldOutcome {
     pub device_wait: Vec<Seconds>,
     /// Realized bill per schedule group (same order as `schedule.groups()`).
     pub group_bills: Vec<Cost>,
-    /// Time the last charge completed.
+    /// Time of the last event of the realized timeline — the last charge
+    /// completion, or, when every charge was voided by failures, the last
+    /// device arrival / breakdown (total failure still takes time).
     pub makespan: Seconds,
     /// Total energy transmitted by all chargers (≥ total demand under
     /// imperfect efficiency).
@@ -52,6 +55,11 @@ pub struct FieldOutcome {
     /// Whether each device actually received its energy (false for
     /// no-shows and members of groups whose charger broke down).
     pub served: Vec<bool>,
+    /// Where each device physically ended the replay: the gathering point
+    /// for devices that completed the trip (served or stood up by a broken
+    /// charger), the halfway point for no-shows. Recovery re-plans unserved
+    /// devices from these positions.
+    pub final_positions: Vec<Point>,
     /// The full event timeline of the replay.
     pub trace: Trace,
 }
@@ -85,28 +93,58 @@ impl FieldOutcome {
         1.0 - self.unserved_count() as f64 / self.served.len() as f64
     }
 
-    /// Mean queueing delay across devices.
+    /// Mean queueing delay across **served** devices.
+    ///
+    /// Devices that never reached service (no-shows, members of voided
+    /// groups) have no queueing delay to report; averaging their zeros in
+    /// would under-state the delay exactly when failures are common. This
+    /// matches the `testbed.service_wait_s` telemetry timer, which also
+    /// records served devices only. Returns zero when nobody was served.
     pub fn average_wait(&self) -> Seconds {
-        if self.device_wait.is_empty() {
+        let served_waits: Vec<Seconds> = self
+            .device_wait
+            .iter()
+            .zip(&self.served)
+            .filter(|(_, s)| **s)
+            .map(|(w, _)| *w)
+            .collect();
+        if served_waits.is_empty() {
             return Seconds::ZERO;
         }
-        self.device_wait.iter().copied().sum::<Seconds>() / self.device_wait.len() as f64
+        served_waits.iter().copied().sum::<Seconds>() / served_waits.len() as f64
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    DeviceArrived { group: usize, local: usize },
-    ChargerArrived { group: usize },
-    ChargeDone { group: usize, local: usize },
+    DeviceArrived {
+        group: usize,
+        local: usize,
+    },
+    ChargerArrived {
+        group: usize,
+    },
+    ChargeDone {
+        group: usize,
+        local: usize,
+    },
+    /// A device breaks down halfway to its gathering point (trace only).
+    DeviceNoShow {
+        group: usize,
+        local: usize,
+    },
+    /// A charger breaks down mid-leg heading to `group` (trace only).
+    ChargerBrokeDown {
+        group: usize,
+    },
 }
 
 struct GroupState {
     charger_here: bool,
     busy: bool,
     served: usize,
-    /// Arrival-ordered queue of unserved local member indices.
-    ready: Vec<usize>,
+    /// Arrival-ordered FIFO of unserved local member indices.
+    ready: VecDeque<usize>,
     arrival_time: Vec<Option<SimTime>>,
 }
 
@@ -221,7 +259,7 @@ pub fn execute_with_failures(
             charger_here: false,
             busy: false,
             served: 0,
-            ready: Vec::new(),
+            ready: VecDeque::new(),
             arrival_time: vec![None; g.members.len()],
         })
         .collect();
@@ -229,30 +267,45 @@ pub fn execute_with_failures(
     // Arrivals a group is still waiting for (no-shows excluded).
     let mut expected: Vec<usize> = groups.iter().map(|g| g.members.len()).collect();
     let mut moving_cost = vec![Cost::ZERO; n];
+    let mut final_positions: Vec<Point> = problem
+        .scenario()
+        .devices()
+        .iter()
+        .map(|d| d.position())
+        .collect();
     for (gi, g) in groups.iter().enumerate() {
         for (local, &d) in g.members.iter().enumerate() {
             let dev = problem.device(d);
             let dist = dev.position().distance(&g.gathering_point) * dev_detour[d.index()];
+            let speed = dev.speed() * dev_speed[d.index()];
             if no_show[d.index()] {
                 // Broke down halfway: half the trip, never arrives.
                 moving_cost[d.index()] = dev.move_cost_rate() * (dist * 0.5);
+                final_positions[d.index()] = dev.position().lerp(&g.gathering_point, 0.5);
                 expected[gi] -= 1;
+                let breakdown = SimTime::new((dist * 0.5 / speed).value());
+                queue.schedule(breakdown, Ev::DeviceNoShow { group: gi, local });
                 continue;
             }
             moving_cost[d.index()] = dev.move_cost_rate() * dist;
-            let speed = dev.speed() * dev_speed[d.index()];
+            final_positions[d.index()] = g.gathering_point;
             let arrival = SimTime::new((dist / speed).value());
             queue.schedule(arrival, Ev::DeviceArrived { group: gi, local });
         }
     }
     for (&charger, gs) in &itinerary {
         let first = gs[0];
-        if !reached[first] {
-            continue; // broke down on the very first leg
-        }
         let speed = problem.charger(charger).speed() * leg_speed[first];
-        let arrival = SimTime::new((leg_distance[first] / speed).value());
-        queue.schedule(arrival, Ev::ChargerArrived { group: first });
+        let travel = (leg_distance[first] / speed).value();
+        if !reached[first] {
+            // Broke down on the very first leg: estimate mid-leg failure.
+            queue.schedule(
+                SimTime::new(travel * 0.5),
+                Ev::ChargerBrokeDown { group: first },
+            );
+            continue;
+        }
+        queue.schedule(SimTime::new(travel), Ev::ChargerArrived { group: first });
     }
 
     // --- Run. ---
@@ -268,10 +321,14 @@ pub fn execute_with_failures(
     let mut served = vec![false; n];
     let chain = |queue: &mut EventQueue<Ev>, now: SimTime, group: usize| {
         if let Some(&next) = next_group.get(&group) {
+            let speed = problem.charger(groups[group].charger).speed() * leg_speed[next];
+            let travel = (leg_distance[next] / speed).value();
             if reached[next] {
-                let speed = problem.charger(groups[group].charger).speed() * leg_speed[next];
-                let travel = (leg_distance[next] / speed).value();
                 queue.schedule(now + travel, Ev::ChargerArrived { group: next });
+            } else {
+                // `group` was reached, so the break happened on this very
+                // leg: estimate a mid-leg failure time for the trace.
+                queue.schedule(now + travel * 0.5, Ev::ChargerBrokeDown { group: next });
             }
         }
     };
@@ -279,6 +336,9 @@ pub fn execute_with_failures(
     let events_emitted = ccs_telemetry::counter!("testbed.events_emitted");
     while let Some((now, ev)) = queue.pop() {
         events_emitted.incr();
+        // The realized timeline ends at the last event, whatever it is:
+        // total-failure runs still spend real time travelling.
+        makespan = makespan.max(now);
         match ev {
             Ev::DeviceArrived { group, local } => {
                 trace.record(
@@ -288,7 +348,7 @@ pub fn execute_with_failures(
                     },
                 );
                 states[group].arrival_time[local] = Some(now);
-                states[group].ready.push(local);
+                states[group].ready.push_back(local);
                 try_start_service(
                     problem,
                     groups,
@@ -333,7 +393,6 @@ pub fn execute_with_failures(
                 trace.record(now.seconds(), TraceKind::ServiceCompleted { device: d });
                 energy_transmitted += problem.device(d).demand() / dev_eff[d.index()];
                 served[d.index()] = true;
-                makespan = makespan.max(now);
                 states[group].busy = false;
                 states[group].served += 1;
                 if states[group].served == expected[group] {
@@ -352,6 +411,23 @@ pub fn execute_with_failures(
                         &mut trace,
                     );
                 }
+            }
+            Ev::DeviceNoShow { group, local } => {
+                trace.record(
+                    now.seconds(),
+                    TraceKind::DeviceNoShow {
+                        device: groups[group].members[local],
+                    },
+                );
+            }
+            Ev::ChargerBrokeDown { group } => {
+                trace.record(
+                    now.seconds(),
+                    TraceKind::ChargerBrokeDown {
+                        charger: groups[group].charger,
+                        group,
+                    },
+                );
             }
         }
     }
@@ -413,6 +489,7 @@ pub fn execute_with_failures(
         makespan: Seconds::new(makespan.seconds()),
         energy_transmitted,
         served,
+        final_positions,
         trace,
     }
 }
@@ -433,7 +510,7 @@ fn try_start_service(
     if !st.charger_here || st.busy || st.ready.is_empty() {
         return;
     }
-    let local = st.ready.remove(0);
+    let local = st.ready.pop_front().expect("checked non-empty above");
     st.busy = true;
     let g = &groups[group];
     let d = g.members[local];
@@ -630,6 +707,22 @@ mod failure_sim_tests {
         }
         assert!(out.total_cost() > Cost::ZERO, "trips were still made");
         assert!(out.total_cost() < s.total_cost(), "refund beats full bill");
+        // The failures are visible in the trace: one breakdown per charger
+        // (a charger breaks once, on its first leg under prob 1).
+        let breakdowns = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::ChargerBrokeDown { .. }))
+            .count();
+        assert_eq!(breakdowns, s.chargers_used(), "one breakdown per charger");
+        // Devices still travelled for real time: makespan tracks the last
+        // event even though no charge ever completed.
+        assert!(
+            out.makespan > Seconds::ZERO,
+            "total failure still takes time, got {}",
+            out.makespan
+        );
     }
 
     #[test]
@@ -649,6 +742,69 @@ mod failure_sim_tests {
             assert!(out.group_bills[gi] > Cost::ZERO);
             assert!(out.group_bills[gi] < g.bill.total());
         }
+        // Every no-show is visible in the trace.
+        let no_shows = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::DeviceNoShow { .. }))
+            .count();
+        assert_eq!(no_shows, p.num_devices(), "one no-show event per device");
+        assert!(out.makespan > Seconds::ZERO, "half-trips still take time");
+    }
+
+    #[test]
+    fn average_wait_ignores_never_served_devices() {
+        // Breakdown-heavy run: many devices are never served. Their zero
+        // "waits" must not dilute the queueing statistic of the devices
+        // that actually queued at a coil.
+        let mut checked = 0;
+        for seed in 0..20u64 {
+            let p = problem(seed, 12, 4);
+            let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+            let failures = FailureModel {
+                charger_breakdown_prob: 0.5,
+                device_no_show_prob: 0.2,
+            };
+            let out =
+                execute_with_failures(&p, &s, &EqualShare, &NoiseModel::field(), &failures, seed);
+            let served: Vec<Seconds> = out
+                .device_wait
+                .iter()
+                .zip(&out.served)
+                .filter(|(_, s)| **s)
+                .map(|(w, _)| *w)
+                .collect();
+            if served.is_empty() || out.unserved_count() == 0 {
+                continue; // nothing to distinguish this seed
+            }
+            let served_mean = served.iter().copied().sum::<Seconds>() / served.len() as f64;
+            assert!(
+                (out.average_wait() - served_mean).abs() < Seconds::new(1e-9),
+                "seed {seed}: average_wait must average served devices only"
+            );
+            let diluted =
+                out.device_wait.iter().copied().sum::<Seconds>() / out.device_wait.len() as f64;
+            assert!(
+                out.average_wait() >= diluted,
+                "seed {seed}: filtering zeros can only raise the mean"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "at least one seed must exercise the filter");
+    }
+
+    #[test]
+    fn nobody_served_reports_zero_wait() {
+        let p = problem(5, 6, 2);
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        let failures = FailureModel {
+            charger_breakdown_prob: 1.0,
+            device_no_show_prob: 0.0,
+        };
+        let out = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        assert_eq!(out.served_fraction(), 0.0);
+        assert_eq!(out.average_wait(), Seconds::ZERO);
     }
 
     #[test]
@@ -769,6 +925,55 @@ mod trace_integration_tests {
             let (arrived, started, _) = out.trace.device_phases(d);
             assert!(arrived.is_none(), "{d} no-showed");
             assert!(started.is_none());
+            // ... but the breakdown itself is on the record.
+            assert!(
+                out.trace
+                    .device_events(d)
+                    .iter()
+                    .any(|e| matches!(e.kind, TraceKind::DeviceNoShow { device } if device == d)),
+                "{d}'s no-show must be traced"
+            );
+        }
+    }
+
+    #[test]
+    fn final_positions_reflect_realized_travel() {
+        use ccs_wrsn::units::Meters;
+        let p = CcsProblem::new(
+            ScenarioGenerator::new(4)
+                .devices(6)
+                .chargers(2)
+                .field_side(50.0)
+                .generate(),
+        );
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        // No failures: everyone ends at its group's gathering point.
+        let out = execute(&p, &s, &EqualShare, &NoiseModel::ideal(), 0);
+        for g in s.groups() {
+            for &d in &g.members {
+                assert_eq!(out.final_positions[d.index()], g.gathering_point);
+            }
+        }
+        // All no-show: everyone strands exactly halfway.
+        let failures = FailureModel {
+            charger_breakdown_prob: 0.0,
+            device_no_show_prob: 1.0,
+        };
+        let out = execute_with_failures(&p, &s, &EqualShare, &NoiseModel::ideal(), &failures, 0);
+        for g in s.groups() {
+            for &d in &g.members {
+                let start = p.device(d).position();
+                let half = start.distance(&g.gathering_point) * 0.5;
+                let got = out.final_positions[d.index()].distance(&start);
+                assert!(
+                    (got - half).abs() < Meters::new(1e-9),
+                    "{d} should strand halfway: {got} vs {half}"
+                );
+                assert!(p
+                    .scenario()
+                    .field()
+                    .contains(&out.final_positions[d.index()]));
+            }
         }
     }
 }

@@ -34,6 +34,20 @@ pub enum TraceKind {
         /// The device.
         device: DeviceId,
     },
+    /// A charger broke down en route and never reached this group (nor any
+    /// later group on its route). Emitted once per broken charger, at the
+    /// estimated mid-leg breakdown time.
+    ChargerBrokeDown {
+        /// The charger that failed.
+        charger: ChargerId,
+        /// Index of the schedule group its broken leg was heading to.
+        group: usize,
+    },
+    /// A device broke down halfway to its gathering point and never arrived.
+    DeviceNoShow {
+        /// The device.
+        device: DeviceId,
+    },
 }
 
 /// One timestamped trace event.
@@ -88,8 +102,9 @@ impl Trace {
             .filter(|e| match e.kind {
                 TraceKind::DeviceArrived { device: d }
                 | TraceKind::ServiceStarted { device: d }
-                | TraceKind::ServiceCompleted { device: d } => d == device,
-                TraceKind::ChargerArrived { .. } => false,
+                | TraceKind::ServiceCompleted { device: d }
+                | TraceKind::DeviceNoShow { device: d } => d == device,
+                TraceKind::ChargerArrived { .. } | TraceKind::ChargerBrokeDown { .. } => false,
             })
             .copied()
             .collect()
@@ -106,7 +121,9 @@ impl Trace {
                 TraceKind::DeviceArrived { .. } => arrived = Some(e.time_s),
                 TraceKind::ServiceStarted { .. } => started = Some(e.time_s),
                 TraceKind::ServiceCompleted { .. } => completed = Some(e.time_s),
-                TraceKind::ChargerArrived { .. } => {}
+                TraceKind::ChargerArrived { .. }
+                | TraceKind::ChargerBrokeDown { .. }
+                | TraceKind::DeviceNoShow { .. } => {}
             }
         }
         (arrived, started, completed)
@@ -170,6 +187,20 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::ServiceCompleted { device } => {
                 write!(f, "[{:>8.1}s] {device} done", self.time_s)
+            }
+            TraceKind::ChargerBrokeDown { charger, group } => {
+                write!(
+                    f,
+                    "[{:>8.1}s] {charger} broke down heading to group {group}",
+                    self.time_s
+                )
+            }
+            TraceKind::DeviceNoShow { device } => {
+                write!(
+                    f,
+                    "[{:>8.1}s] {device} broke down en route (no-show)",
+                    self.time_s
+                )
             }
         }
     }
@@ -256,6 +287,31 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn failure_events_display_and_filter() {
+        let mut t = Trace::new();
+        t.record(
+            3.0,
+            TraceKind::DeviceNoShow {
+                device: DeviceId::new(2),
+            },
+        );
+        t.record(
+            4.0,
+            TraceKind::ChargerBrokeDown {
+                charger: ChargerId::new(1),
+                group: 3,
+            },
+        );
+        let text: Vec<String> = t.events().iter().map(|e| e.to_string()).collect();
+        assert!(text[0].contains("d2 broke down en route"));
+        assert!(text[1].contains("c1 broke down heading to group 3"));
+        // The no-show is a device event; the breakdown is not.
+        assert_eq!(t.device_events(DeviceId::new(2)).len(), 1);
+        // Neither counts as an arrival/start/completion milestone.
+        assert_eq!(t.device_phases(DeviceId::new(2)), (None, None, None));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //!          [--sharing equal|proportional|shapley] [-o schedule.json]
 //! ccs replay --scenario scenario.json [--noise ideal|field]
 //!            [--breakdown P] [--noshow P] [--seed S]
+//!            [--recover R] [--degrade true|false]
 //! ccs lifetime --scenario scenario.json [--rounds R] [--policy ccsa|ccsga|ncp]
+//!              [--noise ideal|field] [--breakdown P] [--noshow P]
+//!              [--recover R] [--degrade true|false]
 //! ```
 //!
 //! Scenarios are plain JSON (the `ccs-wrsn` serde format), so workloads can
@@ -85,6 +88,14 @@ commands:
   plan      schedule a scenario        --scenario FILE [--algo ccsa|ccsga|ncp|opt] [--sharing S] [-o FILE]
   replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
   lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]
+
+failures and recovery (replay, lifetime):
+  --breakdown P      probability a hired charger breaks down per leg
+  --noshow P         probability a device turns around en route
+  --recover R        closed-loop recovery: re-plan unserved devices up to
+                     R extra rounds (0 = off, report losses only)
+  --degrade BOOL     after R rounds, degrade stragglers to dedicated solo
+                     dispatches so everyone is served (default true)
 
 telemetry (plan, replay, lifetime):
   --report FILE      write a JSON RunReport (counters, timers, span timings)
@@ -225,21 +236,41 @@ fn cmd_plan(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn noise_from(opts: &Flags) -> Result<NoiseModel, String> {
+    match opts.get("noise").map(String::as_str).unwrap_or("field") {
+        "ideal" => Ok(NoiseModel::ideal()),
+        "field" => Ok(NoiseModel::field()),
+        other => Err(format!("unknown noise model '{other}'")),
+    }
+}
+
+fn failures_from(opts: &Flags) -> Result<FailureModel, String> {
+    Ok(FailureModel {
+        charger_breakdown_prob: get(opts, "breakdown", 0.0)?,
+        device_no_show_prob: get(opts, "noshow", 0.0)?,
+    })
+}
+
+/// `--recover R [--degrade BOOL]` → a recovery config, or `None` when off.
+fn recovery_from(opts: &Flags) -> Result<Option<RecoveryConfig>, String> {
+    let max_rounds: usize = get(opts, "recover", 0)?;
+    if max_rounds == 0 {
+        return Ok(None);
+    }
+    Ok(Some(RecoveryConfig {
+        max_rounds,
+        degrade: get(opts, "degrade", true)?,
+    }))
+}
+
 fn cmd_replay(opts: &Flags) -> Result<(), String> {
     let report_path = telemetry_setup(opts)?;
     let scenario = load_scenario(opts)?;
     let problem = CcsProblem::new(scenario);
     let sharing = sharing_from(opts)?;
     let seed: u64 = get(opts, "seed", 0)?;
-    let noise = match opts.get("noise").map(String::as_str).unwrap_or("field") {
-        "ideal" => NoiseModel::ideal(),
-        "field" => NoiseModel::field(),
-        other => return Err(format!("unknown noise model '{other}'")),
-    };
-    let failures = FailureModel {
-        charger_breakdown_prob: get(opts, "breakdown", 0.0)?,
-        device_no_show_prob: get(opts, "noshow", 0.0)?,
-    };
+    let noise = noise_from(opts)?;
+    let failures = failures_from(opts)?;
     let plan = ccsa(&problem, sharing.as_ref(), CcsaOptions::default());
     let run = execute_with_failures(&problem, &plan, sharing.as_ref(), &noise, &failures, seed);
     println!(
@@ -251,6 +282,37 @@ fn cmd_replay(opts: &Flags) -> Result<(), String> {
         run.makespan.value(),
         run.average_wait().value(),
     );
+    if let Some(config) = recovery_from(opts)? {
+        let out = recover(
+            &problem,
+            &plan,
+            Policy::Ccsa(CcsaOptions::default()),
+            sharing.as_ref(),
+            &noise,
+            &failures,
+            seed,
+            &config,
+        );
+        for round in &out.rounds[1..] {
+            println!(
+                "  recovery round {}: {} device(s) re-planned{}, {} now served",
+                round.round,
+                round.devices.len(),
+                if round.mode == RoundMode::Degraded {
+                    " (degraded to solo dispatches)"
+                } else {
+                    ""
+                },
+                round.execution.served.iter().filter(|s| **s).count(),
+            );
+        }
+        println!(
+            "recovered: served {:.0}% of devices in {} extra round(s), total {:.2} $",
+            out.served_fraction() * 100.0,
+            out.recovery_rounds(),
+            out.total_cost().value(),
+        );
+    }
     if let Some(path) = report_path {
         write_report(&path)?;
     }
@@ -274,13 +336,33 @@ fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
         seed,
         ..Default::default()
     };
-    let report = run_lifetime(
-        &scenario,
-        &CostParams::default(),
-        sharing.as_ref(),
-        policy,
-        &config,
-    );
+    // With failure flags the rounds replay on the testbed (unserved devices
+    // re-request next round); otherwise planning is trusted verbatim.
+    let failures = failures_from(opts)?;
+    let recovery = recovery_from(opts)?;
+    let faulty =
+        failures != FailureModel::none() || recovery.is_some() || opts.contains_key("noise");
+    let report = if faulty {
+        let noise = noise_from(opts)?;
+        let mut driver =
+            TestbedDriver::new(&noise, &failures, sharing.as_ref(), policy, recovery, seed);
+        run_lifetime_with(
+            &scenario,
+            &CostParams::default(),
+            sharing.as_ref(),
+            policy,
+            &config,
+            &mut driver,
+        )
+    } else {
+        run_lifetime(
+            &scenario,
+            &CostParams::default(),
+            sharing.as_ref(),
+            policy,
+            &config,
+        )
+    };
     println!(
         "{} over {rounds} rounds: OPEX {:.2} $, {} hires, {:.1} kJ purchased, survival {:.1}%",
         policy.name(),
@@ -289,6 +371,12 @@ fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
         report.energy_purchased.value() / 1000.0,
         report.survival_rate * 100.0,
     );
+    if faulty {
+        println!(
+            "  testbed delivery: {} refill request(s) went unserved",
+            report.unserved_requests
+        );
+    }
     if let Some(path) = report_path {
         write_report(&path)?;
     }

@@ -89,6 +89,24 @@ fn gen_plan_replay_lifetime_pipeline() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("served 0/10 devices"), "{stdout}");
 
+    // replay with recovery closes the loop: every no-show is re-planned
+    // until the degraded round serves it.
+    let out = ccs(&[
+        "replay",
+        "--scenario",
+        scenario_str,
+        "--noshow",
+        "1.0",
+        "--seed",
+        "1",
+        "--recover",
+        "2",
+    ]);
+    assert!(out.status.success(), "replay --recover failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recovered: served 100%"), "{stdout}");
+    assert!(stdout.contains("degraded to solo dispatches"), "{stdout}");
+
     // lifetime
     let out = ccs(&[
         "lifetime",
@@ -102,6 +120,55 @@ fn gen_plan_replay_lifetime_pipeline() {
     assert!(out.status.success(), "lifetime failed: {out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("over 5 rounds"), "{stdout}");
+    assert!(
+        !stdout.contains("testbed delivery"),
+        "planner-faithful lifetime must not claim testbed delivery: {stdout}"
+    );
+
+    // lifetime on the testbed: failure flags are honoured (the help used to
+    // advertise them while cmd_lifetime silently ignored them).
+    let out = ccs(&[
+        "lifetime",
+        "--scenario",
+        scenario_str,
+        "--rounds",
+        "5",
+        "--breakdown",
+        "0.5",
+        "--noshow",
+        "0.2",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "faulty lifetime failed: {out:?}");
+    let faulty = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        faulty.contains("refill request(s) went unserved"),
+        "{faulty}"
+    );
+
+    // ... and --recover drives unserved requests back to zero.
+    let out = ccs(&[
+        "lifetime",
+        "--scenario",
+        scenario_str,
+        "--rounds",
+        "5",
+        "--breakdown",
+        "0.5",
+        "--noshow",
+        "0.2",
+        "--seed",
+        "3",
+        "--recover",
+        "3",
+    ]);
+    assert!(out.status.success(), "recovering lifetime failed: {out:?}");
+    let recovered = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        recovered.contains("0 refill request(s) went unserved"),
+        "{recovered}"
+    );
 
     let _ = std::fs::remove_file(&scenario);
     let _ = std::fs::remove_file(&schedule);
@@ -212,5 +279,8 @@ fn help_lists_all_commands() {
     let text = String::from_utf8_lossy(&out.stdout);
     for cmd in ["gen", "plan", "replay", "lifetime"] {
         assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+    for flag in ["--breakdown", "--noshow", "--recover", "--degrade"] {
+        assert!(text.contains(flag), "help must mention {flag}");
     }
 }
