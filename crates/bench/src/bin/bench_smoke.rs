@@ -6,23 +6,34 @@
 //! ```
 //!
 //! Runs each bench twice — pinned to 1 worker thread (the exact serial
-//! path) and to 4 — and emits a JSON document:
+//! path) and to 4 — plus one untimed serial telemetry pass that captures
+//! the algorithmic work counters, and emits a JSON document:
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench-smoke/v1",
+//!   "schema": "ccs-bench-smoke/v2",
 //!   "available_parallelism": 4,
 //!   "benches": {
-//!     "ccsga_n100": { "serial_ms": 123.4, "par_ms": 61.7, "speedup": 2.0 }
+//!     "ccsga_n100": {
+//!       "serial_ms": 123.4, "par_ms": 61.7, "speedup": 2.0,
+//!       "oracle_evals": 0, "cache_hits": 310, "cache_misses": 129
+//!     }
 //!   }
 //! }
 //! ```
 //!
+//! Wall-clock catches regressions only coarsely (20% tolerance, noisy
+//! machines); the counters catch them *algorithmically* — an extra oracle
+//! round-trip per candidate move shows up as an exact integer jump even
+//! when the timing noise hides it.
+//!
 //! With `--check`, the newest committed `BENCH_<N>.json` in the working
 //! directory is used as a baseline *before* any output is written: if any
-//! bench's `serial_ms` regresses by more than 20% the process exits with
-//! status 1. When no baseline exists the gate is skipped gracefully, so
-//! the first run of a fresh checkout always passes.
+//! bench's `serial_ms` regresses by more than 20%, or its `oracle_evals`
+//! grows by more than 5%, the process exits with status 1. Version-1
+//! baselines (no counter fields) gate on timing only; when no baseline
+//! exists at all the gate is skipped gracefully, so the first run of a
+//! fresh checkout always passes.
 //!
 //! Every run also cross-checks that the 1-thread and 4-thread schedules
 //! are bit-identical — the determinism contract of `ccs-par` — and aborts
@@ -40,6 +51,10 @@ use std::time::Instant;
 
 /// Serial-mean regression tolerance of the `--check` gate.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Oracle-count regression tolerance of the `--check` gate. Counters are
+/// deterministic, so this only needs slack for intentional small drifts.
+const ORACLE_TOLERANCE: f64 = 0.05;
 
 fn instance(n: usize) -> CcsProblem {
     CcsProblem::new(
@@ -73,21 +88,47 @@ fn time_ms(iters: usize, f: &dyn Fn() -> u64) -> (f64, u64) {
 struct BenchResult {
     serial_ms: f64,
     par_ms: f64,
+    oracle_evals: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
-/// Runs `f` under 1 and 4 worker threads, asserting bit-identical results.
+/// Runs `f` under 1 and 4 worker threads, asserting bit-identical results,
+/// then one untimed serial pass with telemetry enabled to capture the
+/// workload counters (oracle evaluations, coalition-cache hits/misses).
 fn run_bench(name: &str, iters: usize, f: &dyn Fn() -> u64) -> BenchResult {
     ccs_par::set_threads(1);
     let (serial_ms, serial_fp) = time_ms(iters, f);
     ccs_par::set_threads(4);
     let (par_ms, par_fp) = time_ms(iters, f);
-    ccs_par::set_threads(0);
     assert_eq!(
         serial_fp, par_fp,
         "{name}: 1-thread and 4-thread results diverged — determinism bug"
     );
-    eprintln!("bench {name}: serial {serial_ms:.2} ms, par {par_ms:.2} ms");
-    BenchResult { serial_ms, par_ms }
+
+    ccs_par::set_threads(1);
+    let registry = ccs_telemetry::global();
+    registry.reset();
+    registry.enable();
+    f();
+    let report = registry.report();
+    registry.disable();
+    registry.reset();
+    ccs_par::set_threads(0);
+
+    let result = BenchResult {
+        serial_ms,
+        par_ms,
+        oracle_evals: report.counter("sfm.oracle_evals"),
+        cache_hits: report.counter("cache.hits"),
+        cache_misses: report.counter("cache.misses"),
+    };
+    eprintln!(
+        "bench {name}: serial {serial_ms:.2} ms, par {par_ms:.2} ms, \
+         oracle {} (cache {}/{})",
+        result.oracle_evals, result.cache_hits, result.cache_misses
+    );
+    result
 }
 
 fn benches(iters: usize) -> BTreeMap<String, BenchResult> {
@@ -163,28 +204,37 @@ fn newest_baseline() -> Option<(String, Value)> {
     Some((name, value))
 }
 
-/// Compares serial means against the baseline; lists every regression
-/// beyond the tolerance. Benches absent from either side are ignored.
+/// Compares serial means and oracle counts against the baseline; lists
+/// every regression beyond its tolerance. Benches (or counter fields —
+/// v1 baselines have none) absent from either side are ignored.
 fn regressions(current: &BTreeMap<String, BenchResult>, baseline: &Value) -> Vec<String> {
     let mut failures = Vec::new();
     let Some(benches) = baseline.field("benches").as_object() else {
         return failures;
     };
     for (name, result) in current {
-        let Value::Number(n) = benches
-            .get(name)
-            .map(|b| b.field("serial_ms"))
-            .unwrap_or(&Value::Null)
-        else {
+        let Some(entry) = benches.get(name) else {
             continue;
         };
-        let base = n.as_f64();
-        if base > 0.0 && result.serial_ms > base * (1.0 + REGRESSION_TOLERANCE) {
-            failures.push(format!(
-                "{name}: serial {:.2} ms vs baseline {base:.2} ms (+{:.0}%)",
-                result.serial_ms,
-                (result.serial_ms / base - 1.0) * 100.0
-            ));
+        if let Value::Number(n) = entry.field("serial_ms") {
+            let base = n.as_f64();
+            if base > 0.0 && result.serial_ms > base * (1.0 + REGRESSION_TOLERANCE) {
+                failures.push(format!(
+                    "{name}: serial {:.2} ms vs baseline {base:.2} ms (+{:.0}%)",
+                    result.serial_ms,
+                    (result.serial_ms / base - 1.0) * 100.0
+                ));
+            }
+        }
+        if let Value::Number(n) = entry.field("oracle_evals") {
+            let base = n.as_f64();
+            let grew_from_zero = base == 0.0 && result.oracle_evals > 0;
+            if grew_from_zero || result.oracle_evals as f64 > base * (1.0 + ORACLE_TOLERANCE) {
+                failures.push(format!(
+                    "{name}: oracle_evals {} vs baseline {base:.0}",
+                    result.oracle_evals
+                ));
+            }
         }
     }
     failures
@@ -201,6 +251,18 @@ fn to_json(results: &BTreeMap<String, BenchResult>) -> Value {
         entry.insert("serial_ms".to_string(), num(r.serial_ms));
         entry.insert("par_ms".to_string(), num(r.par_ms));
         entry.insert("speedup".to_string(), num(r.serial_ms / r.par_ms));
+        entry.insert(
+            "oracle_evals".to_string(),
+            Value::Number(Number::PosInt(r.oracle_evals)),
+        );
+        entry.insert(
+            "cache_hits".to_string(),
+            Value::Number(Number::PosInt(r.cache_hits)),
+        );
+        entry.insert(
+            "cache_misses".to_string(),
+            Value::Number(Number::PosInt(r.cache_misses)),
+        );
         benches.insert(name.clone(), Value::Object(entry));
     }
     let cores = std::thread::available_parallelism()
@@ -209,7 +271,7 @@ fn to_json(results: &BTreeMap<String, BenchResult>) -> Value {
     let mut root = BTreeMap::new();
     root.insert(
         "schema".to_string(),
-        Value::String("ccs-bench-smoke/v1".to_string()),
+        Value::String("ccs-bench-smoke/v2".to_string()),
     );
     root.insert(
         "available_parallelism".to_string(),
@@ -267,7 +329,10 @@ fn main() -> ExitCode {
                 if failures.is_empty() {
                     eprintln!("bench-regression gate: ok vs {name}");
                 } else {
-                    eprintln!("bench-regression gate: FAILED vs {name} (>20% slower):");
+                    eprintln!(
+                        "bench-regression gate: FAILED vs {name} \
+                         (>20% slower or >5% more oracle evals):"
+                    );
                     for f in &failures {
                         eprintln!("  {f}");
                     }

@@ -89,9 +89,18 @@ impl<V> CoalitionCache<V> {
     /// Returns the memoized value for `coalition` without computing.
     pub fn get(&self, coalition: &BTreeSet<usize>) -> Option<Arc<V>> {
         let key: Vec<usize> = coalition.iter().copied().collect();
-        self.shards[Self::shard_of(&key)]
+        self.get_by_key(&key)
+    }
+
+    /// [`CoalitionCache::get`] for callers that already hold the sorted
+    /// member indices as a slice — no `BTreeSet` or key allocation needed
+    /// (the incremental-delta hint path probes `coalition ∖ {player}` this
+    /// way on every candidate move).
+    pub fn get_by_key(&self, key: &[usize]) -> Option<Arc<V>> {
+        debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "key must be sorted");
+        self.shards[Self::shard_of(key)]
             .lock()
-            .get(&key)
+            .get(key)
             .map(Arc::clone)
     }
 

@@ -205,12 +205,19 @@ fn best_move<G: HedonicGame>(
     let current_cost = cost(player, from_members);
     let coalition_count = partition.num_coalitions();
 
-    // Costs of the coalition left behind, before and after departure —
-    // needed by the utilitarian rule.
-    let mut residual: BTreeSet<usize> = from_members.clone();
-    residual.remove(&player);
-    let from_cost_before: f64 = from_members.iter().map(|&q| cost(q, from_members)).sum();
-    let from_cost_after: f64 = residual.iter().map(|&q| cost(q, &residual)).sum();
+    // Costs of the coalition left behind, before and after departure — only
+    // the utilitarian rule reads these, so the selfish rules skip the
+    // `2·|S| - 1` extra evaluations per scanned player.
+    let (from_cost_before, from_cost_after) = if options.rule == SwitchRule::Utilitarian {
+        let mut residual: BTreeSet<usize> = from_members.clone();
+        residual.remove(&player);
+        (
+            from_members.iter().map(|&q| cost(q, from_members)).sum(),
+            residual.iter().map(|&q| cost(q, &residual)).sum(),
+        )
+    } else {
+        (0.0, 0.0)
+    };
 
     // Candidate joins, in coalition order; history-blocked compositions are
     // pruned here (pure and cheap) so they cost no game evaluations.
@@ -247,8 +254,10 @@ fn best_move<G: HedonicGame>(
     }
 
     // Parallel gain evaluation; `None` marks an inadmissible candidate
-    // (infeasible, or a join the receiving coalition would veto).
-    let gains: Vec<Option<f64>> = ccs_par::par_map(&candidates, |_, cand| {
+    // (infeasible, or a join the receiving coalition would veto). Each
+    // candidate is a full facility evaluation, so a tiny explicit minimum
+    // keeps these batches parallel below the global `ccs_par` cutoff.
+    let gains: Vec<Option<f64>> = ccs_par::par_map_min(&candidates, 2, |_, cand| {
         if !game.coalition_feasible(&cand.joined) {
             return None;
         }

@@ -29,7 +29,10 @@
 //! schemes are designed to sustain.
 
 use crate::algo::noncoop::solo_cost;
-use crate::cost::{best_facility, evaluate_facility, FacilityChoice};
+use crate::cost::{
+    best_facility, evaluate_facility, join_upper_bound, leave_upper_bound,
+    try_best_facility_with_upper, FacilityChoice,
+};
 use crate::gathering::gathering_point;
 use crate::problem::CcsProblem;
 use crate::schedule::{GroupPlan, Schedule};
@@ -190,6 +193,7 @@ fn best_round_group(
         .collect();
 
     let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
+    let tables = problem.tables();
     let priced: Vec<Option<(f64, Vec<usize>)>> =
         ccs_par::par_map(&facilities, |_, &(charger, point)| {
             facility_evals.incr();
@@ -199,7 +203,7 @@ fn best_round_group(
                 .iter()
                 .map(|&d| {
                     let dev = problem.device(d);
-                    (dev.demand() * c.energy_price()
+                    (tables.energy(charger, d)
                         + dev.move_cost_rate() * dev.position().distance(&point))
                     .value()
                 })
@@ -288,7 +292,7 @@ fn prefix_scan_density(
 ) -> Option<(f64, Vec<usize>)> {
     let mut order: Vec<usize> = (0..f.ground_size()).collect();
     order.sort_by(|&a, &b| f.weights()[a].total_cmp(&f.weights()[b]).then(a.cmp(&b)));
-    let curve = subset_eval_parts(f);
+    let curve = congestion_parts(f, cap);
     let mut best: Option<(f64, usize)> = None;
     let mut acc = 0.0;
     let mut demand = 0.0;
@@ -306,7 +310,7 @@ fn prefix_scan_density(
         acc += f.weights()[i];
         demand += demands[i];
         let k = taken.len();
-        let density = (f.fee() + acc + curve(k)) / k as f64;
+        let density = (f.fee() + acc + curve[k]) / k as f64;
         let better = match best {
             Some((b, _)) => density < b - 1e-15,
             None => true,
@@ -333,11 +337,11 @@ fn greedy_accretion_density(
     order.sort_by(|&a, &b| f.weights()[a].total_cmp(&f.weights()[b]).then(a.cmp(&b)));
     order.retain(|&i| budget.is_none_or(|b| demands[i] <= b));
     let first = *order.first()?;
-    let curve = subset_eval_parts(f);
+    let curve = congestion_parts(f, cap);
     let mut taken = vec![first];
     let mut acc = f.weights()[first];
     let mut demand = demands[first];
-    let mut density = f.fee() + acc + curve(1);
+    let mut density = f.fee() + acc + curve[1];
     for &i in order.iter().skip(1) {
         if taken.len() == cap {
             break;
@@ -348,7 +352,7 @@ fn greedy_accretion_density(
             }
         }
         let k = taken.len();
-        let candidate = (f.fee() + acc + f.weights()[i] + curve(k + 1)) / (k + 1) as f64;
+        let candidate = (f.fee() + acc + f.weights()[i] + curve[k + 1]) / (k + 1) as f64;
         if candidate >= density {
             break;
         }
@@ -360,24 +364,26 @@ fn greedy_accretion_density(
     Some((density, taken))
 }
 
-/// The congestion part of the bill as a function of cardinality.
-fn subset_eval_parts(f: &SeparableFn) -> impl Fn(usize) -> f64 + '_ {
-    let oracle_evals = ccs_telemetry::counter!("sfm.oracle_evals");
-    move |k| {
-        // Reconstruct scale·g(k) from two evaluations to avoid exposing
-        // internals: f({k cheapest}) − fee − Σweights = scale·g(k).
-        // Cheaper: evaluate via the public SetFunction on an index prefix.
-        use ccs_submodular::subset::Subset;
-        oracle_evals.incr();
-        let s = Subset::from_indices(f.ground_size(), 0..k);
-        let raw = f.eval(&s);
-        let weights: f64 = (0..k).map(|i| f.weights()[i]).sum();
-        if k == 0 {
-            0.0
-        } else {
-            raw - f.fee() - weights
-        }
+/// The congestion part of the bill as a function of cardinality, tabulated
+/// for `k ∈ 0..=cap` in `O(cap)` with **no oracle evaluations**.
+///
+/// Historically this was reconstructed per call as
+/// `f({first k}) − fee − Σ_{i<k} w_i`, burning one `SetFunction::eval` (and
+/// a `Subset` allocation) per cardinality per facility. The table replays
+/// those floating-point operations verbatim — build the raw prefix value,
+/// then cancel fee and prefix-weight sum in the same order — so every entry
+/// is bitwise the value the oracle round-trip produced, and CCSA's committed
+/// groups are unchanged.
+fn congestion_parts(f: &SeparableFn, cap: usize) -> Vec<f64> {
+    let mut parts = Vec::with_capacity(cap + 1);
+    parts.push(0.0);
+    let mut prefix = 0.0;
+    for k in 1..=cap {
+        prefix += f.weights()[k - 1];
+        let raw = f.fee() + prefix + f.scale() * f.curve().eval(k);
+        parts.push((raw - f.fee()) - prefix);
     }
+    parts
 }
 
 /// Re-optimizes a committed group's gathering point.
@@ -406,6 +412,15 @@ fn refine(
 /// re-picking each touched group's best facility. Each applied move
 /// strictly decreases a bounded-below total, and the loop is additionally
 /// capped, so it terminates.
+///
+/// Facility pricing dominates the runtime, so two kernel fast paths feed
+/// the memo: each scan snapshots every group's current facility evaluation
+/// once, and each candidate "member leaves src" / "member joins dst" set is
+/// priced through [`try_best_facility_with_upper`] seeded with the
+/// [`DeltaEval`]-style bound at the snapshot facility
+/// ([`leave_upper_bound`] / [`join_upper_bound`]) — pruning most chargers
+/// before any Weiszfeld solve while returning bitwise the unseeded scan's
+/// choice.
 fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, Vec<DeviceId>)>) {
     const MAX_MOVES: usize = 1_000;
     let eps = 1e-9;
@@ -413,12 +428,17 @@ fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, V
     // sets are re-priced on every scan; memoize by sorted member ids.
     let mut memo: HashMap<Vec<DeviceId>, FacilityChoice> = HashMap::new();
     let priced = |memo: &mut HashMap<Vec<DeviceId>, FacilityChoice>,
-                  sorted: &[DeviceId]|
+                  sorted: &[DeviceId],
+                  ub: Option<Cost>|
      -> FacilityChoice {
         if let Some(hit) = memo.get(sorted) {
             return hit.clone();
         }
-        let f = best_facility(problem, sorted);
+        let f = match ub {
+            Some(ub) => try_best_facility_with_upper(problem, sorted, ub)
+                .expect("no charger's energy budget covers this group's demand"),
+            None => best_facility(problem, sorted),
+        };
         memo.insert(sorted.to_vec(), f.clone());
         f
     };
@@ -434,6 +454,21 @@ fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, V
         .collect();
 
     for _ in 0..MAX_MOVES {
+        // Snapshot each group's current facility evaluation (sorted member
+        // list + choice); the per-candidate upper bounds below are deltas
+        // off these.
+        let snaps: Vec<Option<(Vec<DeviceId>, FacilityChoice)>> = groups
+            .iter()
+            .map(|(c, p, members)| {
+                if members.is_empty() {
+                    return None;
+                }
+                let mut sorted = members.clone();
+                sorted.sort();
+                let choice = evaluate_facility(problem, *c, &sorted, *p);
+                Some((sorted, choice))
+            })
+            .collect();
         let mut best: Option<(usize, usize, Option<usize>, f64)> = None; // (src, local, dst, gain)
         for (src, (_, _, members)) in groups.iter().enumerate() {
             if members.is_empty() {
@@ -447,7 +482,10 @@ fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, V
                 let residual_cost = if residual.is_empty() {
                     0.0
                 } else {
-                    priced(&mut memo, &residual).group_cost().value()
+                    let ub = snaps[src]
+                        .as_ref()
+                        .and_then(|(s, choice)| leave_upper_bound(problem, s, choice, d));
+                    priced(&mut memo, &residual, ub).group_cost().value()
                 };
                 // Destination: every other group, or a fresh singleton.
                 for dst in 0..=groups.len() {
@@ -465,8 +503,11 @@ fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, V
                         if !problem.feasible_group(&joined) {
                             continue; // no charger's budget covers the merge
                         }
+                        let ub = snaps[dst]
+                            .as_ref()
+                            .and_then(|(s, choice)| join_upper_bound(problem, s, choice, d));
                         (
-                            priced(&mut memo, &joined).group_cost().value(),
+                            priced(&mut memo, &joined, ub).group_cost().value(),
                             cost_of[dst],
                             Some(dst),
                         )
@@ -474,7 +515,11 @@ fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, V
                         if members.len() == 1 {
                             continue; // already a singleton
                         }
-                        (priced(&mut memo, &[d]).group_cost().value(), 0.0, None)
+                        (
+                            priced(&mut memo, &[d], None).group_cost().value(),
+                            0.0,
+                            None,
+                        )
                     };
                     let gain = (cost_of[src] + old_dst_cost) - (residual_cost + joined_cost);
                     if gain > eps {
@@ -508,7 +553,7 @@ fn local_improvement(problem: &CcsProblem, groups: &mut Vec<(ChargerId, Point, V
             }
             let mut sorted = groups[gi].2.clone();
             sorted.sort();
-            let f = priced(&mut memo, &sorted);
+            let f = priced(&mut memo, &sorted, None);
             groups[gi].0 = f.charger;
             groups[gi].1 = f.point;
             groups[gi].2 = sorted;

@@ -16,7 +16,7 @@
 //! (`ccs-par`). Cache effectiveness is visible in run reports as
 //! `cache.hits` / `cache.misses`.
 
-use crate::cost::{best_facility, FacilityChoice};
+use crate::cost::{best_facility, join_upper_bound, try_best_facility_with_upper, FacilityChoice};
 use crate::problem::CcsProblem;
 use crate::schedule::{GroupPlan, Schedule};
 use crate::sharing::CostSharing;
@@ -102,12 +102,48 @@ impl<'a> CcsGame<'a> {
     }
 
     fn evaluate(&self, coalition: &BTreeSet<usize>) -> Arc<CachedCoalition> {
+        self.evaluate_hinted(coalition, None)
+    }
+
+    /// Evaluates a coalition, optionally knowing that `newcomer` is the
+    /// member that was just added to an existing composition. On a cache
+    /// miss, the cached base coalition's facility is extended by a
+    /// [`DeltaEval`](crate::cost::DeltaEval) join, and its group cost seeds
+    /// the pruned charger scan as an upper bound — the full Weiszfeld scan
+    /// runs only over chargers the bound cannot exclude. The cached result
+    /// is bitwise independent of whether a hint was available.
+    fn evaluate_hinted(
+        &self,
+        coalition: &BTreeSet<usize>,
+        newcomer: Option<usize>,
+    ) -> Arc<CachedCoalition> {
         self.cache.get_or_insert_with(coalition, || {
             let members: Vec<ccs_wrsn::entities::DeviceId> = coalition
                 .iter()
                 .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
                 .collect();
-            let facility = best_facility(self.problem, &members);
+            let ub = newcomer.and_then(|p| {
+                let base_key: Vec<usize> = coalition.iter().copied().filter(|&q| q != p).collect();
+                if base_key.is_empty() {
+                    return None;
+                }
+                let base = self.cache.get_by_key(&base_key)?;
+                let base_members: Vec<ccs_wrsn::entities::DeviceId> = base_key
+                    .iter()
+                    .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
+                    .collect();
+                join_upper_bound(
+                    self.problem,
+                    &base_members,
+                    &base.facility,
+                    ccs_wrsn::entities::DeviceId::new(p as u32),
+                )
+            });
+            let facility = match ub {
+                Some(ub) => try_best_facility_with_upper(self.problem, &members, ub)
+                    .expect("no charger's energy budget covers this group's demand"),
+                None => best_facility(self.problem, &members),
+            };
             let shares = self.sharing.shares(
                 self.problem,
                 facility.charger,
@@ -127,7 +163,7 @@ impl HedonicGame for CcsGame<'_> {
 
     fn player_cost(&self, player: usize, coalition: &BTreeSet<usize>) -> f64 {
         assert!(coalition.contains(&player), "player must be a member");
-        let cached = self.evaluate(coalition);
+        let cached = self.evaluate_hinted(coalition, Some(player));
         let idx = coalition
             .iter()
             .position(|&p| p == player)
@@ -200,7 +236,9 @@ pub fn ccsga(
                 .iter()
                 .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
                 .collect();
-            let facility = best_facility(problem, &ids);
+            // Every final coalition was priced during the dynamics — reuse
+            // the memo instead of re-running the charger scan.
+            let facility = game.evaluate(members).facility.clone();
             GroupPlan::from_facility(problem, ids, facility, sharing)
         })
         .collect();

@@ -67,14 +67,15 @@ pub fn clustering(
         split_to_feasible(problem, cluster, &mut feasible);
     }
 
-    let mut plans: Vec<GroupPlan> = feasible
-        .into_iter()
-        .map(|mut members| {
-            members.sort();
-            let facility = best_facility(problem, &members);
-            GroupPlan::from_facility(problem, members, facility, sharing)
-        })
-        .collect();
+    // Each cluster's facility scan is independent; price them as one
+    // order-preserving `ccs-par` batch through the pruned kernel path.
+    for members in feasible.iter_mut() {
+        members.sort();
+    }
+    let mut plans: Vec<GroupPlan> = ccs_par::par_map(&feasible, |_, members| {
+        let facility = best_facility(problem, members);
+        GroupPlan::from_facility(problem, members.clone(), facility, sharing)
+    });
     plans.sort_by_key(|g| g.members[0]);
 
     let schedule = Schedule::new(plans, "clu", sharing.name());

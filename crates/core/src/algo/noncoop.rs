@@ -14,17 +14,17 @@ use ccs_wrsn::entities::DeviceId;
 /// Runs the noncooperation baseline.
 ///
 /// The sharing scheme only labels the schedule (a singleton's share is its
-/// whole bill under every budget-balanced scheme).
+/// whole bill under every budget-balanced scheme). The per-device facility
+/// scans are independent, so they run as one order-preserving `ccs-par`
+/// batch (bit-identical at any thread count); each scan itself goes through
+/// the pruned, table-backed `best_facility` kernel path.
 pub fn noncooperation(problem: &CcsProblem, sharing: &dyn CostSharing) -> Schedule {
-    let groups = problem
-        .scenario()
-        .device_ids()
-        .map(|d| {
-            let members = vec![d];
-            let facility = best_facility(problem, &members);
-            GroupPlan::from_facility(problem, members, facility, sharing)
-        })
-        .collect();
+    let devices: Vec<DeviceId> = problem.scenario().device_ids().collect();
+    let groups = ccs_par::par_map(&devices, |_, &d| {
+        let members = vec![d];
+        let facility = best_facility(problem, &members);
+        GroupPlan::from_facility(problem, members, facility, sharing)
+    });
     let schedule = Schedule::new(groups, "ncp", sharing.name());
     debug_assert!(schedule.validate(problem).is_ok());
     schedule

@@ -18,7 +18,6 @@
 //! concave(|S|)` — nonnegative submodular — which is what CCSA's machinery
 //! requires; the property test in this module pins that down.
 
-use crate::gathering::gathering_point;
 use crate::problem::CcsProblem;
 use ccs_wrsn::entities::{ChargerId, DeviceId};
 use ccs_wrsn::geometry::Point;
@@ -50,14 +49,42 @@ impl GroupBill {
     }
 }
 
-/// Computes the itemized bill for `(members, charger, point)`.
+/// Computes the itemized bill for `(members, charger, point)`, reading the
+/// price terms from the problem's [`ProblemTables`](crate::tables) kernel.
 ///
-/// The `energy` entries align with `members` order.
+/// The `energy` entries align with `members` order. Bitwise equal to
+/// [`group_bill_direct`] (the tables store the identical products), which
+/// the `fastpath` proptests verify.
 ///
 /// # Panics
 ///
 /// Panics if `members` is empty.
 pub fn group_bill(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    point: &Point,
+) -> GroupBill {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    let t = problem.tables();
+    let c = problem.charger(charger);
+    let energy = members.iter().map(|&d| t.energy(charger, d)).collect();
+    GroupBill {
+        base_fee: c.base_fee(),
+        charger_travel: c.travel_cost_rate() * c.position().distance(point),
+        energy,
+        congestion: t.congestion(charger, members.len()),
+    }
+}
+
+/// The reference implementation of [`group_bill`]: recomputes every term
+/// from the entities instead of reading the kernel tables. Kept for tests
+/// and proptests that pin down the tables' bit-exactness.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn group_bill_direct(
     problem: &CcsProblem,
     charger: ChargerId,
     members: &[DeviceId],
@@ -125,28 +152,147 @@ pub fn evaluate_facility(
     }
 }
 
+/// [`evaluate_facility`] through [`group_bill_direct`] — the tables-free
+/// reference path.
+pub fn evaluate_facility_direct(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    point: Point,
+) -> FacilityChoice {
+    FacilityChoice {
+        charger,
+        point,
+        bill: group_bill_direct(problem, charger, members, &point),
+        moving: moving_costs(problem, members, &point),
+    }
+}
+
+/// A lower bound on `group_cost` for serving `members` with `charger` at
+/// *any* gathering point: the point-independent bill terms plus a spatial
+/// bound (`dd_lb` is the charger-independent device-pair bound, computed
+/// once per scan by [`pairwise_spatial_bound`]).
+///
+/// The spatial term `τ_j·d(q_j,p) + Σ κ_i·d(p_i,p)` is bounded below by
+/// `min(τ_j, κ_i)·d(q_j, p_i)` for every member `i` (triangle inequality),
+/// and by `min(κ_i, κ_i')·d(p_i, p_i')` for every member pair.
+fn facility_lower_bound(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    dd_lb: f64,
+) -> f64 {
+    let t = problem.tables();
+    let k = members.len();
+    let mut fixed = problem.charger(charger).base_fee() + t.congestion(charger, k);
+    let tau = t.travel_rate(charger);
+    let mut spatial = dd_lb;
+    for &d in members {
+        fixed += t.energy(charger, d);
+        let bound = tau.min(t.move_rate(d)) * t.device_charger_distance(d, charger);
+        if bound > spatial {
+            spatial = bound;
+        }
+    }
+    fixed.value() + spatial
+}
+
+/// The charger-independent part of the spatial lower bound: the largest
+/// `min(κ_i, κ_i')·d(p_i, p_i')` over member pairs (`0` for singletons).
+fn pairwise_spatial_bound(problem: &CcsProblem, members: &[DeviceId]) -> f64 {
+    let t = problem.tables();
+    let mut best = 0.0f64;
+    for (idx, &a) in members.iter().enumerate() {
+        let ka = t.move_rate(a);
+        for &b in &members[idx + 1..] {
+            let bound = ka.min(t.move_rate(b)) * t.device_distance(a, b);
+            if bound > best {
+                best = bound;
+            }
+        }
+    }
+    best
+}
+
+/// The pruned charger scan behind [`try_best_facility`]: chargers are
+/// visited in ascending lower-bound order and the scan stops as soon as the
+/// next bound *strictly* exceeds `threshold` (which shrinks to the best
+/// cost found so far). A pruned charger's true cost is `>=` its bound `>`
+/// the final best, so it can be neither the argmin nor a tie — the result
+/// (including the id tie-break) is bitwise the full scan's.
+fn pruned_facility_scan(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    mut threshold: f64,
+) -> Option<FacilityChoice> {
+    let t = problem.tables();
+    let dd_lb = pairwise_spatial_bound(problem, members);
+    let mut candidates: Vec<(f64, ChargerId)> = problem
+        .scenario()
+        .charger_ids()
+        .filter(|&c| problem.charger_can_serve(c, members))
+        .map(|c| (facility_lower_bound(problem, c, members, dd_lb), c))
+        .collect();
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut best: Option<FacilityChoice> = None;
+    for (bound, c) in candidates {
+        if bound > threshold {
+            break;
+        }
+        let point = t.cached_gathering_point(problem, c, members);
+        let choice = evaluate_facility(problem, c, members, point);
+        let cost = choice.group_cost().value();
+        let better = match &best {
+            None => true,
+            Some(incumbent) => {
+                let cur = incumbent.group_cost().value();
+                cost.total_cmp(&cur)
+                    .then(choice.charger.cmp(&incumbent.charger))
+                    == std::cmp::Ordering::Less
+            }
+        };
+        if better {
+            threshold = threshold.min(cost);
+            best = Some(choice);
+        }
+    }
+    best
+}
+
 /// The cheapest facility for a member set among the chargers whose energy
-/// budget covers the group's demand. Every eligible charger is tried with
-/// the problem's gathering strategy, and the lowest group cost wins
+/// budget covers the group's demand, with the lowest group cost winning
 /// (deterministic tie-break on charger id).
+///
+/// Chargers whose per-charger lower bound already exceeds the best cost
+/// found are pruned without running Weiszfeld — the dominant saving of the
+/// evaluation kernel — and gathering points come from the per-problem memo.
+/// The result is bitwise identical to evaluating every eligible charger.
 ///
 /// Returns `None` when no charger can serve the group (never happens for
 /// singletons: problem construction validates them).
 pub fn try_best_facility(problem: &CcsProblem, members: &[DeviceId]) -> Option<FacilityChoice> {
     assert!(!members.is_empty(), "a group needs at least one member");
-    problem
-        .scenario()
-        .charger_ids()
-        .filter(|&c| problem.charger_can_serve(c, members))
-        .map(|c| {
-            let point = gathering_point(problem, c, members, problem.params().gathering);
-            evaluate_facility(problem, c, members, point)
-        })
-        .min_by(|a, b| {
-            a.group_cost()
-                .total_cmp(&b.group_cost())
-                .then(a.charger.cmp(&b.charger))
-        })
+    pruned_facility_scan(problem, members, f64::INFINITY)
+}
+
+/// [`try_best_facility`] seeded with an upper bound `ub` on the best group
+/// cost — typically a [`DeltaEval`] of the member set at a known-feasible
+/// facility. The bound lets the scan prune chargers before any evaluation;
+/// if it turns out unachievable (the fresh gathering points all cost more
+/// than `ub`, possible because Weiszfeld is approximate), the scan is redone
+/// unseeded, so the result is always exactly [`try_best_facility`]'s.
+pub fn try_best_facility_with_upper(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    ub: Cost,
+) -> Option<FacilityChoice> {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    let seeded = pruned_facility_scan(problem, members, ub.value());
+    match seeded {
+        Some(choice) if choice.group_cost() <= ub => Some(choice),
+        _ => pruned_facility_scan(problem, members, f64::INFINITY),
+    }
 }
 
 /// Like [`try_best_facility`], for callers that have already established
@@ -160,9 +306,187 @@ pub fn best_facility(problem: &CcsProblem, members: &[DeviceId]) -> FacilityChoi
         .expect("no charger's energy budget covers this group's demand")
 }
 
+/// An incrementally maintained facility evaluation at a **fixed**
+/// `(charger, point)`: one member joining or leaving costs O(log k) list
+/// surgery plus one energy-table lookup and one distance — the congestion
+/// term is a table lookup at materialization time.
+///
+/// The invariant (debug-asserted in [`DeltaEval::choice`], pinned by a
+/// proptest) is that materializing after any join/leave sequence is
+/// **bit-identical** to [`evaluate_facility`] from scratch on the resulting
+/// member set: entries are kept aligned with the sorted member list and all
+/// sums re-run over the vectors in the same order, so no floating-point
+/// reassociation can creep in.
+///
+/// This powers the coalition engine's best-response scan: the cost of a
+/// candidate move at the coalition's *current* facility is a delta, and the
+/// full charger scan ([`try_best_facility_with_upper`]) runs with that value
+/// as its pruning bound — falling back to an unseeded scan only when the
+/// facility choice actually changes.
+#[derive(Debug, Clone)]
+pub struct DeltaEval {
+    charger: ChargerId,
+    point: Point,
+    base_fee: Cost,
+    charger_travel: Cost,
+    members: Vec<DeviceId>,
+    energy: Vec<Cost>,
+    moving: Vec<Cost>,
+}
+
+impl DeltaEval {
+    /// Adopts an already-evaluated facility for `members` (aligned with the
+    /// choice's `energy`/`moving` vectors, ascending by device id).
+    pub fn new(members: &[DeviceId], choice: &FacilityChoice) -> Self {
+        assert_eq!(members.len(), choice.bill.energy.len(), "misaligned choice");
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted"
+        );
+        DeltaEval {
+            charger: choice.charger,
+            point: choice.point,
+            base_fee: choice.bill.base_fee,
+            charger_travel: choice.bill.charger_travel,
+            members: members.to_vec(),
+            energy: choice.bill.energy.clone(),
+            moving: choice.moving.clone(),
+        }
+    }
+
+    /// The fixed facility's charger.
+    #[inline]
+    pub fn charger(&self) -> ChargerId {
+        self.charger
+    }
+
+    /// The current member set (sorted ascending).
+    #[inline]
+    pub fn members(&self) -> &[DeviceId] {
+        &self.members
+    }
+
+    /// Adds one member: O(log k) search, O(k) insert, one table lookup and
+    /// one distance computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is already a member.
+    pub fn join(&mut self, problem: &CcsProblem, d: DeviceId) {
+        let pos = self
+            .members
+            .binary_search(&d)
+            .expect_err("device already in the coalition");
+        let dev = problem.device(d);
+        self.members.insert(pos, d);
+        self.energy
+            .insert(pos, problem.tables().energy(self.charger, d));
+        self.moving.insert(
+            pos,
+            dev.move_cost_rate() * dev.position().distance(&self.point),
+        );
+    }
+
+    /// Removes one member: O(log k) search, O(k) removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not a member.
+    pub fn leave(&mut self, d: DeviceId) {
+        let pos = self
+            .members
+            .binary_search(&d)
+            .expect("device not in the coalition");
+        self.members.remove(pos);
+        self.energy.remove(pos);
+        self.moving.remove(pos);
+    }
+
+    /// Whether the fixed charger's energy budget still covers the current
+    /// member set (joins can outgrow it; leaves never do).
+    pub fn feasible(&self, problem: &CcsProblem) -> bool {
+        !self.members.is_empty() && problem.charger_can_serve(self.charger, &self.members)
+    }
+
+    /// Materializes the current state as a [`FacilityChoice`] — bit-identical
+    /// to `evaluate_facility(problem, charger, members, point)` from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member set is empty.
+    pub fn choice(&self, problem: &CcsProblem) -> FacilityChoice {
+        assert!(
+            !self.members.is_empty(),
+            "a group needs at least one member"
+        );
+        let choice = FacilityChoice {
+            charger: self.charger,
+            point: self.point,
+            bill: GroupBill {
+                base_fee: self.base_fee,
+                charger_travel: self.charger_travel,
+                energy: self.energy.clone(),
+                congestion: problem
+                    .tables()
+                    .congestion(self.charger, self.members.len()),
+            },
+            moving: self.moving.clone(),
+        };
+        debug_assert_eq!(
+            choice,
+            evaluate_facility(problem, self.charger, &self.members, self.point),
+            "DeltaEval diverged from from-scratch evaluation"
+        );
+        choice
+    }
+
+    /// The group cost of the current state, without materializing: the same
+    /// vector sums [`FacilityChoice::group_cost`] runs, in the same order.
+    pub fn group_cost(&self, problem: &CcsProblem) -> Cost {
+        let congestion = problem
+            .tables()
+            .congestion(self.charger, self.members.len());
+        let bill_total = (self.base_fee + self.charger_travel + congestion)
+            + self.energy.iter().copied().sum::<Cost>();
+        bill_total + self.moving.iter().copied().sum::<Cost>()
+    }
+}
+
+/// The group cost of `base ∪ {joiner}` held at `base`'s facility — an upper
+/// bound for [`try_best_facility_with_upper`] on the enlarged set. `None`
+/// when the base charger's budget cannot absorb the joiner (the bound would
+/// not correspond to a feasible facility).
+///
+/// `base_members` must be the sorted member list `base` was evaluated for.
+pub fn join_upper_bound(
+    problem: &CcsProblem,
+    base_members: &[DeviceId],
+    base: &FacilityChoice,
+    joiner: DeviceId,
+) -> Option<Cost> {
+    let mut delta = DeltaEval::new(base_members, base);
+    delta.join(problem, joiner);
+    delta.feasible(problem).then(|| delta.group_cost(problem))
+}
+
+/// The group cost of `base ∖ {leaver}` held at `base`'s facility — an upper
+/// bound for the shrunken set (always feasible: demand only drops). `None`
+/// when the leaver was the last member.
+pub fn leave_upper_bound(
+    problem: &CcsProblem,
+    base_members: &[DeviceId],
+    base: &FacilityChoice,
+    leaver: DeviceId,
+) -> Option<Cost> {
+    let mut delta = DeltaEval::new(base_members, base);
+    delta.leave(leaver);
+    (!delta.members().is_empty()).then(|| delta.group_cost(problem))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gathering::gathering_point;
     use ccs_submodular::check::{is_monotone_nondecreasing, is_submodular};
     use ccs_submodular::set_fn::FnSetFunction;
     use ccs_wrsn::scenario::ScenarioGenerator;

@@ -8,6 +8,7 @@
 //! *comprehensive cost* is its bill share plus its own moving cost.
 //!
 //! * [`problem`] — the instance type and shared cost parameters;
+//! * [`tables`] — the precomputed evaluation kernel behind the hot paths;
 //! * [`gathering`] — gathering-point strategies (Weiszfeld et al.);
 //! * [`cost`] — group bills, facility choices, comprehensive cost;
 //! * [`sharing`] — equal / proportional / Shapley cost sharing;
@@ -46,6 +47,7 @@ pub mod problem;
 pub mod recover;
 pub mod schedule;
 pub mod sharing;
+pub mod tables;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
@@ -57,7 +59,10 @@ pub mod prelude {
         find_blocking_coalition, individual_rationality_violations, is_core_stable,
         BlockingCoalition,
     };
-    pub use crate::cost::{best_facility, FacilityChoice, GroupBill};
+    pub use crate::cost::{
+        best_facility, evaluate_facility, try_best_facility, try_best_facility_with_upper,
+        DeltaEval, FacilityChoice, GroupBill,
+    };
     pub use crate::exclusive::{
         enforce_exclusivity, exclusivity_ratio, hungarian, ExclusivityError,
     };
@@ -76,4 +81,5 @@ pub mod prelude {
     pub use crate::sharing::{
         all_schemes, CostSharing, EqualShare, ProportionalShare, ShapleyShare,
     };
+    pub use crate::tables::ProblemTables;
 }

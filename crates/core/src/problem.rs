@@ -7,10 +7,12 @@
 //! all algorithms optimize — and are compared on — the same objective.
 
 use crate::gathering::GatheringStrategy;
+use crate::tables::ProblemTables;
 use ccs_submodular::set_fn::CardinalityCurve;
 use ccs_wrsn::entities::{Charger, ChargerId, Device, DeviceId};
 use ccs_wrsn::scenario::Scenario;
 use ccs_wrsn::units::Joules;
+use std::sync::{Arc, OnceLock};
 
 /// Shared cost-model parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +43,9 @@ impl Default for CostParams {
 pub struct CcsProblem {
     scenario: Scenario,
     params: CostParams,
+    /// The evaluation kernel, built lazily on first use. Clones share the
+    /// already-built tables (they are pure functions of scenario + params).
+    tables: OnceLock<Arc<ProblemTables>>,
 }
 
 impl CcsProblem {
@@ -80,7 +85,23 @@ impl CcsProblem {
                 d.demand()
             );
         }
-        CcsProblem { scenario, params }
+        CcsProblem {
+            scenario,
+            params,
+            tables: OnceLock::new(),
+        }
+    }
+
+    /// The precomputed evaluation kernel (see [`ProblemTables`]), built on
+    /// first access and shared by every scheduler run on this instance.
+    #[inline]
+    pub fn tables(&self) -> &ProblemTables {
+        self.tables.get_or_init(|| {
+            Arc::new(ProblemTables::new(
+                &self.scenario,
+                &self.params.congestion_curve,
+            ))
+        })
     }
 
     /// The underlying world.

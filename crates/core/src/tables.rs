@@ -1,0 +1,269 @@
+//! The precomputed evaluation kernel: [`ProblemTables`].
+//!
+//! Every scheduler in this workspace funnels through the same two oracles —
+//! `cost::evaluate_facility` (a bill at a fixed facility) and
+//! `cost::best_facility` (a scan over chargers, each requiring a Weiszfeld
+//! gathering-point solve). Both used to recompute geometry and price terms
+//! from the entities on every call. `ProblemTables` hoists everything that
+//! depends only on the *instance* into dense arrays, built once per
+//! [`CcsProblem`] on first use:
+//!
+//! * `energy[j][i] = π_j · w_i` — the per-(charger, device) energy charge,
+//!   bit-identical to `device.demand() * charger.energy_price()`;
+//! * `congestion[j][k] = η_j · g(k)` for every `k ≤ n` — the concave
+//!   congestion term as a lookup instead of a curve evaluation;
+//! * `dist_dc[i][j]` / `dist_dd[i][i']` — device–charger and device–device
+//!   distances, the geometry behind the charger-pruning lower bounds in
+//!   `cost::try_best_facility`;
+//! * a memo of gathering points keyed by `(charger, member set)`, so a
+//!   coalition re-evaluated with the same membership (the common case in
+//!   best-response scans) never re-runs Weiszfeld.
+//!
+//! The tables are **read-only shared state** (the gathering memo is a pure
+//! function cache), so they cannot perturb determinism: every value read
+//! from a table is bitwise the value the direct computation produces, which
+//! `cost::group_bill_direct` and the `fastpath` proptests pin down.
+
+use crate::gathering::gathering_point;
+use crate::problem::CcsProblem;
+use ccs_wrsn::entities::{ChargerId, DeviceId};
+use ccs_wrsn::geometry::Point;
+use ccs_wrsn::scenario::Scenario;
+use ccs_wrsn::units::Cost;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of independently locked shards of the gathering-point memo.
+const GATHER_SHARDS: usize = 16;
+
+/// One shard of the gathering-point memo: `(charger, sorted member ids)`
+/// to the memoized point.
+type GatherShard = Mutex<HashMap<(u32, Vec<u32>), Point>>;
+
+/// Dense per-instance lookup tables for the CCS cost model.
+pub struct ProblemTables {
+    n: usize,
+    m: usize,
+    /// `κ_i` as raw values, indexed by device.
+    move_rate: Vec<f64>,
+    /// `τ_j` as raw values, indexed by charger.
+    travel_rate: Vec<f64>,
+    /// `π_j · w_i`, row-major by charger: `energy[j * n + i]`.
+    energy: Vec<Cost>,
+    /// `η_j · g(k)`, row-major by charger: `congestion[j * (n + 1) + k]`.
+    congestion: Vec<Cost>,
+    /// `d(p_i, q_j)`, row-major by device: `dist_dc[i * m + j]`.
+    dist_dc: Vec<f64>,
+    /// `d(p_i, p_i')`, row-major: `dist_dd[i * n + i']`.
+    dist_dd: Vec<f64>,
+    /// Gathering-point memo: `(charger, sorted member ids) -> point`.
+    gather: Vec<GatherShard>,
+}
+
+impl ProblemTables {
+    /// Builds the tables for a scenario + cost parameters. Called once per
+    /// problem via `CcsProblem::tables`; `O(n·(n + m))` time and space.
+    pub(crate) fn new(
+        scenario: &Scenario,
+        curve: &ccs_submodular::set_fn::CardinalityCurve,
+    ) -> Self {
+        let devices = scenario.devices();
+        let chargers = scenario.chargers();
+        let (n, m) = (devices.len(), chargers.len());
+
+        let move_rate: Vec<f64> = devices.iter().map(|d| d.move_cost_rate().value()).collect();
+        let travel_rate: Vec<f64> = chargers
+            .iter()
+            .map(|c| c.travel_cost_rate().value())
+            .collect();
+
+        let mut energy = Vec::with_capacity(m * n);
+        let mut congestion = Vec::with_capacity(m * (n + 1));
+        for c in chargers {
+            for d in devices {
+                energy.push(d.demand() * c.energy_price());
+            }
+            for k in 0..=n {
+                congestion.push(c.occupancy_rate() * curve.eval(k));
+            }
+        }
+
+        let mut dist_dc = Vec::with_capacity(n * m);
+        let mut dist_dd = Vec::with_capacity(n * n);
+        for d in devices {
+            let p = d.position();
+            for c in chargers {
+                dist_dc.push(p.distance_value(&c.position()));
+            }
+            for other in devices {
+                dist_dd.push(p.distance_value(&other.position()));
+            }
+        }
+
+        ProblemTables {
+            n,
+            m,
+            move_rate,
+            travel_rate,
+            energy,
+            congestion,
+            dist_dc,
+            dist_dd,
+            gather: (0..GATHER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Ground-set size `n` the tables were built for.
+    #[inline]
+    pub fn num_devices(&self) -> usize {
+        self.n
+    }
+
+    /// The energy charge `π_j · w_i`.
+    #[inline]
+    pub fn energy(&self, charger: ChargerId, device: DeviceId) -> Cost {
+        self.energy[charger.index() * self.n + device.index()]
+    }
+
+    /// The congestion term `η_j · g(k)` for a group of size `k ≤ n`.
+    #[inline]
+    pub fn congestion(&self, charger: ChargerId, k: usize) -> Cost {
+        self.congestion[charger.index() * (self.n + 1) + k]
+    }
+
+    /// Device–charger distance `d(p_i, q_j)`.
+    #[inline]
+    pub fn device_charger_distance(&self, device: DeviceId, charger: ChargerId) -> f64 {
+        self.dist_dc[device.index() * self.m + charger.index()]
+    }
+
+    /// Device–device distance `d(p_i, p_i')`.
+    #[inline]
+    pub fn device_distance(&self, a: DeviceId, b: DeviceId) -> f64 {
+        self.dist_dd[a.index() * self.n + b.index()]
+    }
+
+    /// The device's movement cost rate `κ_i` as a raw value.
+    #[inline]
+    pub fn move_rate(&self, device: DeviceId) -> f64 {
+        self.move_rate[device.index()]
+    }
+
+    /// The charger's travel cost rate `τ_j` as a raw value.
+    #[inline]
+    pub fn travel_rate(&self, charger: ChargerId) -> f64 {
+        self.travel_rate[charger.index()]
+    }
+
+    /// The gathering point for `(charger, members)` under the problem's
+    /// strategy, memoized. The memo is a pure-function cache — a hit returns
+    /// bitwise the point a fresh [`gathering_point`] call would compute.
+    pub fn cached_gathering_point(
+        &self,
+        problem: &CcsProblem,
+        charger: ChargerId,
+        members: &[DeviceId],
+    ) -> Point {
+        let key = (
+            charger.value(),
+            members.iter().map(|d| d.value()).collect::<Vec<u32>>(),
+        );
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.gather[hasher.finish() as usize % GATHER_SHARDS];
+        if let Some(point) = shard.lock().expect("gathering memo poisoned").get(&key) {
+            ccs_telemetry::counter!("tables.gather_hits").incr();
+            return *point;
+        }
+        ccs_telemetry::counter!("tables.gather_misses").incr();
+        let point = gathering_point(problem, charger, members, problem.params().gathering);
+        shard
+            .lock()
+            .expect("gathering memo poisoned")
+            .insert(key, point);
+        point
+    }
+
+    /// Number of memoized gathering points (for tests and diagnostics).
+    pub fn gather_cache_len(&self) -> usize {
+        self.gather
+            .iter()
+            .map(|s| s.lock().expect("gathering memo poisoned").len())
+            .sum()
+    }
+}
+
+impl fmt::Debug for ProblemTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProblemTables")
+            .field("n", &self.n)
+            .field("m", &self.m)
+            .field("gather_cache_len", &self.gather_cache_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+
+    fn problem() -> CcsProblem {
+        CcsProblem::new(ScenarioGenerator::new(11).devices(9).chargers(3).generate())
+    }
+
+    #[test]
+    fn tables_match_direct_entity_computation() {
+        let p = problem();
+        let t = p.tables();
+        for c in p.scenario().charger_ids() {
+            let ch = p.charger(c);
+            for d in p.scenario().device_ids() {
+                let dev = p.device(d);
+                assert_eq!(t.energy(c, d), dev.demand() * ch.energy_price());
+                assert_eq!(
+                    t.device_charger_distance(d, c).to_bits(),
+                    dev.position().distance(&ch.position()).value().to_bits()
+                );
+            }
+            for k in 0..=p.num_devices() {
+                assert_eq!(
+                    t.congestion(c, k),
+                    ch.occupancy_rate() * p.params().congestion_curve.eval(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gathering_memo_is_transparent() {
+        let p = problem();
+        let t = p.tables();
+        let members: Vec<DeviceId> = [0u32, 2, 5].iter().map(|&i| DeviceId::new(i)).collect();
+        let c = ChargerId::new(1);
+        let fresh = gathering_point(&p, c, &members, p.params().gathering);
+        let first = t.cached_gathering_point(&p, c, &members);
+        let second = t.cached_gathering_point(&p, c, &members);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        assert_eq!(t.gather_cache_len(), 1);
+    }
+
+    #[test]
+    fn clone_of_problem_shares_no_stale_state() {
+        let p = problem();
+        let _ = p.tables();
+        let q = p.clone();
+        // The clone either re-derives or shares the same immutable tables;
+        // both must answer identically.
+        assert_eq!(
+            q.tables().energy(ChargerId::new(0), DeviceId::new(0)),
+            p.tables().energy(ChargerId::new(0), DeviceId::new(0))
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests pinning down the evaluation kernel's **bit-exactness**:
+//! the `ProblemTables` fast paths (table-backed bills, the pruned
+//! best-facility scan, upper-bound seeding, incremental `DeltaEval`) must
+//! return results bitwise identical to the from-scratch reference
+//! computations they replaced. No tolerance comparisons here — equality is
+//! on the raw `f64` payloads (via `PartialEq` on `Cost`/`Point`).
+
+use ccs_core::cost::{
+    evaluate_facility, evaluate_facility_direct, group_bill, group_bill_direct, try_best_facility,
+    try_best_facility_with_upper, DeltaEval, FacilityChoice,
+};
+use ccs_core::gathering::gathering_point;
+use ccs_core::prelude::*;
+use ccs_wrsn::entities::{ChargerId, DeviceId};
+use ccs_wrsn::scenario::{ParamRange, ScenarioGenerator};
+use ccs_wrsn::units::Cost;
+use proptest::prelude::*;
+
+fn problem(seed: u64, devices: usize, chargers: usize, budgeted: bool) -> CcsProblem {
+    let mut generator = ScenarioGenerator::new(seed)
+        .devices(devices)
+        .chargers(chargers);
+    if budgeted {
+        generator = generator.charger_energy_budget_range(ParamRange::new(9_000.0, 14_000.0));
+    }
+    CcsProblem::new(generator.generate())
+}
+
+/// Deterministic nonempty sorted member subset of `0..devices`.
+fn members_from_mask(devices: usize, mask: u64) -> Vec<DeviceId> {
+    let mut members: Vec<DeviceId> = (0..devices)
+        .filter(|&i| (mask >> i) & 1 == 1)
+        .map(|i| DeviceId::new(i as u32))
+        .collect();
+    if members.is_empty() {
+        members.push(DeviceId::new((mask % devices as u64) as u32));
+    }
+    members
+}
+
+/// The pre-kernel reference `best_facility`: evaluate *every* eligible
+/// charger at a fresh gathering point, keep the cheapest with the charger-id
+/// tie-break. The pruned scan must reproduce this bitwise.
+fn reference_best_facility(p: &CcsProblem, members: &[DeviceId]) -> Option<FacilityChoice> {
+    let mut best: Option<FacilityChoice> = None;
+    for c in p.scenario().charger_ids() {
+        if !p.charger_can_serve(c, members) {
+            continue;
+        }
+        let point = gathering_point(p, c, members, p.params().gathering);
+        let choice = evaluate_facility(p, c, members, point);
+        let better = match &best {
+            None => true,
+            Some(incumbent) => {
+                let cost = choice.group_cost().value();
+                let cur = incumbent.group_cost().value();
+                cost.total_cmp(&cur)
+                    .then(choice.charger.cmp(&incumbent.charger))
+                    == std::cmp::Ordering::Less
+            }
+        };
+        if better {
+            best = Some(choice);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Table-backed bills and facility evaluations are bitwise the direct
+    /// entity-recomputing ones, at arbitrary gathering points.
+    #[test]
+    fn tables_match_direct_geometry_bitwise(
+        seed in 0u64..1_000,
+        devices in 2usize..14,
+        chargers in 1usize..5,
+        mask in 1u64..(1 << 14),
+        px in 0.0f64..200.0,
+        py in 0.0f64..200.0,
+    ) {
+        let p = problem(seed, devices, chargers, false);
+        let members = members_from_mask(devices, mask);
+        let point = ccs_wrsn::geometry::Point::new(px, py);
+        for c in p.scenario().charger_ids() {
+            let fast = group_bill(&p, c, &members, &point);
+            let direct = group_bill_direct(&p, c, &members, &point);
+            prop_assert_eq!(&fast, &direct);
+            let fast_eval = evaluate_facility(&p, c, &members, point);
+            let direct_eval = evaluate_facility_direct(&p, c, &members, point);
+            prop_assert_eq!(&fast_eval, &direct_eval);
+            prop_assert_eq!(
+                fast_eval.group_cost().value().to_bits(),
+                direct_eval.group_cost().value().to_bits()
+            );
+        }
+    }
+
+    /// The pruned, memoized charger scan returns bitwise the full-scan
+    /// reference choice (including the charger-id tie-break), with and
+    /// without energy budgets narrowing eligibility.
+    #[test]
+    fn pruned_scan_matches_full_scan_bitwise(
+        seed in 0u64..1_000,
+        devices in 2usize..12,
+        chargers in 2usize..6,
+        mask in 1u64..(1 << 12),
+        budgeted in any::<bool>(),
+    ) {
+        let p = problem(seed, devices, chargers, budgeted);
+        let members = members_from_mask(devices, mask);
+        let pruned = try_best_facility(&p, &members);
+        let reference = reference_best_facility(&p, &members);
+        prop_assert_eq!(&pruned, &reference);
+    }
+
+    /// Upper-bound seeding never changes the answer: achievable, too-tight
+    /// and slack bounds all produce exactly the unseeded scan's choice.
+    #[test]
+    fn upper_bound_seeding_is_result_transparent(
+        seed in 0u64..1_000,
+        devices in 2usize..12,
+        chargers in 2usize..6,
+        mask in 1u64..(1 << 12),
+        scale in 0.25f64..4.0,
+    ) {
+        let p = problem(seed, devices, chargers, false);
+        let members = members_from_mask(devices, mask);
+        let unseeded = try_best_facility(&p, &members).expect("unbudgeted groups are feasible");
+        let best_cost = unseeded.group_cost();
+        for ub in [
+            best_cost,                      // exactly achievable
+            best_cost * scale,              // slack or too tight
+            Cost::new(0.0),                 // absurdly tight: must fall back
+            best_cost * 1e6,                // absurdly slack: prunes nothing
+        ] {
+            let seeded = try_best_facility_with_upper(&p, &members, ub);
+            prop_assert!(seeded.as_ref() == Some(&unseeded), "diverged at ub = {ub}");
+        }
+    }
+
+    /// `DeltaEval` stays bitwise aligned with from-scratch evaluation over
+    /// arbitrary join/leave sequences at a fixed facility.
+    #[test]
+    fn delta_eval_matches_scratch_over_join_leave_sequences(
+        seed in 0u64..1_000,
+        devices in 3usize..12,
+        chargers in 1usize..5,
+        mask in 1u64..(1 << 12),
+        ops in proptest::collection::vec(0usize..12, 1..40),
+    ) {
+        let p = problem(seed, devices, chargers, false);
+        let members = members_from_mask(devices, mask);
+        let charger = ChargerId::new((seed % p.num_chargers() as u64) as u32);
+        let point = gathering_point(&p, charger, &members, p.params().gathering);
+        let base = evaluate_facility(&p, charger, &members, point);
+        let mut delta = DeltaEval::new(&members, &base);
+
+        for &op in &ops {
+            let d = DeviceId::new((op % devices) as u32);
+            if delta.members().contains(&d) {
+                if delta.members().len() == 1 {
+                    continue; // keep the set nonempty
+                }
+                delta.leave(d);
+            } else {
+                delta.join(&p, d);
+            }
+            let scratch = evaluate_facility(&p, charger, delta.members(), point);
+            let materialized = delta.choice(&p);
+            prop_assert_eq!(&materialized, &scratch);
+            prop_assert_eq!(
+                delta.group_cost(&p).value().to_bits(),
+                scratch.group_cost().value().to_bits()
+            );
+        }
+    }
+}
+
+/// The gathering-point memo is transparent: repeated `best_facility` calls
+/// for the same composition return the identical choice, and the memo only
+/// grows with distinct `(charger, members)` keys.
+#[test]
+fn repeated_best_facility_is_stable_and_memoized() {
+    let p = problem(5, 10, 4, false);
+    let members: Vec<DeviceId> = [1u32, 4, 7].iter().map(|&i| DeviceId::new(i)).collect();
+    let first = best_facility(&p, &members);
+    let cached_entries = p.tables().gather_cache_len();
+    for _ in 0..3 {
+        assert_eq!(best_facility(&p, &members), first);
+    }
+    assert_eq!(
+        p.tables().gather_cache_len(),
+        cached_entries,
+        "re-evaluating a known composition must not grow the memo"
+    );
+}

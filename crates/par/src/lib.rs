@@ -26,6 +26,23 @@
 //! A count of `1` short-circuits to the **exact serial path**: no threads
 //! are spawned and the closure runs inline in index order.
 //!
+//! ## The minimum-work cutoff
+//!
+//! Spawning scoped threads costs tens of microseconds — more than an entire
+//! small batch (e.g. the 48-element Lovász prefix chains of `sfm_mnp_n48`)
+//! takes to run serially. Batches shorter than the **minimum item count**
+//! therefore run inline even when multiple workers are configured; the
+//! result is bit-identical by construction (it is the same serial order).
+//! The cutoff is resolved in this order:
+//!
+//! 1. [`set_min_items`],
+//! 2. the `CCS_PAR_MIN_ITEMS` environment variable,
+//! 3. the built-in default of `64`.
+//!
+//! Callers whose per-item work is expensive (a full facility evaluation,
+//! say) can lower the bar per call site with [`par_eval_min`] /
+//! [`par_map_min`].
+//!
 //! ## Zero-dependency design
 //!
 //! Like `ccs-telemetry`, this crate uses nothing beyond `std` (plus the
@@ -78,6 +95,43 @@ pub fn set_threads(n: usize) {
     OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// `0` means "no override": fall back to `CCS_PAR_MIN_ITEMS` or the default.
+static MIN_ITEMS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Batches below this size never pay thread-spawn overhead.
+const DEFAULT_MIN_ITEMS: usize = 64;
+
+/// The environment/default resolution of the cutoff, done once per process.
+fn default_min_items() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CCS_PAR_MIN_ITEMS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MIN_ITEMS)
+    })
+}
+
+/// The process-wide minimum batch size below which [`par_eval`] and
+/// [`par_map`] run inline (always `>= 1`).
+pub fn min_items() -> usize {
+    let n = match MIN_ITEMS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_min_items(),
+        n => n,
+    };
+    n.max(1)
+}
+
+/// Overrides the process-wide minimum-work cutoff. `0` clears the override,
+/// restoring the `CCS_PAR_MIN_ITEMS`-or-default resolution; `1` disables
+/// the cutoff entirely (every multi-item batch may go parallel).
+///
+/// Like [`set_threads`], this knob can only shift where work runs, never
+/// what it computes.
+pub fn set_min_items(n: usize) {
+    MIN_ITEMS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
 /// Evaluates `f(0), f(1), …, f(n-1)` and returns the results in index
 /// order, fanning the evaluations out over scoped threads.
 ///
@@ -94,8 +148,20 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    par_eval_min(n, min_items(), f)
+}
+
+/// [`par_eval`] with an explicit per-call minimum batch size instead of the
+/// process-wide [`min_items`] cutoff. Call sites whose per-item work is
+/// heavy (full facility evaluations, candidate-move scans) pass a small
+/// `min` so they still parallelize below the global cutoff.
+pub fn par_eval_min<U, F>(n: usize, min: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
     let workers = threads().min(n);
-    if workers <= 1 {
+    if workers <= 1 || n < min {
         return (0..n).map(f).collect();
     }
     ccs_telemetry::counter!("par.batches").incr();
@@ -151,6 +217,17 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     par_eval(items.len(), |i| f(i, &items[i]))
+}
+
+/// [`par_map`] with an explicit per-call minimum batch size (see
+/// [`par_eval_min`]).
+pub fn par_map_min<T, U, F>(items: &[T], min: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_eval_min(items.len(), min, |i| f(i, &items[i]))
 }
 
 #[cfg(test)]
@@ -211,6 +288,41 @@ mod tests {
         assert_eq!(threads(), 3);
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn min_items_override_takes_precedence_and_clears() {
+        set_min_items(5);
+        assert_eq!(min_items(), 5);
+        set_min_items(0);
+        assert!(min_items() >= 1);
+    }
+
+    #[test]
+    fn below_cutoff_runs_on_the_calling_thread() {
+        set_threads(8);
+        let me = thread::current().id();
+        let ids = par_eval_min(16, 64, |_| thread::current().id());
+        set_threads(0);
+        assert!(
+            ids.iter().all(|&id| id == me),
+            "small batch spawned threads"
+        );
+    }
+
+    #[test]
+    fn explicit_min_is_bit_identical_to_inline() {
+        set_threads(4);
+        let work = |i: usize| ((i as f64) * 0.73).cos().to_bits();
+        let parallel = par_eval_min(200, 1, work);
+        let inline = par_eval_min(200, 1000, work);
+        set_threads(0);
+        assert_eq!(parallel, inline);
+        let items: Vec<u64> = (0..50).collect();
+        assert_eq!(
+            par_map_min(&items, 2, |i, &x| x + i as u64),
+            par_map(&items, |i, &x| x + i as u64)
+        );
     }
 
     #[test]

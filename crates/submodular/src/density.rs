@@ -11,8 +11,8 @@
 //! `O(n log n)` exact path for [`SeparableFn`] objectives.
 
 use crate::minimize::{separable_min, SeparableFn};
-use crate::mnp::{minimize, MnpOptions};
-use crate::set_fn::{CardinalityPenalized, SetFunction};
+use crate::mnp::{minimize_warm, MnpOptions};
+use crate::set_fn::{CardinalityPenalized, CountingFn, SetFunction};
 use crate::subset::Subset;
 use std::fmt;
 
@@ -57,12 +57,19 @@ const MAX_DINKELBACH_ITERATIONS: usize = 64;
 const RATIO_TOLERANCE: f64 = 1e-9;
 
 /// Dinkelbach iteration shared by both oracles. `inner(lambda)` must return
-/// a global minimizer of `f(S) − λ|S|` (the empty set allowed).
-fn dinkelbach<F, O>(f: &F, inner: O) -> Result<DensityResult, DensityError>
+/// a global minimizer of `f(S) − λ|S|` (the empty set allowed); it is
+/// `FnMut` so the inner solver may carry state across iterations (the MNP
+/// oracle warm-starts each minimization from the previous minimizer).
+///
+/// The seeding and ratio-refresh probes run through a [`CountingFn`], so
+/// `sfm.oracle_evals` counts what was actually evaluated here; the inner
+/// minimizer accounts for its own probes.
+fn dinkelbach<F, O>(f: &F, mut inner: O) -> Result<DensityResult, DensityError>
 where
     F: SetFunction,
-    O: Fn(f64) -> (Subset, f64),
+    O: FnMut(f64) -> (Subset, f64),
 {
+    let f = CountingFn::new(f);
     let n = f.ground_size();
     if n == 0 {
         return Err(DensityError::EmptyGroundSet);
@@ -101,9 +108,6 @@ where
 
     ccs_telemetry::counter!("sfm.dinkelbach_calls").incr();
     ccs_telemetry::counter!("sfm.dinkelbach_iters").add(iterations as u64);
-    // Singleton seeding plus the per-iteration ratio refresh are direct
-    // oracle evaluations outside the inner minimizer.
-    ccs_telemetry::counter!("sfm.oracle_evals").add(n as u64 + iterations as u64);
 
     Ok(DensityResult {
         minimizer: best_set,
@@ -115,6 +119,12 @@ where
 /// Minimum-density search for a general (normalized) submodular `f`, using
 /// the min-norm-point algorithm for the inner parametric minimizations.
 ///
+/// Consecutive Dinkelbach iterations minimize `f − λ|S|` for nearby `λ`, so
+/// each MNP call after the first is warm-started from the previous
+/// iteration's minimizer ([`minimize_warm`]) — the Wolfe loop starts at a
+/// vertex whose prefix chain passes through the old answer and typically
+/// converges in a fraction of the cold-start major iterations.
+///
 /// # Errors
 ///
 /// Returns [`DensityError::EmptyGroundSet`] for `n = 0` and
@@ -123,9 +133,11 @@ pub fn min_density_mnp<F: SetFunction>(
     f: &F,
     options: MnpOptions,
 ) -> Result<DensityResult, DensityError> {
-    dinkelbach(f, |lambda| {
+    let mut prev: Option<Subset> = None;
+    dinkelbach(f, move |lambda| {
         let penalized = CardinalityPenalized::new(f, lambda);
-        let r = minimize(&penalized, options);
+        let r = minimize_warm(&penalized, options, prev.as_ref());
+        prev = Some(r.minimizer.clone());
         (r.minimizer, r.value)
     })
 }

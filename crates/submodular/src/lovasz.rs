@@ -25,6 +25,9 @@ fn order_by(w: &[f64]) -> Vec<usize> {
 
 /// Ground-set size below which the prefix chain is evaluated inline: for
 /// tiny instances the scoped-thread fan-out costs more than the chain.
+/// `ccs_par::min_items()` (the batch-wide minimum-work cutoff) dominates
+/// this floor, so chains that `ccs-par` would run serially anyway skip the
+/// prefix-clone staging entirely.
 const PAR_PREFIX_MIN: usize = 16;
 
 /// Evaluates `f` on every prefix of `order`, fanning the evaluations out
@@ -35,7 +38,7 @@ const PAR_PREFIX_MIN: usize = 16;
 /// values to recover marginals.
 pub(crate) fn prefix_values<F: SetFunction>(f: &F, order: &[usize]) -> Vec<f64> {
     let n = order.len();
-    if ccs_par::threads() == 1 || n < PAR_PREFIX_MIN {
+    if ccs_par::threads() == 1 || n < PAR_PREFIX_MIN.max(ccs_par::min_items()) {
         let mut values = Vec::with_capacity(n);
         let mut prefix = Subset::empty(f.ground_size());
         for &i in order {
@@ -61,14 +64,16 @@ pub(crate) fn prefix_values<F: SetFunction>(f: &F, order: &[usize]) -> Vec<f64> 
 /// evaluated as one parallel batch; results are identical at any thread
 /// count.
 ///
+/// Oracle accounting happens in the wrappers the entry points install
+/// ([`crate::set_fn::CountingFn`] / [`crate::set_fn::MemoFn`]), not here:
+/// this function cannot know whether a probe is fresh or memoized.
+///
 /// # Panics
 ///
 /// Panics if `w.len() != f.ground_size()`.
 pub fn greedy_vertex<F: SetFunction>(f: &F, w: &[f64]) -> Vec<f64> {
     let n = f.ground_size();
     assert_eq!(w.len(), n, "weight vector length mismatch");
-    // `n + 1` set-function evaluations: one per prefix plus `at_empty`.
-    ccs_telemetry::counter!("sfm.oracle_evals").add(n as u64 + 1);
     let order = order_by(w);
     let values = prefix_values(f, &order);
     let mut vertex = vec![0.0; n];
@@ -94,8 +99,9 @@ pub fn lovasz_extension<F: SetFunction>(f: &F, z: &[f64]) -> f64 {
     let n = f.ground_size();
     assert_eq!(z.len(), n, "argument length mismatch");
     ccs_telemetry::counter!("sfm.lovasz_evals").incr();
+    let counted = crate::set_fn::CountingFn::new(f);
     let neg: Vec<f64> = z.iter().map(|v| -v).collect();
-    let vertex = greedy_vertex(f, &neg);
+    let vertex = greedy_vertex(&counted, &neg);
     z.iter().zip(&vertex).map(|(zi, vi)| zi * vi).sum()
 }
 

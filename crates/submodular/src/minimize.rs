@@ -57,6 +57,16 @@ impl SeparableFn {
     pub fn fee(&self) -> f64 {
         self.fee
     }
+
+    /// The concave cardinality curve `g`.
+    pub fn curve(&self) -> &CardinalityCurve {
+        &self.curve
+    }
+
+    /// The scale applied to the cardinality curve.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
 }
 
 impl SetFunction for SeparableFn {

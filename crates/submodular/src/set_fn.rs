@@ -379,6 +379,115 @@ impl<F: SetFunction> SetFunction for CardinalityPenalized<F> {
     }
 }
 
+/// Counts every oracle probe of the wrapped function on the global
+/// `sfm.oracle_evals` telemetry counter.
+///
+/// The minimizer entry points (`mnp::minimize*`, `density::dinkelbach`)
+/// install this wrapper (or the memoizing [`MemoFn`]) around the caller's
+/// function, so `sfm.oracle_evals` reports the *actual* number of oracle
+/// queries instead of the hand-maintained per-call-site estimates the
+/// counter used to accumulate (which silently undercounted paths such as
+/// `at_empty` normalization probes and drifted whenever an algorithm
+/// changed).
+#[derive(Debug, Clone)]
+pub struct CountingFn<F> {
+    inner: F,
+}
+
+impl<F: SetFunction> CountingFn<F> {
+    /// Wraps `inner`; every `eval`/`marginal` probe increments
+    /// `sfm.oracle_evals` by one.
+    pub fn new(inner: F) -> Self {
+        CountingFn { inner }
+    }
+
+    /// The wrapped function.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: SetFunction> SetFunction for CountingFn<F> {
+    fn ground_size(&self) -> usize {
+        self.inner.ground_size()
+    }
+
+    fn eval(&self, s: &Subset) -> f64 {
+        ccs_telemetry::counter!("sfm.oracle_evals").incr();
+        self.inner.eval(s)
+    }
+
+    fn marginal(&self, s: &Subset, i: usize) -> f64 {
+        // One oracle probe regardless of how the inner function computes it.
+        ccs_telemetry::counter!("sfm.oracle_evals").incr();
+        self.inner.marginal(s, i)
+    }
+}
+
+/// Memoizes evaluations of the wrapped function by subset, counting each
+/// *distinct* evaluated subset once on `sfm.oracle_evals` (at the vacant
+/// insert) and repeats on `sfm.memo_hits`.
+///
+/// `mnp::minimize` wraps its argument in this: the Lovász prefix chains of
+/// consecutive major iterations share long runs of identical prefixes once
+/// the sort order stabilizes, and the final extraction sweep re-walks a
+/// chain the last major iteration already evaluated. The memo is held for
+/// one `minimize` call, so memory stays bounded by the evaluation count.
+///
+/// Lookups and inserts happen under one mutex acquisition, so the counters
+/// are a pure function of the distinct-subset set — identical at any
+/// `ccs-par` thread count.
+pub struct MemoFn<F> {
+    inner: F,
+    memo: std::sync::Mutex<std::collections::HashMap<Subset, f64>>,
+}
+
+impl<F: SetFunction> MemoFn<F> {
+    /// Wraps `inner` with an empty memo.
+    pub fn new(inner: F) -> Self {
+        MemoFn {
+            inner,
+            memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Number of memoized (distinct evaluated) subsets.
+    pub fn len(&self) -> usize {
+        self.memo.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether no subset has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<F: SetFunction> fmt::Debug for MemoFn<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoFn")
+            .field("memoized", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: SetFunction> SetFunction for MemoFn<F> {
+    fn ground_size(&self) -> usize {
+        self.inner.ground_size()
+    }
+
+    fn eval(&self, s: &Subset) -> f64 {
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        if let Some(&v) = memo.get(s) {
+            ccs_telemetry::counter!("sfm.memo_hits").incr();
+            return v;
+        }
+        ccs_telemetry::counter!("sfm.oracle_evals").incr();
+        let v = self.inner.eval(s);
+        memo.insert(s.clone(), v);
+        v
+    }
+}
+
 /// A set function defined by a closure (for tests and ad-hoc objectives).
 ///
 /// The closure is shared behind an [`Arc`] so the wrapper stays cheap to
@@ -513,6 +622,40 @@ mod tests {
         assert_eq!(f.ground_size(), 4);
         let dbg = format!("{f:?}");
         assert!(dbg.contains("FnSetFunction"));
+    }
+
+    #[test]
+    fn counting_fn_is_transparent() {
+        let f = Modular::new(vec![1.0, -2.0, 3.0]);
+        let counted = CountingFn::new(f.clone());
+        for s in all_subsets(3) {
+            assert_eq!(counted.eval(&s), f.eval(&s));
+            assert_eq!(counted.marginal(&s, 0), f.marginal(&s, 0));
+        }
+        assert_eq!(counted.ground_size(), 3);
+        assert_eq!(counted.inner().weights(), f.weights());
+    }
+
+    #[test]
+    fn memo_fn_evaluates_each_distinct_subset_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_inner = Arc::clone(&calls);
+        let f = FnSetFunction::new(4, move |s| {
+            calls_inner.fetch_add(1, Ordering::Relaxed);
+            s.len() as f64
+        });
+        let memo = MemoFn::new(f);
+        assert!(memo.is_empty());
+        let a = Subset::from_indices(4, [0, 2]);
+        let b = Subset::from_indices(4, [1]);
+        assert_eq!(memo.eval(&a), 2.0);
+        assert_eq!(memo.eval(&a), 2.0);
+        assert_eq!(memo.eval(&b), 1.0);
+        assert_eq!(memo.eval(&a), 2.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "one real eval per key");
+        assert_eq!(memo.len(), 2);
     }
 
     #[test]

@@ -44,7 +44,15 @@ impl Point {
     /// Euclidean distance to another point.
     #[inline]
     pub fn distance(&self, other: &Point) -> Meters {
-        Meters::new((self.x - other.x).hypot(self.y - other.y))
+        Meters::new(self.distance_value(other))
+    }
+
+    /// Euclidean distance as a raw `f64` — the exact value inside
+    /// [`Point::distance`], for table-building code that batches distances
+    /// without the unit wrapper.
+    #[inline]
+    pub fn distance_value(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
     }
 
     /// Squared Euclidean distance (cheaper; no sqrt).

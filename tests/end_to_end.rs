@@ -221,12 +221,20 @@ fn ccsga_run_report_records_game_dynamics() {
 }
 
 #[test]
-fn ccsa_run_report_records_oracle_evaluations() {
+fn ccsa_run_report_records_facility_pricing() {
     let report = run_report_for("ccsa");
+    // The production prefix-scan minimizer is oracle-free since the
+    // evaluation kernel landed: the congestion term is tabulated instead of
+    // reconstructed from `SetFunction::eval` round-trips.
+    assert_eq!(
+        report.counter("sfm.oracle_evals"),
+        0,
+        "the prefix-scan path must not burn oracle evaluations, got {:?}",
+        report.counters
+    );
     assert!(
-        report.counter("sfm.oracle_evals") > 0,
-        "the prefix-scan inner minimizer must count its set-function \
-         evaluations, got {:?}",
+        report.counter("ccsa.facility_evals") > 0,
+        "{:?}",
         report.counters
     );
     assert!(report.counter("ccsa.rounds") > 0, "{:?}", report.counters);
