@@ -28,7 +28,9 @@
 //! when the timing noise hides it.
 //!
 //! With `--check`, the newest committed `BENCH_<N>.json` in the working
-//! directory is used as a baseline *before* any output is written: if any
+//! directory *covering this binary's bench names* (see [`ccs_bench::gate`]:
+//! other binaries emit disjoint bench families and must not shadow this
+//! gate's baseline) is used *before* any output is written: if any
 //! bench's `serial_ms` regresses by more than 20%, or its `oracle_evals`
 //! grows by more than 5%, the process exits with status 1. Version-1
 //! baselines (no counter fields) gate on timing only; when no baseline
@@ -39,6 +41,7 @@
 //! are bit-identical — the determinism contract of `ccs-par` — and aborts
 //! loudly if they ever diverge.
 
+use ccs_bench::gate::{self, Direction, Gate};
 use ccs_core::prelude::*;
 use ccs_submodular::minimize::SeparableFn;
 use ccs_submodular::mnp::{minimize, MnpOptions};
@@ -49,12 +52,23 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// Serial-mean regression tolerance of the `--check` gate.
-const REGRESSION_TOLERANCE: f64 = 0.20;
-
-/// Oracle-count regression tolerance of the `--check` gate. Counters are
-/// deterministic, so this only needs slack for intentional small drifts.
-const ORACLE_TOLERANCE: f64 = 0.05;
+/// The `--check` gates: serial mean within 20% (wall clock is noisy), the
+/// deterministic oracle counter within 5% (slack for intentional drifts
+/// only; any growth from a zero baseline is real).
+const GATES: [Gate; 2] = [
+    Gate {
+        field: "serial_ms",
+        tolerance: 0.20,
+        direction: Direction::HigherIsWorse,
+        zero_base_fails: false,
+    },
+    Gate {
+        field: "oracle_evals",
+        tolerance: 0.05,
+        direction: Direction::HigherIsWorse,
+        zero_base_fails: true,
+    },
+];
 
 fn instance(n: usize) -> CcsProblem {
     CcsProblem::new(
@@ -181,65 +195,6 @@ fn benches(iters: usize) -> BTreeMap<String, BenchResult> {
     out
 }
 
-/// The newest committed baseline: the `BENCH_<N>.json` with the largest N
-/// in the current directory, parsed, or `None` when absent/unreadable.
-fn newest_baseline() -> Option<(String, Value)> {
-    let mut best: Option<(u64, String)> = None;
-    for entry in std::fs::read_dir(".").ok()?.flatten() {
-        let name = entry.file_name().to_string_lossy().into_owned();
-        let Some(num) = name
-            .strip_prefix("BENCH_")
-            .and_then(|rest| rest.strip_suffix(".json"))
-            .and_then(|n| n.parse::<u64>().ok())
-        else {
-            continue;
-        };
-        if best.as_ref().is_none_or(|(n, _)| num > *n) {
-            best = Some((num, name));
-        }
-    }
-    let (_, name) = best?;
-    let text = std::fs::read_to_string(&name).ok()?;
-    let value = serde_json::from_str(&text).ok()?;
-    Some((name, value))
-}
-
-/// Compares serial means and oracle counts against the baseline; lists
-/// every regression beyond its tolerance. Benches (or counter fields —
-/// v1 baselines have none) absent from either side are ignored.
-fn regressions(current: &BTreeMap<String, BenchResult>, baseline: &Value) -> Vec<String> {
-    let mut failures = Vec::new();
-    let Some(benches) = baseline.field("benches").as_object() else {
-        return failures;
-    };
-    for (name, result) in current {
-        let Some(entry) = benches.get(name) else {
-            continue;
-        };
-        if let Value::Number(n) = entry.field("serial_ms") {
-            let base = n.as_f64();
-            if base > 0.0 && result.serial_ms > base * (1.0 + REGRESSION_TOLERANCE) {
-                failures.push(format!(
-                    "{name}: serial {:.2} ms vs baseline {base:.2} ms (+{:.0}%)",
-                    result.serial_ms,
-                    (result.serial_ms / base - 1.0) * 100.0
-                ));
-            }
-        }
-        if let Value::Number(n) = entry.field("oracle_evals") {
-            let base = n.as_f64();
-            let grew_from_zero = base == 0.0 && result.oracle_evals > 0;
-            if grew_from_zero || result.oracle_evals as f64 > base * (1.0 + ORACLE_TOLERANCE) {
-                failures.push(format!(
-                    "{name}: oracle_evals {} vs baseline {base:.0}",
-                    result.oracle_evals
-                ));
-            }
-        }
-    }
-    failures
-}
-
 fn num(x: f64) -> Value {
     Value::Number(Number::Float((x * 100.0).round() / 100.0))
 }
@@ -291,11 +246,18 @@ fn main() -> ExitCode {
             "--out" => out_path = args.next(),
             "--check" => check = true,
             "--iters" => {
-                iters = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or(3)
+                // A typo must not silently bench with the default count.
+                match args.next().map(|v| (v.clone(), v.parse::<usize>())) {
+                    Some((_, Ok(n))) if n > 0 => iters = n,
+                    Some((raw, _)) => {
+                        eprintln!("error: --iters needs a positive integer, got '{raw}'");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("error: --iters needs a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             other => {
                 eprintln!("usage: bench_smoke [--out FILE] [--check] [--iters N] (got '{other}')");
@@ -306,10 +268,11 @@ fn main() -> ExitCode {
 
     // Capture the baseline before writing anything, so `--out BENCH_2.json
     // --check` compares against the committed file, not the fresh one.
-    let baseline = newest_baseline();
+    let baseline = gate::newest_baseline(&["ccsa_n40", "ccsga_n50", "ccsga_n100", "sfm_mnp_n48"]);
 
     let results = benches(iters);
-    let json = serde_json::to_string_pretty(&to_json(&results)).expect("results serialize");
+    let doc = to_json(&results);
+    let json = serde_json::to_string_pretty(&doc).expect("results serialize");
 
     match &out_path {
         Some(path) => {
@@ -325,7 +288,7 @@ fn main() -> ExitCode {
     if check {
         match baseline {
             Some((name, base)) => {
-                let failures = regressions(&results, &base);
+                let failures = gate::regressions(&doc, &base, &GATES);
                 if failures.is_empty() {
                     eprintln!("bench-regression gate: ok vs {name}");
                 } else {

@@ -1,0 +1,327 @@
+//! `serve_load` — load generator for the `ccs serve` daemon.
+//!
+//! ```text
+//! serve_load [--clients N] [--requests M] [--workers W] [--out FILE] [--check]
+//! ```
+//!
+//! Starts an in-process daemon on a Unix socket (the same [`serve_unix`]
+//! engine `ccs serve --socket` runs), then drives it with `N` concurrent
+//! client connections, each sending `M` requests — a mix of `plan` calls
+//! over a handful of scenarios (exercising the scenario and plan caches),
+//! `replay` calls with per-request seeds (cache-hitting the plan but doing
+//! fresh testbed work), and one deliberately malformed line per client
+//! (exercising the error path under load). Every client asserts it gets
+//! exactly one response per request and that the daemon never drops a
+//! connection.
+//!
+//! The run emits a `BENCH_4.json`-style document:
+//!
+//! ```json
+//! {
+//!   "schema": "ccs-serve-load/v1",
+//!   "clients": 4,
+//!   "requests_per_client": 25,
+//!   "benches": {
+//!     "serve_mixed": {
+//!       "throughput_rps": 412.7, "total_ms": 242.3,
+//!       "ok": 96, "errors": 4, "rejected": 0
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! With `--check`, the newest committed `BENCH_<N>.json` covering
+//! `serve_mixed` gates the run: throughput more than 50% below the
+//! baseline fails (generous — CI machines are noisy; the point is to catch
+//! an accidental serialization of the worker pool, which costs far more
+//! than 50%).
+
+use ccs_bench::gate::{self, Direction, Gate};
+use ccs_serve::prelude::*;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use serde::Serialize;
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Throughput gate: anything under half the committed baseline fails.
+const GATES: [Gate; 1] = [Gate {
+    field: "throughput_rps",
+    tolerance: 0.5,
+    direction: Direction::LowerIsWorse,
+    zero_base_fails: false,
+}];
+
+/// Scenario pool the clients draw from (small enough that plans are
+/// cache-hot after the first lap, large enough to exercise eviction-free
+/// multi-entry behavior).
+fn scenario_pool() -> Vec<String> {
+    (1u64..=3)
+        .map(|seed| {
+            let scenario = ScenarioGenerator::new(seed)
+                .devices(10)
+                .chargers(3)
+                .generate();
+            serde_json::to_string(&scenario.to_value()).expect("scenario serializes")
+        })
+        .collect()
+}
+
+struct ClientOutcome {
+    ok: u64,
+    errors: u64,
+    rejected: u64,
+}
+
+/// One client: `requests` JSONL requests down a fresh connection, reading
+/// each response before sending the next (closed-loop load).
+fn run_client(
+    socket: &str,
+    client: usize,
+    requests: usize,
+    scenarios: &[String],
+) -> std::io::Result<ClientOutcome> {
+    let stream = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut outcome = ClientOutcome {
+        ok: 0,
+        errors: 0,
+        rejected: 0,
+    };
+    for i in 0..requests {
+        let scenario = &scenarios[(client + i) % scenarios.len()];
+        let id = (client * requests + i) as u64;
+        let line = match i % 5 {
+            // One malformed line per lap: the error path must not cost a
+            // connection or wedge the daemon under load.
+            4 => "{not json".to_string(),
+            3 => format!(
+                r#"{{"id":{id},"cmd":"replay","scenario":{scenario},"seed":{i},"noshow":0.2}}"#
+            ),
+            _ => format!(
+                r#"{{"id":{id},"cmd":"plan","scenario":{scenario},"algo":"{}"}}"#,
+                if i % 2 == 0 { "ccsa" } else { "ncp" }
+            ),
+        };
+        writeln!(writer, "{line}")?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-batch",
+            ));
+        }
+        let parsed: Value = serde_json::from_str(&response).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })?;
+        match parsed.field("ok") {
+            Value::Bool(true) => outcome.ok += 1,
+            Value::Bool(false) => {
+                if let Value::String(kind) = parsed.field("error").field("kind") {
+                    if kind == "rejected" {
+                        outcome.rejected += 1;
+                    }
+                }
+                outcome.errors += 1;
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "response carries no 'ok' field",
+                ))
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn uint(x: u64) -> Value {
+    Value::Number(Number::PosInt(x))
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(Number::Float((x * 100.0).round() / 100.0))
+}
+
+fn to_json(clients: usize, requests: usize, total: &ClientOutcome, elapsed: Duration) -> Value {
+    let answered = total.ok + total.errors;
+    let mut entry = BTreeMap::new();
+    entry.insert(
+        "throughput_rps".to_string(),
+        num(answered as f64 / elapsed.as_secs_f64()),
+    );
+    entry.insert("total_ms".to_string(), num(elapsed.as_secs_f64() * 1000.0));
+    entry.insert("ok".to_string(), uint(total.ok));
+    entry.insert("errors".to_string(), uint(total.errors));
+    entry.insert("rejected".to_string(), uint(total.rejected));
+    let mut benches = BTreeMap::new();
+    benches.insert("serve_mixed".to_string(), Value::Object(entry));
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("ccs-serve-load/v1".to_string()),
+    );
+    root.insert("clients".to_string(), uint(clients as u64));
+    root.insert("requests_per_client".to_string(), uint(requests as u64));
+    root.insert("benches".to_string(), Value::Object(benches));
+    Value::Object(root)
+}
+
+fn main() -> ExitCode {
+    let mut clients = 4usize;
+    let mut requests = 25usize;
+    let mut workers = 0usize;
+    let mut out_path: Option<String> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut uint_flag = |name: &str| -> Result<usize, String> {
+            match args.next().map(|v| (v.clone(), v.parse::<usize>())) {
+                Some((_, Ok(n))) => Ok(n),
+                Some((raw, _)) => Err(format!(
+                    "--{name} needs a non-negative integer, got '{raw}'"
+                )),
+                None => Err(format!("--{name} needs a value")),
+            }
+        };
+        let parsed = match arg.as_str() {
+            "--clients" => uint_flag("clients").map(|n| clients = n.max(1)),
+            "--requests" => uint_flag("requests").map(|n| requests = n.max(1)),
+            "--workers" => uint_flag("workers").map(|n| workers = n),
+            "--out" => {
+                out_path = args.next();
+                if out_path.is_none() {
+                    Err("--out needs a value".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            "--check" => {
+                check = true;
+                Ok(())
+            }
+            other => Err(format!(
+                "usage: serve_load [--clients N] [--requests M] [--workers W] \
+                 [--out FILE] [--check] (got '{other}')"
+            )),
+        };
+        if let Err(err) = parsed {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Capture the baseline before writing anything (see bench_smoke).
+    let baseline = gate::newest_baseline(&["serve_mixed"]);
+
+    let socket = std::env::temp_dir().join(format!("ccs-serve-load-{}.sock", std::process::id()));
+    let socket = socket.to_string_lossy().into_owned();
+    let config = ServeConfig {
+        workers,
+        queue_depth: 64,
+        stats_every: None,
+    };
+    let scenarios = scenario_pool();
+
+    let (summary, total, elapsed) = std::thread::scope(|scope| {
+        let daemon = {
+            let socket = socket.clone();
+            scope.spawn(move || serve_unix(&socket, &config))
+        };
+        // Wait for the socket to come up.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !std::path::Path::new(&socket).exists() {
+            assert!(Instant::now() < deadline, "daemon socket never appeared");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let start = Instant::now();
+        let outcomes: Vec<_> = (0..clients)
+            .map(|c| {
+                let socket = &socket;
+                let scenarios = &scenarios;
+                scope.spawn(move || run_client(socket, c, requests, scenarios))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        let elapsed = start.elapsed();
+
+        let mut shutdown = UnixStream::connect(&socket).expect("shutdown connection");
+        writeln!(shutdown, r#"{{"cmd":"shutdown"}}"#).expect("shutdown request");
+        let summary = daemon.join().expect("daemon thread").expect("daemon bind");
+
+        let mut total = ClientOutcome {
+            ok: 0,
+            errors: 0,
+            rejected: 0,
+        };
+        for outcome in outcomes {
+            let outcome = outcome.expect("client io");
+            total.ok += outcome.ok;
+            total.errors += outcome.errors;
+            total.rejected += outcome.rejected;
+        }
+        (summary, total, elapsed)
+    });
+
+    let expected = (clients * requests) as u64;
+    assert_eq!(
+        total.ok + total.errors,
+        expected,
+        "every request must be answered"
+    );
+    eprintln!(
+        "serve_load: {clients} clients x {requests} requests in {:.1} ms \
+         ({:.0} req/s) — ok {} errors {} rejected {} \
+         (daemon: completed {} errors {} panics {})",
+        elapsed.as_secs_f64() * 1000.0,
+        expected as f64 / elapsed.as_secs_f64(),
+        total.ok,
+        total.errors,
+        total.rejected,
+        summary.completed,
+        summary.errors,
+        summary.panics,
+    );
+
+    let doc = to_json(clients, requests, &total, elapsed);
+    let json = serde_json::to_string_pretty(&doc).expect("results serialize");
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if check {
+        match baseline {
+            Some((name, base)) => {
+                let failures = gate::regressions(&doc, &base, &GATES);
+                if failures.is_empty() {
+                    eprintln!("serve-load gate: ok vs {name}");
+                } else {
+                    eprintln!("serve-load gate: FAILED vs {name} (>50% below baseline):");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("serve-load gate: no committed serve baseline, skipping"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -10,6 +10,7 @@ use crate::exp::common::{mean_std, parallel_map, write_csv, write_markdown};
 use ccs_core::prelude::*;
 use ccs_testbed::field::{field_noise, field_problem, FIELD_CHARGERS, FIELD_DEVICES};
 use ccs_testbed::sim::execute;
+use ccs_wrsn::units::Cost;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -49,9 +50,15 @@ pub fn table2(out: &Path) -> io::Result<f64> {
     let (ncp_real, ncp_real_std) = mean_std(&runs.iter().map(|r| r.4).collect::<Vec<_>>());
     let (makespan, _) = mean_std(&runs.iter().map(|r| r.5).collect::<Vec<_>>());
     let (wait, _) = mean_std(&runs.iter().map(|r| r.6).collect::<Vec<_>>());
-    let savings: Vec<f64> = runs.iter().map(|r| (1.0 - r.1 / r.4) * 100.0).collect();
+    // Fallible saving form: trials whose realized NCP baseline degenerates
+    // to zero (total failure) are dropped instead of contributing `inf`.
+    let savings: Vec<f64> = runs
+        .iter()
+        .filter_map(|r| try_saving_percent(Cost::new(r.1), Cost::new(r.4)))
+        .collect();
     let (saving_mean, saving_std) = mean_std(&savings);
-    let ccsga_saving = (1.0 - ccsga_real / ncp_real) * 100.0;
+    let ccsga_saving = try_saving_percent(Cost::new(ccsga_real), Cost::new(ncp_real))
+        .map_or("na".to_string(), |s| format!("{s:.1}"));
 
     let mut md = String::new();
     let _ = writeln!(md, "# Table 2 — field experiment ({TRIALS} noisy trials)\n");
@@ -67,7 +74,7 @@ pub fn table2(out: &Path) -> io::Result<f64> {
     );
     let _ = writeln!(
         md,
-        "| realized saving vs NCP (%) | **{saving_mean:.1} ± {saving_std:.1}** | {ccsga_saving:.1} | 0 |"
+        "| realized saving vs NCP (%) | **{saving_mean:.1} ± {saving_std:.1}** | {ccsga_saving} | 0 |"
     );
     let _ = writeln!(md, "| CCSA makespan (s) | {makespan:.1} | — | — |");
     let _ = writeln!(md, "| CCSA mean queueing delay (s) | {wait:.1} | — | — |");
@@ -100,16 +107,19 @@ pub fn fig12(out: &Path) -> io::Result<()> {
         let plan = coop.device_cost(d).expect("scheduled").value();
         let real = coop_run.device_costs[d.index()].value();
         let ncp_real = solo_run.device_costs[d.index()].value();
-        let saving = (1.0 - real / ncp_real) * 100.0;
+        let saving = try_saving_percent(Cost::new(real), Cost::new(ncp_real));
         println!(
-            "{:>6} {:>14.2} {:>14.2} {:>14.2} {:>12.1}",
+            "{:>6} {:>14.2} {:>14.2} {:>14.2} {:>12}",
             d.to_string(),
             plan,
             real,
             ncp_real,
-            saving
+            saving.map_or("na".to_string(), |s| format!("{s:.1}")),
         );
-        rows.push(format!("{d},{plan:.4},{real:.4},{ncp_real:.4},{saving:.2}"));
+        rows.push(format!(
+            "{d},{plan:.4},{real:.4},{ncp_real:.4},{}",
+            saving.map_or("na".to_string(), |s| format!("{s:.2}")),
+        ));
     }
     write_csv(
         out,

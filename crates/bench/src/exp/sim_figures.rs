@@ -16,6 +16,7 @@
 use crate::exp::common::{mean_std, parallel_map, write_csv};
 use ccs_core::prelude::*;
 use ccs_wrsn::scenario::ScenarioGenerator;
+use ccs_wrsn::units::Cost;
 use std::io;
 use std::path::Path;
 
@@ -69,14 +70,26 @@ fn emit(out: &Path, file: &str, x_name: &str, points: Vec<(f64, PointStats)>) ->
     );
     let mut rows = Vec::new();
     for (x, p) in &points {
-        let ccsa_save = (1.0 - p.ccsa_mean / p.ncp_mean) * 100.0;
-        let ccsga_save = (1.0 - p.ccsga_mean / p.ncp_mean) * 100.0;
+        // A zero/negative NCP baseline makes the saving undefined; emit an
+        // explicit `na` marker rather than an `inf` that poisons the CSV.
+        let ccsa_save = try_saving_percent(Cost::new(p.ccsa_mean), Cost::new(p.ncp_mean));
+        let ccsga_save = try_saving_percent(Cost::new(p.ccsga_mean), Cost::new(p.ncp_mean));
+        let pct = |s: Option<f64>, digits: usize| match s {
+            Some(v) => format!("{v:.digits$}"),
+            None => "na".to_string(),
+        };
         println!(
-            "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>14.1} {:>14.1}",
-            x, p.ccsa_mean, p.ccsga_mean, p.clu_mean, p.ncp_mean, ccsa_save, ccsga_save
+            "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>14} {:>14}",
+            x,
+            p.ccsa_mean,
+            p.ccsga_mean,
+            p.clu_mean,
+            p.ncp_mean,
+            pct(ccsa_save, 1),
+            pct(ccsga_save, 1)
         );
         rows.push(format!(
-            "{x},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2}",
+            "{x},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}",
             p.ccsa_mean,
             p.ccsa_std,
             p.ccsga_mean,
@@ -84,8 +97,8 @@ fn emit(out: &Path, file: &str, x_name: &str, points: Vec<(f64, PointStats)>) ->
             p.clu_mean,
             p.ncp_mean,
             p.ncp_std,
-            ccsa_save,
-            ccsga_save
+            pct(ccsa_save, 2),
+            pct(ccsga_save, 2)
         ));
     }
     write_csv(

@@ -11,6 +11,7 @@
 use crate::exp::common::{mean_std, parallel_map, write_csv};
 use ccs_core::prelude::*;
 use ccs_wrsn::scenario::ScenarioGenerator;
+use ccs_wrsn::units::Cost;
 use std::io;
 use std::path::Path;
 
@@ -52,9 +53,21 @@ pub fn fig8(out: &Path) -> io::Result<(f64, f64)> {
         let opt_avg = runs.iter().map(|r| r.0).sum::<f64>() / runs.len() as f64 / n as f64;
         let ccsa_avg = runs.iter().map(|r| r.1).sum::<f64>() / runs.len() as f64 / n as f64;
         let ncp_avg = runs.iter().map(|r| r.3).sum::<f64>() / runs.len() as f64 / n as f64;
-        let savings: Vec<f64> = runs.iter().map(|r| (1.0 - r.1 / r.3) * 100.0).collect();
-        let gaps: Vec<f64> = runs.iter().map(|r| (r.1 / r.0 - 1.0) * 100.0).collect();
-        let ccsga_gaps: Vec<f64> = runs.iter().map(|r| (r.2 / r.0 - 1.0) * 100.0).collect();
+        // Degenerate (non-positive) baselines make the ratios undefined;
+        // the fallible metric forms drop those runs instead of feeding
+        // `inf`/NaN into the pooled means.
+        let savings: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| try_saving_percent(Cost::new(r.1), Cost::new(r.3)))
+            .collect();
+        let gaps: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| try_gap_above_optimal_percent(Cost::new(r.1), Cost::new(r.0)))
+            .collect();
+        let ccsga_gaps: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| try_gap_above_optimal_percent(Cost::new(r.2), Cost::new(r.0)))
+            .collect();
         pooled_saving.extend_from_slice(&savings);
         pooled_gap.extend_from_slice(&gaps);
 

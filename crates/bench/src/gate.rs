@@ -1,0 +1,203 @@
+//! The shared bench-regression gate.
+//!
+//! Every bench binary emits a `BENCH_<N>.json` document with a top-level
+//! `benches` object mapping bench names to numeric metrics, and gates a
+//! `--check` run against the newest committed baseline. Different binaries
+//! emit disjoint bench families (`bench_smoke` the hot-path timings,
+//! `serve_load` the daemon throughput), so the baseline lookup is
+//! *name-aware*: it picks the newest `BENCH_<N>.json` that covers at least
+//! one of the caller's bench names. A freshly committed `BENCH_5.json`
+//! from one family therefore never silently turns the other family's gate
+//! into a no-op.
+
+use serde_json::Value;
+
+/// Which direction of drift is a regression for a gated field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are regressions (timings, work counters).
+    HigherIsWorse,
+    /// Smaller numbers are regressions (throughput).
+    LowerIsWorse,
+}
+
+/// One gated metric: a field of each bench entry, a relative tolerance,
+/// and the regression direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Gate {
+    /// Field name inside each `benches.<name>` object.
+    pub field: &'static str,
+    /// Relative tolerance (0.20 = 20% drift allowed).
+    pub tolerance: f64,
+    /// Which way drift counts as a regression.
+    pub direction: Direction,
+    /// Whether a zero baseline with a nonzero current value fails (exact
+    /// counters: any growth from zero is real) or is skipped (timings:
+    /// a zero baseline carries no signal).
+    pub zero_base_fails: bool,
+}
+
+/// The newest committed baseline *covering this bench family*: the
+/// `BENCH_<N>.json` in the current directory with the largest `N` whose
+/// `benches` object shares at least one name with `names`. Unreadable or
+/// unrelated files are skipped, so the gate degrades gracefully on a fresh
+/// checkout (no baseline → `None` → skip).
+pub fn newest_baseline(names: &[&str]) -> Option<(String, Value)> {
+    let mut candidates: Vec<(u64, String)> = std::fs::read_dir(".")
+        .ok()?
+        .flatten()
+        .filter_map(|entry| {
+            let file = entry.file_name().to_string_lossy().into_owned();
+            let num = file
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()?;
+            Some((num, file))
+        })
+        .collect();
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, file) in candidates {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str::<Value>(&text) else {
+            continue;
+        };
+        let covers = value
+            .field("benches")
+            .as_object()
+            .is_some_and(|benches| names.iter().any(|n| benches.contains_key(*n)));
+        if covers {
+            return Some((file, value));
+        }
+    }
+    None
+}
+
+/// Compares `current` against `baseline` under `gates`, returning one
+/// human-readable line per regression beyond its tolerance. Benches or
+/// fields absent from either side are ignored (older baseline schemas
+/// simply gate on fewer metrics).
+pub fn regressions(current: &Value, baseline: &Value, gates: &[Gate]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(base_benches) = baseline.field("benches").as_object() else {
+        return failures;
+    };
+    let Some(cur_benches) = current.field("benches").as_object() else {
+        return failures;
+    };
+    for (name, entry) in cur_benches {
+        let Some(base_entry) = base_benches.get(name) else {
+            continue;
+        };
+        for gate in gates {
+            let (Value::Number(cur), Value::Number(base)) =
+                (entry.field(gate.field), base_entry.field(gate.field))
+            else {
+                continue;
+            };
+            let (cur, base) = (cur.as_f64(), base.as_f64());
+            let failed = if base > 0.0 {
+                match gate.direction {
+                    Direction::HigherIsWorse => cur > base * (1.0 + gate.tolerance),
+                    Direction::LowerIsWorse => cur < base * (1.0 - gate.tolerance),
+                }
+            } else {
+                gate.zero_base_fails && gate.direction == Direction::HigherIsWorse && cur > 0.0
+            };
+            if failed {
+                let drift = if base > 0.0 {
+                    format!(" ({:+.0}%)", (cur / base - 1.0) * 100.0)
+                } else {
+                    String::new()
+                };
+                failures.push(format!(
+                    "{name}: {} {cur:.2} vs baseline {base:.2}{drift}",
+                    gate.field
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(json: &str) -> Value {
+        serde_json::from_str(json).unwrap()
+    }
+
+    const GATES: [Gate; 2] = [
+        Gate {
+            field: "serial_ms",
+            tolerance: 0.20,
+            direction: Direction::HigherIsWorse,
+            zero_base_fails: false,
+        },
+        Gate {
+            field: "oracle_evals",
+            tolerance: 0.05,
+            direction: Direction::HigherIsWorse,
+            zero_base_fails: true,
+        },
+    ];
+
+    #[test]
+    fn flags_only_out_of_tolerance_drift() {
+        let base = doc(r#"{"benches":{"a":{"serial_ms":100.0,"oracle_evals":200}}}"#);
+        let ok = doc(r#"{"benches":{"a":{"serial_ms":115.0,"oracle_evals":205}}}"#);
+        assert!(regressions(&ok, &base, &GATES).is_empty());
+        let slow = doc(r#"{"benches":{"a":{"serial_ms":130.0,"oracle_evals":200}}}"#);
+        assert_eq!(regressions(&slow, &base, &GATES).len(), 1);
+        let churn = doc(r#"{"benches":{"a":{"serial_ms":100.0,"oracle_evals":300}}}"#);
+        assert_eq!(regressions(&churn, &base, &GATES).len(), 1);
+    }
+
+    #[test]
+    fn zero_baselines_follow_the_per_gate_policy() {
+        let base = doc(r#"{"benches":{"a":{"serial_ms":0.0,"oracle_evals":0}}}"#);
+        let cur = doc(r#"{"benches":{"a":{"serial_ms":50.0,"oracle_evals":3}}}"#);
+        let fails = regressions(&cur, &base, &GATES);
+        assert_eq!(fails.len(), 1, "timing skipped, counter flagged: {fails:?}");
+        assert!(fails[0].contains("oracle_evals"));
+    }
+
+    #[test]
+    fn lower_is_worse_gates_throughput() {
+        let gate = [Gate {
+            field: "throughput_rps",
+            tolerance: 0.5,
+            direction: Direction::LowerIsWorse,
+            zero_base_fails: false,
+        }];
+        let base = doc(r#"{"benches":{"s":{"throughput_rps":100.0}}}"#);
+        assert!(regressions(
+            &doc(r#"{"benches":{"s":{"throughput_rps":60.0}}}"#),
+            &base,
+            &gate
+        )
+        .is_empty());
+        assert_eq!(
+            regressions(
+                &doc(r#"{"benches":{"s":{"throughput_rps":40.0}}}"#),
+                &base,
+                &gate
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_benches_and_fields_are_ignored() {
+        let base = doc(r#"{"benches":{"other":{"serial_ms":1.0}}}"#);
+        let cur = doc(r#"{"benches":{"a":{"serial_ms":99.0}}}"#);
+        assert!(regressions(&cur, &base, &GATES).is_empty());
+        let v1 = doc(r#"{"benches":{"a":{"serial_ms":1.0}}}"#);
+        let cur = doc(r#"{"benches":{"a":{"serial_ms":1.0,"oracle_evals":999}}}"#);
+        assert!(regressions(&cur, &v1, &GATES).is_empty());
+    }
+}

@@ -71,7 +71,10 @@ pub mod prelude {
         run_lifetime, run_lifetime_with, LifetimeConfig, LifetimeDriver, LifetimeReport,
         PlannedDelivery, Policy, RoundDelivery,
     };
-    pub use crate::metrics::{compare, gap_above_optimal_percent, jain_fairness, saving_percent};
+    pub use crate::metrics::{
+        compare, gap_above_optimal_percent, jain_fairness, saving_percent,
+        try_gap_above_optimal_percent, try_jain_fairness, try_saving_percent,
+    };
     pub use crate::problem::{CcsProblem, CostParams};
     pub use crate::recover::{
         recover_with, RecoveryConfig, RecoveryExecutor, RecoveryOutcome, RecoveryRound,

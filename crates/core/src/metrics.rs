@@ -10,17 +10,39 @@ use crate::schedule::Schedule;
 use ccs_wrsn::units::Cost;
 
 /// Percentage by which `candidate` undercuts `baseline`
+/// (`27.3` means 27.3% cheaper), or `None` when `baseline` is not strictly
+/// positive (the ratio is undefined, not merely extreme).
+///
+/// Long-running surfaces (the `ccs-serve` daemon, the experiment harness)
+/// call this form so a degenerate input becomes a structured marker instead
+/// of a process abort or a silent `inf`.
+pub fn try_saving_percent(candidate: Cost, baseline: Cost) -> Option<f64> {
+    if baseline <= Cost::ZERO {
+        return None;
+    }
+    Some((1.0 - candidate / baseline) * 100.0)
+}
+
+/// Percentage by which `candidate` undercuts `baseline`
 /// (`27.3` means 27.3% cheaper). Negative when the candidate is worse.
 ///
 /// # Panics
 ///
-/// Panics if `baseline` is not strictly positive.
+/// Panics if `baseline` is not strictly positive; see
+/// [`try_saving_percent`] for the fallible form.
 pub fn saving_percent(candidate: Cost, baseline: Cost) -> f64 {
-    assert!(
-        baseline > Cost::ZERO,
-        "saving undefined against a non-positive baseline"
-    );
-    (1.0 - candidate / baseline) * 100.0
+    try_saving_percent(candidate, baseline)
+        .expect("saving undefined against a non-positive baseline")
+}
+
+/// Percentage by which `candidate` exceeds `optimal`
+/// (`7.3` means 7.3% above optimal), or `None` when `optimal` is not
+/// strictly positive.
+pub fn try_gap_above_optimal_percent(candidate: Cost, optimal: Cost) -> Option<f64> {
+    if optimal <= Cost::ZERO {
+        return None;
+    }
+    Some((candidate / optimal - 1.0) * 100.0)
 }
 
 /// Percentage by which `candidate` exceeds `optimal`
@@ -28,13 +50,28 @@ pub fn saving_percent(candidate: Cost, baseline: Cost) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `optimal` is not strictly positive.
+/// Panics if `optimal` is not strictly positive; see
+/// [`try_gap_above_optimal_percent`] for the fallible form.
 pub fn gap_above_optimal_percent(candidate: Cost, optimal: Cost) -> f64 {
-    assert!(
-        optimal > Cost::ZERO,
-        "gap undefined against a non-positive optimum"
-    );
-    (candidate / optimal - 1.0) * 100.0
+    try_gap_above_optimal_percent(candidate, optimal)
+        .expect("gap undefined against a non-positive optimum")
+}
+
+/// Jain's fairness index of per-device costs:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`, `1` = perfectly equal.
+///
+/// Returns `1.0` for an all-zero (degenerate) cost vector and `None` for an
+/// empty one.
+pub fn try_jain_fairness(costs: &[Cost]) -> Option<f64> {
+    if costs.is_empty() {
+        return None;
+    }
+    let sum: f64 = costs.iter().map(|c| c.value()).sum();
+    let sum_sq: f64 = costs.iter().map(|c| c.value() * c.value()).sum();
+    if sum_sq == 0.0 {
+        return Some(1.0);
+    }
+    Some(sum * sum / (costs.len() as f64 * sum_sq))
 }
 
 /// Jain's fairness index of per-device costs:
@@ -44,18 +81,10 @@ pub fn gap_above_optimal_percent(candidate: Cost, optimal: Cost) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `costs` is empty.
+/// Panics if `costs` is empty; see [`try_jain_fairness`] for the fallible
+/// form.
 pub fn jain_fairness(costs: &[Cost]) -> f64 {
-    assert!(
-        !costs.is_empty(),
-        "fairness of an empty vector is undefined"
-    );
-    let sum: f64 = costs.iter().map(|c| c.value()).sum();
-    let sum_sq: f64 = costs.iter().map(|c| c.value() * c.value()).sum();
-    if sum_sq == 0.0 {
-        return 1.0;
-    }
-    sum * sum / (costs.len() as f64 * sum_sq)
+    try_jain_fairness(costs).expect("fairness of an empty vector is undefined")
 }
 
 /// A one-line comparison of a schedule against baselines — the row format
@@ -144,6 +173,32 @@ mod tests {
     #[should_panic(expected = "fairness of an empty vector is undefined")]
     fn jain_rejects_empty_vector() {
         let _ = jain_fairness(&[]);
+    }
+
+    #[test]
+    fn try_forms_mirror_the_panicking_forms() {
+        assert_eq!(
+            try_saving_percent(Cost::new(73.0), Cost::new(100.0)),
+            Some(saving_percent(Cost::new(73.0), Cost::new(100.0)))
+        );
+        assert_eq!(try_saving_percent(Cost::new(1.0), Cost::ZERO), None);
+        assert_eq!(try_saving_percent(Cost::new(1.0), Cost::new(-5.0)), None);
+        assert_eq!(
+            try_gap_above_optimal_percent(Cost::new(107.3), Cost::new(100.0)),
+            Some(gap_above_optimal_percent(
+                Cost::new(107.3),
+                Cost::new(100.0)
+            ))
+        );
+        assert_eq!(
+            try_gap_above_optimal_percent(Cost::new(1.0), Cost::ZERO),
+            None
+        );
+        assert_eq!(
+            try_jain_fairness(&[Cost::new(5.0); 4]),
+            Some(jain_fairness(&[Cost::new(5.0); 4]))
+        );
+        assert_eq!(try_jain_fairness(&[]), None);
     }
 
     #[test]

@@ -179,15 +179,29 @@ impl Schedule {
         self.groups.iter().map(|g| g.group_cost()).sum()
     }
 
+    /// Average comprehensive cost per device, or `None` for an empty
+    /// schedule (no groups, or only memberless groups).
+    ///
+    /// Long-running surfaces (the `ccs-serve` daemon, the experiment
+    /// harness) call this form so a degenerate request yields a structured
+    /// error instead of a process abort.
+    pub fn try_average_cost(&self) -> Option<Cost> {
+        let n: usize = self.groups.iter().map(|g| g.members.len()).sum();
+        if n == 0 {
+            return None;
+        }
+        Some(self.total_cost() / n as f64)
+    }
+
     /// Average comprehensive cost per device.
     ///
     /// # Panics
     ///
-    /// Panics if the schedule is empty.
+    /// Panics if the schedule is empty; see [`Schedule::try_average_cost`]
+    /// for the fallible form.
     pub fn average_cost(&self) -> Cost {
-        let n: usize = self.groups.iter().map(|g| g.members.len()).sum();
-        assert!(n > 0, "empty schedule has no average");
-        self.total_cost() / n as f64
+        self.try_average_cost()
+            .expect("empty schedule has no average")
     }
 
     /// Comprehensive cost of one device (share + own moving cost).
@@ -408,6 +422,21 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("ccsa"));
         assert!(text.contains("group 0"));
+    }
+
+    #[test]
+    fn try_average_cost_handles_empty_schedules() {
+        let p = problem(2);
+        let s = Schedule::new(vec![plan(&p, &[0, 1])], "test", "equal");
+        assert_eq!(s.try_average_cost(), Some(s.average_cost()));
+        let empty = Schedule::new(Vec::new(), "test", "equal");
+        assert_eq!(empty.try_average_cost(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty schedule has no average")]
+    fn average_cost_panics_on_empty_schedule() {
+        let _ = Schedule::new(Vec::new(), "test", "equal").average_cost();
     }
 
     #[test]

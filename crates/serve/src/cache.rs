@@ -1,0 +1,193 @@
+//! The per-scenario cache: one [`CcsProblem`] (and therefore one lazily
+//! built `ProblemTables` kernel) per distinct scenario, plus memoized plans
+//! per `(scenario, algorithm, sharing)`.
+//!
+//! ## Canonical scenario hashing
+//!
+//! Scenarios arrive as JSON — inline or via `scenario_path` — and are
+//! keyed by the hash of their *canonical* rendering: the parsed value tree
+//! is re-serialized (objects are `BTreeMap`s, so key order is sorted) and
+//! hashed. Two textually different but semantically identical request
+//! bodies (whitespace, key order, file vs inline) therefore share one
+//! cache entry.
+//!
+//! ## Concurrency
+//!
+//! Lookups take a short-lived lock; *computation happens outside the lock*
+//! so a slow plan for one scenario never blocks workers serving another.
+//! Two workers racing on the same miss may both compute — the algorithms
+//! are deterministic, so both produce the identical value and the loser's
+//! work is merely wasted, never wrong (`first insert wins` keeps `Arc`
+//! identity stable).
+
+use crate::protocol::ServeError;
+use ccs_core::prelude::*;
+use ccs_wrsn::scenario::Scenario;
+use serde::value::Value;
+use serde::Deserialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// A fully priced, validated plan, cached with its canonical renderings.
+pub struct CachedPlan {
+    /// The schedule itself (reused by `replay` executions).
+    pub schedule: Schedule,
+    /// The response `result` tree — cloning it per response keeps repeated
+    /// requests byte-identical.
+    pub result: Value,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    scenario: u64,
+    algo: &'static str,
+    sharing: &'static str,
+}
+
+/// The cache. One per server.
+pub struct PlanCache {
+    problems: Mutex<HashMap<u64, Arc<CcsProblem>>>,
+    plans: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+}
+
+/// Hashes the canonical rendering of a parsed scenario value.
+pub fn scenario_hash(value: &Value) -> u64 {
+    let canonical = serde_json::to_string(value).expect("value tree serializes");
+    let mut hasher = DefaultHasher::new();
+    canonical.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            problems: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The problem for `value` (a parsed scenario), reusing the cached
+    /// instance — and its precomputed tables — when one exists.
+    ///
+    /// Returns the canonical hash alongside so plan lookups reuse it.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` when `value` does not deserialize as a scenario.
+    pub fn problem(&self, value: &Value) -> Result<(u64, Arc<CcsProblem>, bool), ServeError> {
+        let hash = scenario_hash(value);
+        if let Some(problem) = self.problems.lock().expect("cache lock").get(&hash) {
+            return Ok((hash, Arc::clone(problem), true));
+        }
+        let scenario = Scenario::from_value(value)
+            .map_err(|e| ServeError::bad_request(format!("invalid scenario: {e}")))?;
+        let problem = Arc::new(CcsProblem::new(scenario));
+        let mut problems = self.problems.lock().expect("cache lock");
+        let entry = problems.entry(hash).or_insert_with(|| Arc::clone(&problem));
+        Ok((hash, Arc::clone(entry), false))
+    }
+
+    /// The cached plan for `(scenario, algo, sharing)`, computing it with
+    /// `compute` on a miss. Returns the plan and whether it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Forwards `compute`'s error on a miss.
+    pub fn plan(
+        &self,
+        scenario: u64,
+        algo: &'static str,
+        sharing: &'static str,
+        compute: impl FnOnce() -> Result<CachedPlan, ServeError>,
+    ) -> Result<(Arc<CachedPlan>, bool), ServeError> {
+        let key = PlanKey {
+            scenario,
+            algo,
+            sharing,
+        };
+        if let Some(plan) = self.plans.lock().expect("cache lock").get(&key) {
+            return Ok((Arc::clone(plan), true));
+        }
+        let computed = Arc::new(compute()?);
+        let mut plans = self.plans.lock().expect("cache lock");
+        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&computed));
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Number of distinct scenarios cached (for stats lines).
+    pub fn scenarios(&self) -> usize {
+        self.problems.lock().expect("cache lock").len()
+    }
+
+    /// Number of memoized plans (for stats lines).
+    pub fn plans_cached(&self) -> usize {
+        self.plans.lock().expect("cache lock").len()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_wrsn::scenario::ScenarioGenerator;
+    use serde::Serialize;
+
+    fn scenario_value(seed: u64) -> Value {
+        ScenarioGenerator::new(seed)
+            .devices(6)
+            .chargers(2)
+            .generate()
+            .to_value()
+    }
+
+    #[test]
+    fn canonical_hash_ignores_formatting() {
+        let value = scenario_value(3);
+        let pretty = serde_json::to_string_pretty(&value).unwrap();
+        let reparsed: Value = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(scenario_hash(&value), scenario_hash(&reparsed));
+        assert_ne!(scenario_hash(&value), scenario_hash(&scenario_value(4)));
+    }
+
+    #[test]
+    fn problem_and_plan_entries_are_reused() {
+        let cache = PlanCache::new();
+        let value = scenario_value(1);
+        let (hash, p1, hit1) = cache.problem(&value).unwrap();
+        let (_, p2, hit2) = cache.problem(&value).unwrap();
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&p1, &p2), "problem instance is shared");
+
+        let compute = || {
+            let schedule = ccsa(&p1, &EqualShare, CcsaOptions::default());
+            Ok(CachedPlan {
+                result: Value::String(schedule.to_string()),
+                schedule,
+            })
+        };
+        let (plan1, hit1) = cache.plan(hash, "ccsa", "equal", compute).unwrap();
+        let (plan2, hit2) = cache
+            .plan(hash, "ccsa", "equal", || unreachable!("must be a hit"))
+            .unwrap();
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&plan1, &plan2));
+        assert_eq!(cache.scenarios(), 1);
+        assert_eq!(cache.plans_cached(), 1);
+    }
+
+    #[test]
+    fn invalid_scenario_is_a_bad_request() {
+        let cache = PlanCache::new();
+        let bogus: Value = serde_json::from_str(r#"{"devices": "nope"}"#).unwrap();
+        let err = cache.problem(&bogus).unwrap_err();
+        assert_eq!(err.kind.name(), "bad_request");
+    }
+}

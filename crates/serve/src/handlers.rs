@@ -1,0 +1,341 @@
+//! Request handlers: one function per protocol command, all returning
+//! `Result<Value, ServeError>` — every failure mode of the underlying
+//! stack (bad scenarios, solver budget errors, degenerate schedules) is
+//! mapped to a structured error at this boundary. Handlers call only the
+//! *fallible* core APIs (`try_average_cost`, `try_saving_percent`, …);
+//! a caught panic in anything below is the server's last line of defense,
+//! not the expected path.
+
+use crate::cache::{CachedPlan, PlanCache};
+use crate::protocol::{fields, ServeError};
+use ccs_core::prelude::*;
+use ccs_testbed::prelude::*;
+use serde::value::{Number, Value};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds a JSON object from key/value pairs.
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut map = BTreeMap::new();
+    for (k, v) in pairs {
+        map.insert(k.to_string(), v);
+    }
+    Value::Object(map)
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(Number::Float(x))
+}
+
+fn uint(x: u64) -> Value {
+    Value::Number(Number::PosInt(x))
+}
+
+/// What a handler produced, plus cache-accounting for the stats layer.
+pub struct Handled {
+    /// The response `result` tree.
+    pub result: Value,
+    /// Scenario-cache hit (a `ProblemTables` rebuild was avoided).
+    pub scenario_hit: Option<bool>,
+    /// Plan-memo hit (a full plan computation was avoided).
+    pub plan_hit: Option<bool>,
+}
+
+/// Dispatches one admitted request.
+///
+/// # Errors
+///
+/// Every invalid field, missing scenario, or domain failure comes back as
+/// a [`ServeError`]; this function never panics on malformed input (a
+/// panic deeper in the stack is caught by the worker).
+pub fn handle(cache: &PlanCache, cmd: &str, body: &Value) -> Result<Handled, ServeError> {
+    match cmd {
+        "plan" => handle_plan(cache, body),
+        "replay" => handle_replay(cache, body),
+        "lifetime" => handle_lifetime(cache, body),
+        other => Err(ServeError::bad_request(format!("unknown cmd '{other}'"))),
+    }
+}
+
+/// Loads the request's scenario — inline `scenario` object or
+/// `scenario_path` file — through the cache.
+fn load_problem(
+    cache: &PlanCache,
+    body: &Value,
+) -> Result<(u64, Arc<CcsProblem>, bool), ServeError> {
+    match body.field("scenario") {
+        Value::Null => {}
+        value @ Value::Object(_) => return cache.problem(value),
+        other => {
+            return Err(ServeError::bad_request(format!(
+                "field 'scenario' must be an object, got {}",
+                other.kind()
+            )))
+        }
+    }
+    match body.field("scenario_path") {
+        Value::String(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| ServeError::bad_request(format!("reading {path}: {e}")))?;
+            let value: Value = serde_json::from_str(&json)
+                .map_err(|e| ServeError::bad_request(format!("parsing {path}: {e}")))?;
+            cache.problem(&value)
+        }
+        Value::Null => Err(ServeError::bad_request(
+            "missing 'scenario' (inline object) or 'scenario_path' (file)",
+        )),
+        other => Err(ServeError::bad_request(format!(
+            "field 'scenario_path' must be a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Interns the algorithm name (also the cache-key lifetime trick).
+fn algo_name(body: &Value) -> Result<&'static str, ServeError> {
+    match fields::str_or(body, "algo", "ccsa")? {
+        "ccsa" => Ok("ccsa"),
+        "ccsga" => Ok("ccsga"),
+        "ncp" => Ok("ncp"),
+        "opt" => Ok("opt"),
+        other => Err(ServeError::bad_request(format!(
+            "unknown algorithm '{other}'"
+        ))),
+    }
+}
+
+fn sharing_name(body: &Value) -> Result<&'static str, ServeError> {
+    match fields::str_or(body, "sharing", "equal")? {
+        "equal" => Ok("equal"),
+        "proportional" => Ok("proportional"),
+        "shapley" => Ok("shapley"),
+        other => Err(ServeError::bad_request(format!(
+            "unknown sharing scheme '{other}'"
+        ))),
+    }
+}
+
+fn make_sharing(name: &str) -> Box<dyn CostSharing> {
+    match name {
+        "proportional" => Box::new(ProportionalShare),
+        "shapley" => Box::new(ShapleyShare),
+        _ => Box::new(EqualShare),
+    }
+}
+
+fn noise_model(body: &Value) -> Result<NoiseModel, ServeError> {
+    match fields::str_or(body, "noise", "field")? {
+        "ideal" => Ok(NoiseModel::ideal()),
+        "field" => Ok(NoiseModel::field()),
+        other => Err(ServeError::bad_request(format!(
+            "unknown noise model '{other}'"
+        ))),
+    }
+}
+
+fn probability(body: &Value, key: &str) -> Result<f64, ServeError> {
+    let p = fields::f64_or(body, key, 0.0)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ServeError::bad_request(format!(
+            "field '{key}' must be a probability in [0, 1], got {p}"
+        )));
+    }
+    Ok(p)
+}
+
+fn failure_model(body: &Value) -> Result<FailureModel, ServeError> {
+    Ok(FailureModel {
+        charger_breakdown_prob: probability(body, "breakdown")?,
+        device_no_show_prob: probability(body, "noshow")?,
+    })
+}
+
+fn recovery_config(body: &Value) -> Result<Option<RecoveryConfig>, ServeError> {
+    let max_rounds = fields::u64_or(body, "recover", 0)? as usize;
+    if max_rounds == 0 {
+        return Ok(None);
+    }
+    Ok(Some(RecoveryConfig {
+        max_rounds,
+        degrade: fields::bool_or(body, "degrade", true)?,
+    }))
+}
+
+/// The memoized plan for `(scenario, algo, sharing)`.
+fn plan_cached(
+    cache: &PlanCache,
+    hash: u64,
+    problem: &CcsProblem,
+    algo: &'static str,
+    sharing: &'static str,
+) -> Result<(Arc<CachedPlan>, bool), ServeError> {
+    cache.plan(hash, algo, sharing, || {
+        let scheme = make_sharing(sharing);
+        let schedule = match algo {
+            "ccsa" => ccsa(problem, scheme.as_ref(), CcsaOptions::default()),
+            "ccsga" => ccsga(problem, scheme.as_ref(), CcsgaOptions::default()).schedule,
+            "ncp" => noncooperation(problem, scheme.as_ref()),
+            "opt" => optimal(problem, scheme.as_ref(), OptimalOptions::default())
+                .map_err(|e| ServeError::failed(e.to_string()))?,
+            other => {
+                return Err(ServeError::bad_request(format!(
+                    "unknown algorithm '{other}'"
+                )))
+            }
+        };
+        schedule
+            .validate(problem)
+            .map_err(|e| ServeError::failed(format!("schedule failed validation: {e}")))?;
+        let result = obj(vec![
+            ("algorithm", Value::String(schedule.algorithm().to_string())),
+            (
+                "average_cost",
+                schedule
+                    .try_average_cost()
+                    .map_or(Value::Null, |c| num(c.value())),
+            ),
+            ("groups", uint(schedule.groups().len() as u64)),
+            ("schedule", schedule.to_value()),
+            ("sharing", Value::String(schedule.sharing().to_string())),
+            ("text", Value::String(schedule.to_string())),
+            ("total_cost", num(schedule.total_cost().value())),
+        ]);
+        Ok(CachedPlan { schedule, result })
+    })
+}
+
+fn handle_plan(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
+    let _span = ccs_telemetry::global().span("serve.plan");
+    let (hash, problem, scenario_hit) = load_problem(cache, body)?;
+    let algo = algo_name(body)?;
+    let sharing = sharing_name(body)?;
+    let (plan, plan_hit) = plan_cached(cache, hash, &problem, algo, sharing)?;
+    Ok(Handled {
+        result: plan.result.clone(),
+        scenario_hit: Some(scenario_hit),
+        plan_hit: Some(plan_hit),
+    })
+}
+
+fn handle_replay(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
+    let _span = ccs_telemetry::global().span("serve.replay");
+    let (hash, problem, scenario_hit) = load_problem(cache, body)?;
+    let sharing = sharing_name(body)?;
+    let scheme = make_sharing(sharing);
+    let seed = fields::u64_or(body, "seed", 0)?;
+    let noise = noise_model(body)?;
+    let failures = failure_model(body)?;
+    // Replay executes the cooperative (CCSA) plan, mirroring `ccs replay`.
+    let (plan, plan_hit) = plan_cached(cache, hash, &problem, "ccsa", sharing)?;
+    let run = execute_with_failures(
+        &problem,
+        &plan.schedule,
+        scheme.as_ref(),
+        &noise,
+        &failures,
+        seed,
+    );
+    let served = run.served.iter().filter(|s| **s).count();
+    let mut pairs = vec![
+        ("devices", uint(run.served.len() as u64)),
+        ("makespan_s", num(run.makespan.value())),
+        (
+            "mean_wait_s",
+            if served > 0 {
+                num(run.average_wait().value())
+            } else {
+                Value::Null
+            },
+        ),
+        ("planned_cost", num(plan.schedule.total_cost().value())),
+        ("realized_cost", num(run.total_cost().value())),
+        ("served", uint(served as u64)),
+    ];
+    if let Some(config) = recovery_config(body)? {
+        let out = recover(
+            &problem,
+            &plan.schedule,
+            Policy::Ccsa(CcsaOptions::default()),
+            scheme.as_ref(),
+            &noise,
+            &failures,
+            seed,
+            &config,
+        );
+        pairs.push((
+            "recovery",
+            obj(vec![
+                ("extra_rounds", uint(out.recovery_rounds() as u64)),
+                ("served_fraction", num(out.served_fraction())),
+                ("total_cost", num(out.total_cost().value())),
+            ]),
+        ));
+    }
+    Ok(Handled {
+        result: obj(pairs),
+        scenario_hit: Some(scenario_hit),
+        plan_hit: Some(plan_hit),
+    })
+}
+
+fn handle_lifetime(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
+    let _span = ccs_telemetry::global().span("serve.lifetime");
+    let (_, problem, scenario_hit) = load_problem(cache, body)?;
+    let sharing = sharing_name(body)?;
+    let scheme = make_sharing(sharing);
+    let rounds = fields::u64_or(body, "rounds", 20)? as usize;
+    let seed = fields::u64_or(body, "seed", 0)?;
+    let policy = match fields::str_or(body, "policy", "ccsa")? {
+        "ccsa" => Policy::Ccsa(CcsaOptions::default()),
+        "ccsga" => Policy::Ccsga(CcsgaOptions::default()),
+        "ncp" => Policy::Noncooperative,
+        other => return Err(ServeError::bad_request(format!("unknown policy '{other}'"))),
+    };
+    let config = LifetimeConfig {
+        rounds,
+        seed,
+        ..Default::default()
+    };
+    let failures = failure_model(body)?;
+    let recovery = recovery_config(body)?;
+    let faulty = failures != FailureModel::none()
+        || recovery.is_some()
+        || !matches!(body.field("noise"), Value::Null);
+    let scenario = problem.scenario();
+    let report = if faulty {
+        let noise = noise_model(body)?;
+        let mut driver =
+            TestbedDriver::new(&noise, &failures, scheme.as_ref(), policy, recovery, seed);
+        run_lifetime_with(
+            scenario,
+            &CostParams::default(),
+            scheme.as_ref(),
+            policy,
+            &config,
+            &mut driver,
+        )
+    } else {
+        run_lifetime(
+            scenario,
+            &CostParams::default(),
+            scheme.as_ref(),
+            policy,
+            &config,
+        )
+    };
+    Ok(Handled {
+        result: obj(vec![
+            ("energy_kj", num(report.energy_purchased.value() / 1000.0)),
+            ("hires", uint(report.hires as u64)),
+            ("policy", Value::String(policy.name().to_string())),
+            ("rounds", uint(rounds as u64)),
+            ("survival_rate", num(report.survival_rate)),
+            ("testbed", Value::Bool(faulty)),
+            ("total_cost", num(report.total_cost.value())),
+            ("unserved_requests", uint(report.unserved_requests as u64)),
+        ]),
+        scenario_hit: Some(scenario_hit),
+        plan_hit: None,
+    })
+}

@@ -1,0 +1,257 @@
+//! The JSONL request/response protocol of the daemon.
+//!
+//! Every request is one JSON object per line; every response is one JSON
+//! object per line. Responses always echo the request's `id` (or `null`
+//! when the request was too malformed to carry one) and carry either an
+//! `ok: true` + `result` pair or an `ok: false` + `error` pair — a request
+//! can *never* take the daemon down.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"id": 1, "cmd": "plan", "scenario": {…}, "algo": "ccsa", "sharing": "equal"}
+//! {"id": 2, "cmd": "replay", "scenario_path": "s.json", "seed": 1, "noshow": 0.5}
+//! {"id": 3, "cmd": "lifetime", "scenario_path": "s.json", "rounds": 5, "policy": "ccsga"}
+//! {"id": 4, "cmd": "ping"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! `scenario` carries the scenario inline (the `ccs gen` JSON); the
+//! `scenario_path` alternative reads it from a file on the daemon's
+//! filesystem. Any request may set `deadline_ms`: work still queued when
+//! the deadline expires is cancelled with an `expired` error instead of
+//! occupying a worker.
+//!
+//! Responses are rendered from a `BTreeMap`-backed JSON tree, so field
+//! order is canonical and a given request's success response is
+//! byte-stable across runs — the protocol golden tests rely on this.
+
+use serde::value::Value;
+use std::collections::BTreeMap;
+
+/// Structured failure of one request. The daemon maps *every* failure —
+/// parse errors, invalid fields, planner failures, worker panics,
+/// backpressure — onto one of these, writes it as the response, and keeps
+/// serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// Stable machine-readable category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Machine-readable error categories of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line is not valid JSON, not an object, or a field has
+    /// the wrong type/value.
+    BadRequest,
+    /// The admission queue is at capacity (backpressure) or the daemon is
+    /// draining; retry later or slow down.
+    Rejected,
+    /// The request's `deadline_ms` passed before a worker picked it up.
+    Expired,
+    /// The planner/testbed reported a domain failure (e.g. the exact
+    /// solver's budget was exceeded, or a schedule failed validation).
+    Failed,
+    /// A worker panicked while handling the request; the panic was caught
+    /// at the service boundary and the daemon kept serving.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of the category.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Expired => "expired",
+            ErrorKind::Failed => "failed",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl ServeError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    /// A `failed` (domain) error.
+    pub fn failed(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ErrorKind::Failed,
+            message: message.into(),
+        }
+    }
+
+    /// A `rejected` (backpressure) error.
+    pub fn rejected(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ErrorKind::Rejected,
+            message: message.into(),
+        }
+    }
+
+    /// An `expired` (deadline) error.
+    pub fn expired(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ErrorKind::Expired,
+            message: message.into(),
+        }
+    }
+
+    /// An `internal` (caught panic) error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ServeError {
+            kind: ErrorKind::Internal,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_response(id: &Value, result: Value) -> String {
+    let mut map = BTreeMap::new();
+    map.insert("id".to_string(), id.clone());
+    map.insert("ok".to_string(), Value::Bool(true));
+    map.insert("result".to_string(), result);
+    render(&map)
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn err_response(id: &Value, error: &ServeError) -> String {
+    let mut detail = BTreeMap::new();
+    detail.insert(
+        "kind".to_string(),
+        Value::String(error.kind.name().to_string()),
+    );
+    detail.insert("message".to_string(), Value::String(error.message.clone()));
+    let mut map = BTreeMap::new();
+    map.insert("error".to_string(), Value::Object(detail));
+    map.insert("id".to_string(), id.clone());
+    map.insert("ok".to_string(), Value::Bool(false));
+    render(&map)
+}
+
+fn render(map: &BTreeMap<String, Value>) -> String {
+    serde_json::to_string(&Value::Object(map.clone())).expect("response tree serializes")
+}
+
+/// Field-access helpers over the parsed request object. Missing fields
+/// yield the documented default; present fields of the wrong type are a
+/// `bad_request`, never a panic.
+pub mod fields {
+    use super::ServeError;
+    use serde::value::{Number, Value};
+
+    /// A string field, or `default` when absent.
+    pub fn str_or<'a>(body: &'a Value, key: &str, default: &'a str) -> Result<&'a str, ServeError> {
+        match body.field(key) {
+            Value::Null => Ok(default),
+            Value::String(s) => Ok(s),
+            other => Err(ServeError::bad_request(format!(
+                "field '{key}' must be a string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A non-negative integer field, or `default` when absent.
+    pub fn u64_or(body: &Value, key: &str, default: u64) -> Result<u64, ServeError> {
+        match body.field(key) {
+            Value::Null => Ok(default),
+            Value::Number(Number::PosInt(u)) => Ok(*u),
+            other => Err(ServeError::bad_request(format!(
+                "field '{key}' must be a non-negative integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A finite number field, or `default` when absent.
+    pub fn f64_or(body: &Value, key: &str, default: f64) -> Result<f64, ServeError> {
+        match body.field(key) {
+            Value::Null => Ok(default),
+            Value::Number(n) => {
+                let v = n.as_f64();
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(ServeError::bad_request(format!(
+                        "field '{key}' must be finite"
+                    )))
+                }
+            }
+            other => Err(ServeError::bad_request(format!(
+                "field '{key}' must be a number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A boolean field, or `default` when absent.
+    pub fn bool_or(body: &Value, key: &str, default: bool) -> Result<bool, ServeError> {
+        match body.field(key) {
+            Value::Null => Ok(default),
+            Value::Bool(b) => Ok(*b),
+            other => Err(ServeError::bad_request(format!(
+                "field '{key}' must be a boolean, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_are_canonical_single_lines() {
+        let ok = ok_response(
+            &Value::Number(serde_json::Number::PosInt(1)),
+            Value::Bool(true),
+        );
+        assert_eq!(ok, r#"{"id":1,"ok":true,"result":true}"#);
+        let err = err_response(&Value::Null, &ServeError::bad_request("nope"));
+        assert_eq!(
+            err,
+            r#"{"error":{"kind":"bad_request","message":"nope"},"id":null,"ok":false}"#
+        );
+        assert!(!ok.contains('\n') && !err.contains('\n'));
+    }
+
+    #[test]
+    fn field_helpers_default_and_reject() {
+        let body: Value = serde_json::from_str(r#"{"seed": 7, "algo": "opt", "x": []}"#).unwrap();
+        assert_eq!(fields::u64_or(&body, "seed", 0).unwrap(), 7);
+        assert_eq!(fields::u64_or(&body, "rounds", 20).unwrap(), 20);
+        assert_eq!(fields::str_or(&body, "algo", "ccsa").unwrap(), "opt");
+        assert_eq!(fields::str_or(&body, "sharing", "equal").unwrap(), "equal");
+        assert!(fields::u64_or(&body, "algo", 0).is_err());
+        assert!(fields::f64_or(&body, "x", 0.0).is_err());
+        assert!(fields::bool_or(&body, "x", true).is_err());
+        assert_eq!(fields::f64_or(&body, "seed", 0.0).unwrap(), 7.0);
+        assert!(fields::bool_or(&body, "degrade", true).unwrap());
+    }
+
+    #[test]
+    fn negative_u64_is_rejected() {
+        let body: Value = serde_json::from_str(r#"{"seed": -3}"#).unwrap();
+        assert!(fields::u64_or(&body, "seed", 0).is_err());
+    }
+}

@@ -1,0 +1,506 @@
+//! The server engine: admission, worker pool, drain, and stats.
+//!
+//! ```text
+//!  reader/acceptor ──try_push──▶ AdmissionQueue ──pop──▶ worker pool
+//!        │  (reject when full)        │                     │
+//!        ▼                           close()                ▼
+//!  immediate error/reject        (EOF / shutdown)   catch_unwind(handle)
+//!     responses                                          │
+//!        └───────────────▶ shared line writer ◀──────────┘
+//! ```
+//!
+//! * **Backpressure** — admission never blocks: a full queue produces an
+//!   immediate `rejected` response, so clients always learn their fate.
+//! * **Panic-proofing** — workers run every handler under
+//!   [`std::panic::catch_unwind`]; a poison request yields an `internal`
+//!   error response and the worker survives to serve the next job.
+//! * **Deadlines** — a job whose `deadline_ms` elapsed while queued is
+//!   cancelled with an `expired` response instead of occupying a worker
+//!   (graceful cancellation: expired work never starts).
+//! * **Drain** — EOF on stdin, a `shutdown` request, or (in socket mode)
+//!   the end of the accept loop closes the queue: in-flight and queued
+//!   work finishes, new work is rejected, workers exit, the process
+//!   returns 0. Process supervisors should close the daemon's stdin (or
+//!   send `{"cmd":"shutdown"}`) as their TERM action.
+
+use crate::cache::PlanCache;
+use crate::handlers;
+use crate::protocol::{err_response, ok_response, ServeError};
+use crate::queue::{AdmissionQueue, AdmitError};
+use serde::value::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests. `0` = auto: half the machine's
+    /// available parallelism, clamped to `[1, 4]` (each request fans out
+    /// internally via `ccs-par`, so workers × par-threads is the real
+    /// concurrency).
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet started) requests; beyond
+    /// this, requests are rejected with explicit backpressure.
+    pub queue_depth: usize,
+    /// Period of the stats line on stderr (`None` = silent).
+    pub stats_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            stats_every: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        (cores / 2).clamp(1, 4)
+    }
+}
+
+/// Final counters of one server run (also the stats-line payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests rejected by backpressure or drain.
+    pub rejected: u64,
+    /// Requests answered with `ok: true`.
+    pub completed: u64,
+    /// Requests answered with `ok: false` (including caught panics).
+    pub errors: u64,
+    /// Worker panics caught at the service boundary.
+    pub panics: u64,
+    /// Scenario-cache hits (a `ProblemTables` rebuild avoided).
+    pub scenario_hits: u64,
+    /// Plan-memo hits (a full plan computation avoided).
+    pub plan_hits: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    scenario_hits: AtomicU64,
+    plan_hits: AtomicU64,
+}
+
+impl Stats {
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            scenario_hits: self.scenario_hits.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A line-oriented response sink shared between the reader (immediate
+/// errors/rejects) and the workers (results).
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    id: Value,
+    cmd: String,
+    body: Value,
+    admitted_at: Instant,
+    deadline: Option<Duration>,
+    writer: SharedWriter,
+}
+
+struct ServerState {
+    queue: AdmissionQueue<Job>,
+    cache: PlanCache,
+    stats: Stats,
+    draining: AtomicBool,
+}
+
+fn write_line(writer: &SharedWriter, line: &str) {
+    let mut w = writer.lock().expect("writer lock");
+    // A broken client pipe must not kill the daemon; drop the response.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// What the reader should do after a line was processed.
+enum Admit {
+    Continue,
+    Shutdown,
+}
+
+impl ServerState {
+    fn new(config: &ServeConfig) -> Self {
+        ServerState {
+            queue: AdmissionQueue::new(config.queue_depth),
+            cache: PlanCache::new(),
+            stats: Stats::default(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Parses and admits one request line, writing any immediate response.
+    fn admit_line(&self, line: &str, writer: &SharedWriter) -> Admit {
+        let line = line.trim();
+        if line.is_empty() {
+            return Admit::Continue;
+        }
+        let body: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.errors").incr();
+                let err = ServeError::bad_request(format!("malformed request: {e}"));
+                write_line(writer, &err_response(&Value::Null, &err));
+                return Admit::Continue;
+            }
+        };
+        let id = body.field("id").clone();
+        if body.as_object().is_none() {
+            self.respond_err(
+                writer,
+                &id,
+                &ServeError::bad_request(format!(
+                    "request must be a JSON object, got {}",
+                    body.kind()
+                )),
+            );
+            return Admit::Continue;
+        }
+        let cmd = match body.field("cmd") {
+            Value::String(s) => s.clone(),
+            Value::Null => {
+                self.respond_err(writer, &id, &ServeError::bad_request("missing 'cmd'"));
+                return Admit::Continue;
+            }
+            other => {
+                self.respond_err(
+                    writer,
+                    &id,
+                    &ServeError::bad_request(format!(
+                        "'cmd' must be a string, got {}",
+                        other.kind()
+                    )),
+                );
+                return Admit::Continue;
+            }
+        };
+        match cmd.as_str() {
+            "ping" => {
+                // Answered inline, out of band of the queue: a liveness
+                // probe must work even under full backpressure.
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.completed").incr();
+                let mut result = BTreeMap::new();
+                result.insert("pong".to_string(), Value::Bool(true));
+                write_line(writer, &ok_response(&id, Value::Object(result)));
+                Admit::Continue
+            }
+            "shutdown" => {
+                let mut result = BTreeMap::new();
+                result.insert("draining".to_string(), Value::Bool(true));
+                write_line(writer, &ok_response(&id, Value::Object(result)));
+                Admit::Shutdown
+            }
+            "plan" | "replay" | "lifetime" => {
+                let deadline = match crate::protocol::fields::u64_or(&body, "deadline_ms", 0) {
+                    Ok(0) => None,
+                    Ok(ms) => Some(Duration::from_millis(ms)),
+                    Err(e) => {
+                        self.respond_err(writer, &id, &e);
+                        return Admit::Continue;
+                    }
+                };
+                let reject_id = id.clone();
+                let job = Job {
+                    id,
+                    cmd,
+                    body,
+                    admitted_at: Instant::now(),
+                    deadline,
+                    writer: Arc::clone(writer),
+                };
+                match self.queue.try_push(job) {
+                    Ok(()) => {
+                        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                        ccs_telemetry::counter!("serve.admitted").incr();
+                        ccs_telemetry::global()
+                            .gauge("serve.queue_depth")
+                            .set(self.queue.len() as f64);
+                        Admit::Continue
+                    }
+                    Err(reason) => {
+                        let err = match reason {
+                            AdmitError::Full { depth } => {
+                                ServeError::rejected(format!("queue full (depth {depth})"))
+                            }
+                            AdmitError::Draining => ServeError::rejected("draining"),
+                        };
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        ccs_telemetry::counter!("serve.rejected").incr();
+                        write_line(writer, &err_response(&reject_id, &err));
+                        Admit::Continue
+                    }
+                }
+            }
+            other => {
+                self.respond_err(
+                    writer,
+                    &id,
+                    &ServeError::bad_request(format!("unknown cmd '{other}'")),
+                );
+                Admit::Continue
+            }
+        }
+    }
+
+    fn respond_err(&self, writer: &SharedWriter, id: &Value, err: &ServeError) {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        ccs_telemetry::counter!("serve.errors").incr();
+        write_line(writer, &err_response(id, err));
+    }
+
+    /// Executes one admitted job and writes its response.
+    fn execute(&self, job: Job) {
+        let registry = ccs_telemetry::global();
+        let _span = registry.span("serve.request");
+        registry
+            .gauge("serve.queue_depth")
+            .set(self.queue.len() as f64);
+        if let Some(deadline) = job.deadline {
+            if job.admitted_at.elapsed() > deadline {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.errors").incr();
+                ccs_telemetry::counter!("serve.expired").incr();
+                let err = ServeError::expired(format!(
+                    "deadline of {} ms passed while queued",
+                    deadline.as_millis()
+                ));
+                write_line(&job.writer, &err_response(&job.id, &err));
+                return;
+            }
+        }
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            handlers::handle(&self.cache, &job.cmd, &job.body)
+        }));
+        let line = match outcome {
+            Ok(Ok(handled)) => {
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.completed").incr();
+                if handled.scenario_hit == Some(true) {
+                    self.stats.scenario_hits.fetch_add(1, Ordering::Relaxed);
+                    ccs_telemetry::counter!("serve.cache.scenario_hits").incr();
+                }
+                if handled.plan_hit == Some(true) {
+                    self.stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    ccs_telemetry::counter!("serve.cache.plan_hits").incr();
+                }
+                ok_response(&job.id, handled.result)
+            }
+            Ok(Err(err)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.errors").incr();
+                err_response(&job.id, &err)
+            }
+            Err(payload) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.errors").incr();
+                ccs_telemetry::counter!("serve.panics").incr();
+                let err = ServeError::internal(format!(
+                    "request handler panicked: {}",
+                    panic_message(payload.as_ref())
+                ));
+                err_response(&job.id, &err)
+            }
+        };
+        write_line(&job.writer, &line);
+    }
+
+    fn stats_line(&self) -> String {
+        let s = self.stats.summary();
+        format!(
+            "serve: queue={} admitted={} rejected={} completed={} errors={} \
+             cache(scenarios={} plans={} scenario_hits={} plan_hits={})",
+            self.queue.len(),
+            s.admitted,
+            s.rejected,
+            s.completed,
+            s.errors,
+            self.cache.scenarios(),
+            self.cache.plans_cached(),
+            s.scenario_hits,
+            s.plan_hits,
+        )
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Serves one line-oriented connection (requests on `input`, responses on
+/// `output`) with a worker pool, until EOF or a `shutdown` request, then
+/// drains and returns the final counters.
+///
+/// This is the building block of both [`serve_stdio`] and the tests; the
+/// Unix-socket front end shares the same state across connections.
+pub fn serve_connection<R: BufRead>(
+    input: R,
+    output: Box<dyn Write + Send>,
+    config: &ServeConfig,
+) -> ServeSummary {
+    let state = ServerState::new(config);
+    let writer: SharedWriter = Arc::new(Mutex::new(output));
+    let state_ref = &state;
+    run_with_reader(state_ref, config, move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if let Admit::Shutdown = state_ref.admit_line(&line, &writer) {
+                break;
+            }
+        }
+    })
+}
+
+/// Serves stdin → stdout. Returns when stdin reaches EOF or a `shutdown`
+/// request arrives, after the queue has drained.
+pub fn serve_stdio(config: &ServeConfig) -> ServeSummary {
+    let stdin = std::io::stdin();
+    serve_connection(stdin.lock(), Box::new(std::io::stdout()), config)
+}
+
+/// Serves a Unix domain socket: every connection speaks the same JSONL
+/// protocol, all connections share one queue, worker pool, and cache. A
+/// `shutdown` request from any connection drains the whole daemon. The
+/// socket file is removed on exit.
+///
+/// # Errors
+///
+/// An io error binding the socket (the per-connection errors are handled
+/// by dropping the connection).
+pub fn serve_unix(path: &str, config: &ServeConfig) -> std::io::Result<ServeSummary> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let state = ServerState::new(config);
+    let state_ref = &state;
+    let summary = std::thread::scope(|scope| {
+        run_with_reader(state_ref, config, move || {
+            while !state_ref.draining.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let Ok(write_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+                        scope.spawn(move || {
+                            let reader = BufReader::new(stream);
+                            for line in reader.lines() {
+                                let Ok(line) = line else { break };
+                                if let Admit::Shutdown = state_ref.admit_line(&line, &writer) {
+                                    state_ref.draining.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(summary)
+}
+
+/// The common engine: spawns the worker pool (and the optional stats
+/// ticker), runs `reader` on the current thread, then closes the queue and
+/// joins everything — the drain.
+fn run_with_reader(
+    state: &ServerState,
+    config: &ServeConfig,
+    reader: impl FnOnce(),
+) -> ServeSummary {
+    let workers = config.resolved_workers();
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(job) = state.queue.pop() {
+                    state.execute(job);
+                }
+            });
+        }
+        if let Some(period) = config.stats_every {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let (lock, cond) = &*stop;
+                let mut stopped = lock.lock().expect("stats lock");
+                loop {
+                    let (guard, timeout) = cond.wait_timeout(stopped, period).expect("stats lock");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        eprintln!("{}", state.stats_line());
+                    }
+                }
+            });
+        }
+        reader();
+        state.draining.store(true, Ordering::Relaxed);
+        state.queue.close();
+        // Scope exit joins the workers (the drain) and then the ticker.
+        let (lock, cond) = &*stop;
+        *lock.lock().expect("stats lock") = true;
+        cond.notify_all();
+    });
+    let summary = state.stats.summary();
+    eprintln!(
+        "serve: drained — admitted={} rejected={} completed={} errors={} \
+         (panics caught: {}, scenario hits: {}, plan hits: {})",
+        summary.admitted,
+        summary.rejected,
+        summary.completed,
+        summary.errors,
+        summary.panics,
+        summary.scenario_hits,
+        summary.plan_hits,
+    );
+    summary
+}

@@ -1,0 +1,310 @@
+//! Protocol-level integration tests of the daemon engine: golden
+//! byte-stable responses, error paths that must not kill the server,
+//! backpressure, deadlines, caching, and the drain contract.
+
+use ccs_core::prelude::*;
+use ccs_serve::prelude::*;
+use ccs_wrsn::scenario::ScenarioGenerator;
+use serde::value::Value;
+use serde::Serialize;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink the test can read back after the server returns.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs a full server lifecycle over `lines`, returning every response
+/// line and the drain summary.
+fn run_server(lines: &[String], workers: usize, queue_depth: usize) -> (Vec<String>, ServeSummary) {
+    let input = std::io::Cursor::new(lines.join("\n").into_bytes());
+    let out = SharedBuf::default();
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        stats_every: None,
+    };
+    let summary = serve_connection(input, Box::new(out.clone()), &config);
+    let bytes = out.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("responses are UTF-8");
+    (text.lines().map(str::to_string).collect(), summary)
+}
+
+fn scenario_json(seed: u64, devices: usize) -> String {
+    let scenario = ScenarioGenerator::new(seed)
+        .devices(devices)
+        .chargers(3)
+        .generate();
+    serde_json::to_string(&scenario.to_value()).expect("scenario serializes")
+}
+
+/// A scenario no charger can serve: `CcsProblem::new` panics on it, which
+/// is exactly what the worker's panic backstop must absorb.
+fn poison_scenario_json() -> String {
+    let scenario = ScenarioGenerator::new(5).devices(4).chargers(2).generate();
+    let mut value = scenario.to_value();
+    if let Value::Object(map) = &mut value {
+        map.insert("chargers".to_string(), Value::Array(Vec::new()));
+    }
+    serde_json::to_string(&value).expect("scenario serializes")
+}
+
+/// The parsed response with the given id.
+fn response_with_id(lines: &[String], id: u64) -> Value {
+    for line in lines {
+        let value: Value = serde_json::from_str(line).expect("response parses");
+        if let Value::Number(n) = value.field("id") {
+            if n.as_f64() == id as f64 {
+                return value;
+            }
+        }
+    }
+    panic!("no response with id {id} in {lines:#?}");
+}
+
+fn error_kind(response: &Value) -> &str {
+    match response.field("error").field("kind") {
+        Value::String(s) => s,
+        other => panic!("error.kind missing: {other:?}"),
+    }
+}
+
+#[test]
+fn served_plan_is_byte_identical_to_direct_computation() {
+    let scenario_json = scenario_json(11, 8);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{scenario_json},"algo":"ccsa"}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.errors, 0);
+
+    let response = response_with_id(&responses, 1);
+    assert_eq!(response.field("ok"), &Value::Bool(true));
+    let Value::String(text) = response.field("result").field("text") else {
+        panic!("plan response carries no text field");
+    };
+
+    let scenario = ScenarioGenerator::new(11).devices(8).chargers(3).generate();
+    let problem = CcsProblem::new(scenario);
+    let direct = ccsa(&problem, &EqualShare, CcsaOptions::default());
+    assert_eq!(
+        text,
+        &direct.to_string(),
+        "served plan text must be byte-identical to the one-shot computation"
+    );
+}
+
+#[test]
+fn responses_are_byte_stable_across_runs() {
+    let scenario_json = scenario_json(3, 6);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{scenario_json}}}"#),
+        format!(r#"{{"id":2,"cmd":"plan","scenario":{scenario_json},"algo":"ncp"}}"#),
+        format!(r#"{{"id":3,"cmd":"replay","scenario":{scenario_json},"seed":7}}"#),
+        r#"{"id":4,"cmd":"ping"}"#.to_string(),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (mut first, _) = run_server(&lines, 1, 8);
+    let (mut second, _) = run_server(&lines, 2, 8);
+    // Worker interleaving may reorder lines; the bytes of each response
+    // must not change.
+    first.sort();
+    second.sort();
+    assert_eq!(first, second);
+    assert_eq!(first.len(), 5);
+}
+
+#[test]
+fn malformed_requests_get_errors_and_the_daemon_keeps_serving() {
+    let scenario_json = scenario_json(2, 5);
+    let lines = vec![
+        "{definitely not json".to_string(),
+        r#"[1, 2, 3]"#.to_string(),
+        r#"{"id":10,"cmd":"warp"}"#.to_string(),
+        r#"{"id":11,"cmd":"plan"}"#.to_string(),
+        format!(r#"{{"id":12,"cmd":"plan","scenario":{scenario_json},"algo":7}}"#),
+        format!(r#"{{"id":13,"cmd":"plan","scenario":{scenario_json}}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 2, 8);
+    // Every line including the shutdown got exactly one response.
+    assert_eq!(responses.len(), 7);
+    assert_eq!(summary.errors, 5);
+    assert_eq!(summary.completed, 1, "the valid request still completed");
+    assert_eq!(summary.panics, 0, "malformed input never reaches a panic");
+
+    assert_eq!(error_kind(&response_with_id(&responses, 10)), "bad_request");
+    assert_eq!(error_kind(&response_with_id(&responses, 11)), "bad_request");
+    assert_eq!(error_kind(&response_with_id(&responses, 12)), "bad_request");
+    let ok = response_with_id(&responses, 13);
+    assert_eq!(ok.field("ok"), &Value::Bool(true));
+}
+
+#[test]
+fn poison_request_is_caught_and_the_daemon_survives() {
+    let poison = poison_scenario_json();
+    let healthy = scenario_json(4, 5);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{poison}}}"#),
+        format!(r#"{{"id":2,"cmd":"plan","scenario":{healthy}}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    assert_eq!(summary.panics, 1, "the poison scenario panics in core");
+    assert_eq!(summary.completed, 1);
+
+    let poisoned = response_with_id(&responses, 1);
+    assert_eq!(poisoned.field("ok"), &Value::Bool(false));
+    assert_eq!(error_kind(&poisoned), "internal");
+
+    let healthy = response_with_id(&responses, 2);
+    assert_eq!(
+        healthy.field("ok"),
+        &Value::Bool(true),
+        "the daemon keeps serving after a caught panic"
+    );
+}
+
+#[test]
+fn queue_overflow_is_rejected_with_explicit_backpressure() {
+    // One worker, queue depth 1, eight distinct (uncacheable) plans pushed
+    // in one burst: the reader admits far faster than the worker computes,
+    // so most requests must see an explicit reject, and every request must
+    // be answered one way or the other.
+    let total = 8u64;
+    let mut lines: Vec<String> = (0..total)
+        .map(|i| {
+            let scenario = scenario_json(100 + i, 10);
+            format!(r#"{{"id":{i},"cmd":"plan","scenario":{scenario}}}"#)
+        })
+        .collect();
+    lines.push(r#"{"cmd":"shutdown"}"#.to_string());
+    let (responses, summary) = run_server(&lines, 1, 1);
+
+    assert_eq!(summary.admitted + summary.rejected, total);
+    assert!(
+        summary.rejected >= 1,
+        "a depth-1 queue under burst load must reject: {summary:?}"
+    );
+    assert_eq!(summary.completed, summary.admitted);
+
+    let mut rejected = 0;
+    for id in 0..total {
+        let response = response_with_id(&responses, id);
+        match response.field("ok") {
+            Value::Bool(true) => {}
+            Value::Bool(false) => {
+                assert_eq!(error_kind(&response), "rejected");
+                rejected += 1;
+            }
+            other => panic!("response without ok: {other:?}"),
+        }
+    }
+    assert_eq!(rejected, summary.rejected);
+}
+
+#[test]
+fn identical_requests_hit_the_scenario_and_plan_caches() {
+    let scenario_json = scenario_json(6, 6);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{scenario_json}}}"#),
+        format!(r#"{{"id":2,"cmd":"plan","scenario":{scenario_json}}}"#),
+        format!(r#"{{"id":3,"cmd":"replay","scenario":{scenario_json},"seed":1}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    assert_eq!(summary.completed, 3);
+    assert_eq!(
+        summary.scenario_hits, 2,
+        "requests 2 and 3 reuse the problem"
+    );
+    assert_eq!(
+        summary.plan_hits, 2,
+        "request 2 and the replay reuse the plan"
+    );
+
+    // Cache hits are transparent: identical requests (different ids) get
+    // responses identical except for the id.
+    let one = response_with_id(&responses, 1);
+    let two = response_with_id(&responses, 2);
+    assert_eq!(
+        serde_json::to_string(&one.field("result")).unwrap(),
+        serde_json::to_string(&two.field("result")).unwrap()
+    );
+}
+
+#[test]
+fn queued_work_past_its_deadline_is_cancelled() {
+    // One worker: the first (heavy) plan occupies it for far longer than
+    // 1 ms, so the second request expires while queued and must be
+    // cancelled gracefully instead of computed.
+    let heavy = scenario_json(8, 14);
+    let light = scenario_json(9, 5);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{heavy}}}"#),
+        format!(r#"{{"id":2,"cmd":"plan","scenario":{light},"deadline_ms":1}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    assert_eq!(summary.completed, 1);
+    let expired = response_with_id(&responses, 2);
+    assert_eq!(error_kind(&expired), "expired");
+}
+
+#[test]
+fn unix_socket_serves_and_drains() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let socket = std::env::temp_dir().join(format!("ccs-serve-test-{}.sock", std::process::id()));
+    let socket = socket.to_string_lossy().into_owned();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        stats_every: None,
+    };
+    let summary = std::thread::scope(|scope| {
+        let daemon = {
+            let socket = socket.clone();
+            let config = config.clone();
+            scope.spawn(move || serve_unix(&socket, &config))
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !std::path::Path::new(&socket).exists() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "socket never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        let stream = UnixStream::connect(&socket).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writeln!(writer, r#"{{"id":1,"cmd":"ping"}}"#).expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line.trim(), r#"{"id":1,"ok":true,"result":{"pong":true}}"#);
+
+        writeln!(writer, r#"{{"cmd":"shutdown"}}"#).expect("write");
+        daemon.join().expect("daemon thread").expect("daemon bind")
+    });
+    assert_eq!(summary.completed, 1);
+    assert!(
+        !std::path::Path::new(&socket).exists(),
+        "socket file removed"
+    );
+}

@@ -10,6 +10,7 @@
 //! ccs lifetime --scenario scenario.json [--rounds R] [--policy ccsa|ccsga|ncp]
 //!              [--noise ideal|field] [--breakdown P] [--noshow P]
 //!              [--recover R] [--degrade true|false]
+//! ccs serve  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every S]
 //! ```
 //!
 //! Scenarios are plain JSON (the `ccs-wrsn` serde format), so workloads can
@@ -39,45 +40,87 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_flags(rest) {
-        Ok(opts) => opts,
-        Err(err) => {
-            eprintln!("error: {err}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // Global knob: worker threads for the parallel evaluation batches
-    // (default: CCS_THREADS env, then available parallelism; results are
-    // deterministic at any setting, `1` forces the exact serial path).
-    match get(&opts, "threads", 0usize) {
-        Ok(n) => {
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_flags(rest)
+        .and_then(|opts| {
+            validate_flags(command, &opts)?;
+            Ok(opts)
+        })
+        .and_then(|opts| {
+            // Global knob: worker threads for the parallel evaluation
+            // batches (default: CCS_THREADS env, then available
+            // parallelism; results are deterministic at any setting, `1`
+            // forces the exact serial path).
+            let n: usize = get(&opts, "threads", 0)?;
             if n > 0 {
                 ccs_repro::ccs_par::set_threads(n);
             }
-        }
-        Err(err) => {
-            eprintln!("error: {err}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    }
-    let result = match command.as_str() {
-        "gen" => cmd_gen(&opts),
-        "plan" => cmd_plan(&opts),
-        "replay" => cmd_replay(&opts),
-        "lifetime" => cmd_lifetime(&opts),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'")),
-    };
+            match command.as_str() {
+                "gen" => cmd_gen(&opts),
+                "plan" => cmd_plan(&opts),
+                "replay" => cmd_replay(&opts),
+                "lifetime" => cmd_lifetime(&opts),
+                "serve" => cmd_serve(&opts),
+                other => Err(format!("unknown command '{other}'")),
+            }
+        });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
-            eprintln!("error: {err}");
+            eprintln!("error: {err} (run 'ccs help' for usage)");
             ExitCode::FAILURE
         }
     }
+}
+
+/// The flags each command understands (besides the global `--threads`).
+/// Anything else is a hard error — a typo like `--sede` must not silently
+/// fall back to a default.
+fn validate_flags(command: &str, opts: &Flags) -> Result<(), String> {
+    const TELEMETRY: [&str; 2] = ["report", "trace-json"];
+    let allowed: &[&str] = match command {
+        "gen" => &["seed", "devices", "chargers", "field", "o"],
+        "plan" => &["scenario", "algo", "sharing", "o"],
+        "replay" => &[
+            "scenario",
+            "sharing",
+            "noise",
+            "breakdown",
+            "noshow",
+            "seed",
+            "recover",
+            "degrade",
+        ],
+        "lifetime" => &[
+            "scenario",
+            "sharing",
+            "rounds",
+            "policy",
+            "seed",
+            "noise",
+            "breakdown",
+            "noshow",
+            "recover",
+            "degrade",
+        ],
+        "serve" => &["socket", "workers", "queue-depth", "stats-every"],
+        // Unknown commands fail later with their own message; don't let a
+        // flag complaint mask it.
+        _ => return Ok(()),
+    };
+    let telemetry_ok = command != "gen";
+    for key in opts.keys() {
+        let known = key == "threads"
+            || allowed.contains(&key.as_str())
+            || (telemetry_ok && TELEMETRY.contains(&key.as_str()));
+        if !known {
+            return Err(format!("unknown flag '--{key}' for 'ccs {command}'"));
+        }
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -88,6 +131,12 @@ commands:
   plan      schedule a scenario        --scenario FILE [--algo ccsa|ccsga|ncp|opt] [--sharing S] [-o FILE]
   replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
   lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]
+  serve     long-running JSONL daemon  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every SECS]
+
+service mode (serve):
+  reads one JSON request per line from stdin (or connections on --socket),
+  writes one JSON response per line; `{\"cmd\":\"shutdown\"}` or EOF drains
+  in-flight work and exits. --workers 0 = auto, --stats-every 0 = silent.
 
 failures and recovery (replay, lifetime):
   --breakdown P      probability a hired charger breaks down per leg
@@ -377,6 +426,30 @@ fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
             report.unserved_requests
         );
     }
+    if let Some(path) = report_path {
+        write_report(&path)?;
+    }
+    Ok(())
+}
+
+/// `ccs serve` — the long-running daemon (see `ccs_serve` for the
+/// protocol). Serves stdin→stdout, or a Unix socket with `--socket PATH`.
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use ccs_repro::ccs_serve::prelude::*;
+    let report_path = telemetry_setup(opts)?;
+    let stats_secs: u64 = get(opts, "stats-every", 10)?;
+    let config = ServeConfig {
+        workers: get(opts, "workers", 0)?,
+        queue_depth: get(opts, "queue-depth", 64)?,
+        stats_every: (stats_secs > 0).then(|| std::time::Duration::from_secs(stats_secs)),
+    };
+    let summary = match opts.get("socket") {
+        Some(path) => serve_unix(path, &config).map_err(|e| format!("socket {path}: {e}"))?,
+        None => serve_stdio(&config),
+    };
+    // The daemon exits 0 after a drain even if individual requests failed:
+    // every failure was answered in-band as a structured error response.
+    let _ = summary;
     if let Some(path) = report_path {
         write_report(&path)?;
     }

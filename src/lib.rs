@@ -16,7 +16,10 @@
 //!   `--trace-json` flags switch it on);
 //! * [`ccs_par`] — the deterministic scoped-thread parallel layer the hot
 //!   paths fan out over (`CCS_THREADS` env / `--threads` CLI knob; results
-//!   are bit-identical at any thread count).
+//!   are bit-identical at any thread count);
+//! * [`ccs_serve`] — the long-running service mode behind `ccs serve`:
+//!   JSONL requests in, JSONL responses out, with bounded admission,
+//!   per-scenario caching, and panic-proof request handling.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 pub use ccs_coalition;
 pub use ccs_core;
 pub use ccs_par;
+pub use ccs_serve;
 pub use ccs_submodular;
 pub use ccs_telemetry;
 pub use ccs_testbed;

@@ -213,6 +213,165 @@ fn bad_input_yields_clean_errors() {
 }
 
 #[test]
+fn malformed_flags_fail_with_one_line_errors() {
+    let scenario = temp_path("badflag_scenario.json");
+    let scenario_str = scenario.to_str().unwrap();
+    assert!(ccs(&[
+        "gen",
+        "--devices",
+        "4",
+        "--chargers",
+        "2",
+        "-o",
+        scenario_str
+    ])
+    .status
+    .success());
+
+    // Non-numeric values for numeric flags: clean error, nonzero exit, no
+    // panic, regardless of which command or flag carries the typo.
+    for (args, needle) in [
+        (
+            vec!["plan", "--scenario", scenario_str, "--threads", "abc"],
+            "invalid value 'abc' for --threads",
+        ),
+        (
+            vec!["lifetime", "--scenario", scenario_str, "--seed", "1.5x"],
+            "invalid value '1.5x' for --seed",
+        ),
+        (
+            vec!["gen", "--devices", "-3"],
+            "invalid value '-3' for --devices",
+        ),
+        (
+            vec!["replay", "--scenario", scenario_str, "--noshow", "lots"],
+            "invalid value 'lots' for --noshow",
+        ),
+        (
+            vec!["serve", "--queue-depth", "deep"],
+            "invalid value 'deep' for --queue-depth",
+        ),
+    ] {
+        let out = ccs(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "{args:?}: flag errors are one line, got: {stderr}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&scenario);
+
+    // Unknown flags are rejected per command instead of silently ignored.
+    let out = ccs(&["plan", "--scenario", "x.json", "--sede", "9"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag '--sede' for 'ccs plan'"),
+        "{stderr}"
+    );
+
+    // ... including flags that exist on *other* commands.
+    let out = ccs(&["gen", "--policy", "ccsa"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag '--policy'"));
+}
+
+#[test]
+fn serve_pipes_jsonl_and_matches_one_shot_plan() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let scenario = temp_path("serve_scenario.json");
+    let scenario_str = scenario.to_str().unwrap();
+    assert!(ccs(&[
+        "gen",
+        "--seed",
+        "21",
+        "--devices",
+        "8",
+        "--chargers",
+        "3",
+        "-o",
+        scenario_str
+    ])
+    .status
+    .success());
+
+    // One-shot plan: the reference bytes.
+    let one_shot = ccs(&["plan", "--scenario", scenario_str]);
+    assert!(one_shot.status.success());
+    let one_shot_stdout = String::from_utf8_lossy(&one_shot.stdout).into_owned();
+
+    // The same plan through the daemon, twice (the second is a cache hit),
+    // plus a poison line mid-batch.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_ccs"))
+        .args(["serve", "--workers", "1", "--stats-every", "0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stdin = daemon.stdin.take().expect("stdin");
+    writeln!(
+        stdin,
+        "{{\"id\":1,\"cmd\":\"plan\",\"scenario_path\":\"{scenario_str}\"}}\n\
+         not json at all\n\
+         {{\"id\":2,\"cmd\":\"plan\",\"scenario_path\":\"{scenario_str}\"}}\n\
+         {{\"cmd\":\"shutdown\"}}"
+    )
+    .expect("requests written");
+    drop(stdin);
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "daemon must exit 0 after a drain even with poison in the batch: {out:?}"
+    );
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert_eq!(
+        lines.iter().filter(|l| l.contains("\"ok\":false")).count(),
+        1,
+        "exactly the poison line errors: {stdout}"
+    );
+
+    // Byte-identity: the served text field equals one-shot stdout (which
+    // carries one extra trailing newline from println!).
+    let plan_line = lines
+        .iter()
+        .find(|l| l.contains("\"id\":1") && l.contains("\"ok\":true"))
+        .expect("plan response present");
+    let response: serde_json::Value = serde_json::from_str(plan_line).unwrap();
+    let serde_json::Value::String(text) = response.field("result").field("text") else {
+        panic!("no text field in {plan_line}");
+    };
+    assert_eq!(
+        format!("{text}\n"),
+        one_shot_stdout,
+        "served plan must be byte-identical to one-shot `ccs plan` stdout"
+    );
+
+    // Identical requests produce identical responses modulo id.
+    let second = lines
+        .iter()
+        .find(|l| l.contains("\"id\":2") && l.contains("\"ok\":true"))
+        .expect("second plan response present");
+    assert_eq!(
+        plan_line.replace("\"id\":1", "\"id\":2"),
+        **second,
+        "cache hits are transparent"
+    );
+
+    let _ = std::fs::remove_file(&scenario);
+}
+
+#[test]
 fn report_and_trace_flags_emit_telemetry_files() {
     let scenario = temp_path("telemetry_scenario.json");
     let report = temp_path("telemetry_report.json");
@@ -277,7 +436,7 @@ fn help_lists_all_commands() {
     let out = ccs(&["help"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["gen", "plan", "replay", "lifetime"] {
+    for cmd in ["gen", "plan", "replay", "lifetime", "serve"] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
     for flag in ["--breakdown", "--noshow", "--recover", "--degrade"] {
