@@ -12,18 +12,26 @@
 //! fresh testbed work), and one deliberately malformed line per client
 //! (exercising the error path under load). Every client asserts it gets
 //! exactly one response per request and that the daemon never drops a
-//! connection.
+//! connection. Per-request round-trip latency is recorded into a shared
+//! log-linear histogram ([`ccs_telemetry::Histogram`] — the same backend
+//! the daemon's own metrics use).
 //!
-//! The run emits a `BENCH_4.json`-style document:
+//! After the batch (while the daemon is quiescent) the harness probes
+//! `{"cmd":"stats"}` and asserts the snapshot: the schema tag, non-zero
+//! p50/p99 for `serve.plan`, and the error-counter consistency invariant
+//! `errors == bad_request + expired + failed + panics`.
+//!
+//! The run emits a `BENCH_5.json`-style document:
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-serve-load/v1",
+//!   "schema": "ccs-serve-load/v2",
 //!   "clients": 4,
 //!   "requests_per_client": 25,
 //!   "benches": {
 //!     "serve_mixed": {
 //!       "throughput_rps": 412.7, "total_ms": 242.3,
+//!       "p50_ms": 7.4, "p99_ms": 31.2, "max_ms": 48.5,
 //!       "ok": 96, "errors": 4, "rejected": 0
 //!     }
 //!   }
@@ -31,13 +39,15 @@
 //! ```
 //!
 //! With `--check`, the newest committed `BENCH_<N>.json` covering
-//! `serve_mixed` gates the run: throughput more than 50% below the
-//! baseline fails (generous — CI machines are noisy; the point is to catch
-//! an accidental serialization of the worker pool, which costs far more
-//! than 50%).
+//! `serve_mixed` gates the run on *both* axes: throughput more than 50%
+//! below the baseline fails, and tail latency (`p99_ms`) more than 100%
+//! above it fails. Generous tolerances — CI machines are noisy; the point
+//! is to catch an accidental serialization of the worker pool or a
+//! tail-latency cliff, each of which costs far more.
 
 use ccs_bench::gate::{self, Direction, Gate};
 use ccs_serve::prelude::*;
+use ccs_telemetry::Histogram;
 use ccs_wrsn::scenario::ScenarioGenerator;
 use serde::Serialize;
 use serde_json::{Number, Value};
@@ -47,13 +57,21 @@ use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-/// Throughput gate: anything under half the committed baseline fails.
-const GATES: [Gate; 1] = [Gate {
-    field: "throughput_rps",
-    tolerance: 0.5,
-    direction: Direction::LowerIsWorse,
-    zero_base_fails: false,
-}];
+/// Throughput and tail-latency gates (see module docs).
+const GATES: [Gate; 2] = [
+    Gate {
+        field: "throughput_rps",
+        tolerance: 0.5,
+        direction: Direction::LowerIsWorse,
+        zero_base_fails: false,
+    },
+    Gate {
+        field: "p99_ms",
+        tolerance: 1.0,
+        direction: Direction::HigherIsWorse,
+        zero_base_fails: false,
+    },
+];
 
 /// Scenario pool the clients draw from (small enough that plans are
 /// cache-hot after the first lap, large enough to exercise eviction-free
@@ -77,12 +95,14 @@ struct ClientOutcome {
 }
 
 /// One client: `requests` JSONL requests down a fresh connection, reading
-/// each response before sending the next (closed-loop load).
+/// each response before sending the next (closed-loop load). Round-trip
+/// latency of every request lands in the shared histogram.
 fn run_client(
     socket: &str,
     client: usize,
     requests: usize,
     scenarios: &[String],
+    latency: &Histogram,
 ) -> std::io::Result<ClientOutcome> {
     let stream = UnixStream::connect(socket)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -107,6 +127,7 @@ fn run_client(
                 if i % 2 == 0 { "ccsa" } else { "ncp" }
             ),
         };
+        let start = Instant::now();
         writeln!(writer, "{line}")?;
         let mut response = String::new();
         if reader.read_line(&mut response)? == 0 {
@@ -115,6 +136,7 @@ fn run_client(
                 "daemon closed the connection mid-batch",
             ));
         }
+        latency.record_duration(start.elapsed());
         let parsed: Value = serde_json::from_str(&response).map_err(|e| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -142,6 +164,56 @@ fn run_client(
     Ok(outcome)
 }
 
+/// Probes `{"cmd":"stats"}` on a quiescent daemon and cross-checks the
+/// snapshot against the acceptance invariants. Returns an error message on
+/// any violation.
+fn probe_stats(socket: &str) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("stats probe io: {e}");
+    let stream = UnixStream::connect(socket).map_err(io_err)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+    let mut writer = stream;
+    writeln!(writer, r#"{{"id":"stats-probe","cmd":"stats"}}"#).map_err(io_err)?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(io_err)?;
+    let response: Value =
+        serde_json::from_str(&line).map_err(|e| format!("stats response unparseable: {e}"))?;
+    if response.field("ok") != &Value::Bool(true) {
+        return Err(format!("stats probe not ok: {line}"));
+    }
+    let snapshot = response.field("result");
+    if snapshot.field("schema") != &Value::String(ccs_serve::STATS_SCHEMA.to_string()) {
+        return Err(format!("unexpected schema: {:?}", snapshot.field("schema")));
+    }
+    let u64_at = |v: &Value, path: &[&str]| -> Result<u64, String> {
+        let mut cur = v.clone();
+        for key in path {
+            cur = cur.field(key).clone();
+        }
+        match cur {
+            Value::Number(Number::PosInt(u)) => Ok(u),
+            other => Err(format!("{} is not a u64: {other:?}", path.join("."))),
+        }
+    };
+    let plan_p50 = u64_at(snapshot, &["latency_us", "serve.plan", "p50"])?;
+    let plan_p99 = u64_at(snapshot, &["latency_us", "serve.plan", "p99"])?;
+    if plan_p50 == 0 || plan_p99 == 0 {
+        return Err(format!(
+            "serve.plan latency is zero under load (p50 {plan_p50} us, p99 {plan_p99} us)"
+        ));
+    }
+    let errors = u64_at(snapshot, &["requests", "errors"])?;
+    let by_kind = u64_at(snapshot, &["requests", "bad_request"])?
+        + u64_at(snapshot, &["requests", "expired"])?
+        + u64_at(snapshot, &["requests", "failed"])?
+        + u64_at(snapshot, &["requests", "panics"])?;
+    if errors != by_kind {
+        return Err(format!(
+            "error counters inconsistent: errors {errors} != by-kind sum {by_kind}"
+        ));
+    }
+    Ok(())
+}
+
 fn uint(x: u64) -> Value {
     Value::Number(Number::PosInt(x))
 }
@@ -150,14 +222,25 @@ fn num(x: f64) -> Value {
     Value::Number(Number::Float((x * 100.0).round() / 100.0))
 }
 
-fn to_json(clients: usize, requests: usize, total: &ClientOutcome, elapsed: Duration) -> Value {
+fn to_json(
+    clients: usize,
+    requests: usize,
+    total: &ClientOutcome,
+    elapsed: Duration,
+    latency: &Histogram,
+) -> Value {
     let answered = total.ok + total.errors;
+    let snap = latency.snapshot();
+    let ms = |ns: u64| ns as f64 / 1e6;
     let mut entry = BTreeMap::new();
     entry.insert(
         "throughput_rps".to_string(),
         num(answered as f64 / elapsed.as_secs_f64()),
     );
     entry.insert("total_ms".to_string(), num(elapsed.as_secs_f64() * 1000.0));
+    entry.insert("p50_ms".to_string(), num(ms(snap.quantile(0.50))));
+    entry.insert("p99_ms".to_string(), num(ms(snap.quantile(0.99))));
+    entry.insert("max_ms".to_string(), num(ms(snap.max)));
     entry.insert("ok".to_string(), uint(total.ok));
     entry.insert("errors".to_string(), uint(total.errors));
     entry.insert("rejected".to_string(), uint(total.rejected));
@@ -166,7 +249,7 @@ fn to_json(clients: usize, requests: usize, total: &ClientOutcome, elapsed: Dura
     let mut root = BTreeMap::new();
     root.insert(
         "schema".to_string(),
-        Value::String("ccs-serve-load/v1".to_string()),
+        Value::String("ccs-serve-load/v2".to_string()),
     );
     root.insert("clients".to_string(), uint(clients as u64));
     root.insert("requests_per_client".to_string(), uint(requests as u64));
@@ -227,10 +310,12 @@ fn main() -> ExitCode {
         workers,
         queue_depth: 64,
         stats_every: None,
+        ..ServeConfig::default()
     };
     let scenarios = scenario_pool();
+    let latency = Histogram::new();
 
-    let (summary, total, elapsed) = std::thread::scope(|scope| {
+    let (summary, total, elapsed, stats_probe) = std::thread::scope(|scope| {
         let daemon = {
             let socket = socket.clone();
             scope.spawn(move || serve_unix(&socket, &config))
@@ -247,13 +332,18 @@ fn main() -> ExitCode {
             .map(|c| {
                 let socket = &socket;
                 let scenarios = &scenarios;
-                scope.spawn(move || run_client(socket, c, requests, scenarios))
+                let latency = &latency;
+                scope.spawn(move || run_client(socket, c, requests, scenarios, latency))
             })
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().expect("client thread"))
             .collect();
         let elapsed = start.elapsed();
+
+        // All clients are done: the daemon is quiescent, so the stats
+        // snapshot's counters are final (bar the probe itself).
+        let stats_probe = probe_stats(&socket);
 
         let mut shutdown = UnixStream::connect(&socket).expect("shutdown connection");
         writeln!(shutdown, r#"{{"cmd":"shutdown"}}"#).expect("shutdown request");
@@ -270,7 +360,7 @@ fn main() -> ExitCode {
             total.errors += outcome.errors;
             total.rejected += outcome.rejected;
         }
-        (summary, total, elapsed)
+        (summary, total, elapsed, stats_probe)
     });
 
     let expected = (clients * requests) as u64;
@@ -279,12 +369,21 @@ fn main() -> ExitCode {
         expected,
         "every request must be answered"
     );
+    if let Err(why) = stats_probe {
+        eprintln!("error: stats probe failed: {why}");
+        return ExitCode::FAILURE;
+    }
+    let snap = latency.snapshot();
     eprintln!(
         "serve_load: {clients} clients x {requests} requests in {:.1} ms \
-         ({:.0} req/s) — ok {} errors {} rejected {} \
+         ({:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms) — \
+         ok {} errors {} rejected {} \
          (daemon: completed {} errors {} panics {})",
         elapsed.as_secs_f64() * 1000.0,
         expected as f64 / elapsed.as_secs_f64(),
+        snap.quantile(0.50) as f64 / 1e6,
+        snap.quantile(0.99) as f64 / 1e6,
+        snap.max as f64 / 1e6,
         total.ok,
         total.errors,
         total.rejected,
@@ -293,7 +392,7 @@ fn main() -> ExitCode {
         summary.panics,
     );
 
-    let doc = to_json(clients, requests, &total, elapsed);
+    let doc = to_json(clients, requests, &total, elapsed, &latency);
     let json = serde_json::to_string_pretty(&doc).expect("results serialize");
     match &out_path {
         Some(path) => {
@@ -313,7 +412,7 @@ fn main() -> ExitCode {
                 if failures.is_empty() {
                     eprintln!("serve-load gate: ok vs {name}");
                 } else {
-                    eprintln!("serve-load gate: FAILED vs {name} (>50% below baseline):");
+                    eprintln!("serve-load gate: FAILED vs {name}:");
                     for f in &failures {
                         eprintln!("  {f}");
                     }

@@ -7,6 +7,7 @@
 //! not the expected path.
 
 use crate::cache::{CachedPlan, PlanCache};
+use crate::obs::{Phase, ReqTrace};
 use crate::protocol::{fields, ServeError};
 use ccs_core::prelude::*;
 use ccs_testbed::prelude::*;
@@ -42,25 +43,45 @@ pub struct Handled {
     pub plan_hit: Option<bool>,
 }
 
-/// Dispatches one admitted request.
+/// Dispatches one admitted request, recording the cache-lookup, tables,
+/// and solve phases into `trace`.
 ///
 /// # Errors
 ///
 /// Every invalid field, missing scenario, or domain failure comes back as
 /// a [`ServeError`]; this function never panics on malformed input (a
 /// panic deeper in the stack is caught by the worker).
-pub fn handle(cache: &PlanCache, cmd: &str, body: &Value) -> Result<Handled, ServeError> {
+pub fn handle(
+    cache: &PlanCache,
+    cmd: &str,
+    body: &Value,
+    trace: &mut ReqTrace,
+) -> Result<Handled, ServeError> {
     match cmd {
-        "plan" => handle_plan(cache, body),
-        "replay" => handle_replay(cache, body),
-        "lifetime" => handle_lifetime(cache, body),
+        "plan" => handle_plan(cache, body, trace),
+        "replay" => handle_replay(cache, body, trace),
+        "lifetime" => handle_lifetime(cache, body, trace),
         other => Err(ServeError::bad_request(format!("unknown cmd '{other}'"))),
     }
 }
 
 /// Loads the request's scenario — inline `scenario` object or
-/// `scenario_path` file — through the cache.
+/// `scenario_path` file — through the cache, then forces the
+/// `ProblemTables` kernel so the tables build is timed apart from the
+/// solve (a no-op on a scenario-cache hit).
 fn load_problem(
+    cache: &PlanCache,
+    body: &Value,
+    trace: &mut ReqTrace,
+) -> Result<(u64, Arc<CcsProblem>, bool), ServeError> {
+    let (hash, problem, hit) = trace.time(Phase::CacheLookup, || lookup_problem(cache, body))?;
+    trace.time(Phase::Tables, || {
+        problem.tables();
+    });
+    Ok((hash, problem, hit))
+}
+
+fn lookup_problem(
     cache: &PlanCache,
     body: &Value,
 ) -> Result<(u64, Arc<CcsProblem>, bool), ServeError> {
@@ -205,12 +226,18 @@ fn plan_cached(
     })
 }
 
-fn handle_plan(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
+fn handle_plan(
+    cache: &PlanCache,
+    body: &Value,
+    trace: &mut ReqTrace,
+) -> Result<Handled, ServeError> {
     let _span = ccs_telemetry::global().span("serve.plan");
-    let (hash, problem, scenario_hit) = load_problem(cache, body)?;
+    let (hash, problem, scenario_hit) = load_problem(cache, body, trace)?;
     let algo = algo_name(body)?;
     let sharing = sharing_name(body)?;
-    let (plan, plan_hit) = plan_cached(cache, hash, &problem, algo, sharing)?;
+    let (plan, plan_hit) = trace.time(Phase::Solve, || {
+        plan_cached(cache, hash, &problem, algo, sharing)
+    })?;
     Ok(Handled {
         result: plan.result.clone(),
         scenario_hit: Some(scenario_hit),
@@ -218,24 +245,32 @@ fn handle_plan(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
     })
 }
 
-fn handle_replay(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
+fn handle_replay(
+    cache: &PlanCache,
+    body: &Value,
+    trace: &mut ReqTrace,
+) -> Result<Handled, ServeError> {
     let _span = ccs_telemetry::global().span("serve.replay");
-    let (hash, problem, scenario_hit) = load_problem(cache, body)?;
+    let (hash, problem, scenario_hit) = load_problem(cache, body, trace)?;
     let sharing = sharing_name(body)?;
     let scheme = make_sharing(sharing);
     let seed = fields::u64_or(body, "seed", 0)?;
     let noise = noise_model(body)?;
     let failures = failure_model(body)?;
     // Replay executes the cooperative (CCSA) plan, mirroring `ccs replay`.
-    let (plan, plan_hit) = plan_cached(cache, hash, &problem, "ccsa", sharing)?;
-    let run = execute_with_failures(
-        &problem,
-        &plan.schedule,
-        scheme.as_ref(),
-        &noise,
-        &failures,
-        seed,
-    );
+    let (plan, plan_hit) = trace.time(Phase::Solve, || {
+        plan_cached(cache, hash, &problem, "ccsa", sharing)
+    })?;
+    let run = trace.time(Phase::Solve, || {
+        execute_with_failures(
+            &problem,
+            &plan.schedule,
+            scheme.as_ref(),
+            &noise,
+            &failures,
+            seed,
+        )
+    });
     let served = run.served.iter().filter(|s| **s).count();
     let mut pairs = vec![
         ("devices", uint(run.served.len() as u64)),
@@ -253,16 +288,18 @@ fn handle_replay(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError>
         ("served", uint(served as u64)),
     ];
     if let Some(config) = recovery_config(body)? {
-        let out = recover(
-            &problem,
-            &plan.schedule,
-            Policy::Ccsa(CcsaOptions::default()),
-            scheme.as_ref(),
-            &noise,
-            &failures,
-            seed,
-            &config,
-        );
+        let out = trace.time(Phase::Solve, || {
+            recover(
+                &problem,
+                &plan.schedule,
+                Policy::Ccsa(CcsaOptions::default()),
+                scheme.as_ref(),
+                &noise,
+                &failures,
+                seed,
+                &config,
+            )
+        });
         pairs.push((
             "recovery",
             obj(vec![
@@ -279,9 +316,13 @@ fn handle_replay(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError>
     })
 }
 
-fn handle_lifetime(cache: &PlanCache, body: &Value) -> Result<Handled, ServeError> {
+fn handle_lifetime(
+    cache: &PlanCache,
+    body: &Value,
+    trace: &mut ReqTrace,
+) -> Result<Handled, ServeError> {
     let _span = ccs_telemetry::global().span("serve.lifetime");
-    let (_, problem, scenario_hit) = load_problem(cache, body)?;
+    let (_, problem, scenario_hit) = load_problem(cache, body, trace)?;
     let sharing = sharing_name(body)?;
     let scheme = make_sharing(sharing);
     let rounds = fields::u64_or(body, "rounds", 20)? as usize;
@@ -303,27 +344,33 @@ fn handle_lifetime(cache: &PlanCache, body: &Value) -> Result<Handled, ServeErro
         || recovery.is_some()
         || !matches!(body.field("noise"), Value::Null);
     let scenario = problem.scenario();
-    let report = if faulty {
-        let noise = noise_model(body)?;
-        let mut driver =
-            TestbedDriver::new(&noise, &failures, scheme.as_ref(), policy, recovery, seed);
-        run_lifetime_with(
-            scenario,
-            &CostParams::default(),
-            scheme.as_ref(),
-            policy,
-            &config,
-            &mut driver,
-        )
+    let noise = if faulty {
+        Some(noise_model(body)?)
     } else {
-        run_lifetime(
-            scenario,
-            &CostParams::default(),
-            scheme.as_ref(),
-            policy,
-            &config,
-        )
+        None
     };
+    let report = trace.time(Phase::Solve, || {
+        if let Some(noise) = &noise {
+            let mut driver =
+                TestbedDriver::new(noise, &failures, scheme.as_ref(), policy, recovery, seed);
+            run_lifetime_with(
+                scenario,
+                &CostParams::default(),
+                scheme.as_ref(),
+                policy,
+                &config,
+                &mut driver,
+            )
+        } else {
+            run_lifetime(
+                scenario,
+                &CostParams::default(),
+                scheme.as_ref(),
+                policy,
+                &config,
+            )
+        }
+    });
     Ok(Handled {
         result: obj(vec![
             ("energy_kj", num(report.energy_purchased.value() / 1000.0)),

@@ -33,11 +33,13 @@
 
 pub mod cache;
 pub mod handlers;
+pub mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::{scenario_hash, CachedPlan, PlanCache};
+pub use obs::{Phase, ReqTrace, ServeObs, STATS_SCHEMA};
 pub use protocol::{err_response, ok_response, ErrorKind, ServeError};
 pub use queue::{AdmissionQueue, AdmitError};
 pub use server::{serve_connection, serve_stdio, serve_unix, ServeConfig, ServeSummary};

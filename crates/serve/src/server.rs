@@ -25,9 +25,11 @@
 
 use crate::cache::PlanCache;
 use crate::handlers;
-use crate::protocol::{err_response, ok_response, ServeError};
+use crate::obs::{self, Phase, ReqTrace, ServeObs};
+use crate::protocol::{err_response, ok_response, ErrorKind, ServeError};
 use crate::queue::{AdmissionQueue, AdmitError};
-use serde::value::Value;
+use ccs_telemetry::RotatingWriter;
+use serde::value::{Number, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{self, AssertUnwindSafe};
@@ -48,6 +50,21 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Period of the stats line on stderr (`None` = silent).
     pub stats_every: Option<Duration>,
+    /// Render the periodic stats line as human prose instead of the
+    /// default one-line JSON snapshot.
+    pub stats_human: bool,
+    /// Rewrite this file (atomically) with Prometheus text metrics every
+    /// stats period and at drain.
+    pub metrics_file: Option<String>,
+    /// Append one JSONL trace line per request to this file
+    /// (size-capped — see [`ccs_telemetry::RotatingWriter`]).
+    pub trace_requests: Option<String>,
+    /// Byte cap of the active trace file before rotation.
+    pub trace_max_bytes: u64,
+    /// Requests slower end-to-end than this are counted, flagged
+    /// `"slow":true` in their trace line, and logged to stderr with their
+    /// phase breakdown (`None` = off).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +73,11 @@ impl Default for ServeConfig {
             workers: 0,
             queue_depth: 64,
             stats_every: Some(Duration::from_secs(10)),
+            stats_human: false,
+            metrics_file: None,
+            trace_requests: None,
+            trace_max_bytes: 16 << 20,
+            slow_ms: None,
         }
     }
 }
@@ -83,6 +105,12 @@ pub struct ServeSummary {
     pub completed: u64,
     /// Requests answered with `ok: false` (including caught panics).
     pub errors: u64,
+    /// Malformed or invalid requests (`bad_request` responses).
+    pub bad_request: u64,
+    /// Requests whose `deadline_ms` elapsed while queued.
+    pub expired: u64,
+    /// Domain failures (`failed` responses).
+    pub failed: u64,
     /// Worker panics caught at the service boundary.
     pub panics: u64,
     /// Scenario-cache hits (a `ProblemTables` rebuild avoided).
@@ -97,6 +125,9 @@ struct Stats {
     rejected: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
+    bad_request: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
     panics: AtomicU64,
     scenario_hits: AtomicU64,
     plan_hits: AtomicU64,
@@ -109,10 +140,39 @@ impl Stats {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             scenario_hits: self.scenario_hits.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts one error response: the per-kind counter first, the `errors`
+    /// total last, so `errors == bad_request + expired + failed + panics`
+    /// holds for any observer once the daemon is quiescent.
+    fn count_error(&self, kind: ErrorKind) {
+        match kind {
+            ErrorKind::BadRequest => {
+                self.bad_request.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorKind::Expired => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.expired").incr();
+            }
+            ErrorKind::Failed => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorKind::Internal => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.panics").incr();
+            }
+            // Rejections are backpressure, not errors; counted separately.
+            ErrorKind::Rejected => {}
+        }
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        ccs_telemetry::counter!("serve.errors").incr();
     }
 }
 
@@ -127,12 +187,15 @@ struct Job {
     admitted_at: Instant,
     deadline: Option<Duration>,
     writer: SharedWriter,
+    trace: ReqTrace,
 }
 
 struct ServerState {
     queue: AdmissionQueue<Job>,
     cache: PlanCache,
     stats: Stats,
+    obs: ServeObs,
+    metrics_file: Option<String>,
     draining: AtomicBool,
 }
 
@@ -151,10 +214,21 @@ enum Admit {
 
 impl ServerState {
     fn new(config: &ServeConfig) -> Self {
+        let trace = config.trace_requests.as_ref().and_then(|path| {
+            match RotatingWriter::create(path, config.trace_max_bytes) {
+                Ok(writer) => Some(writer),
+                Err(e) => {
+                    eprintln!("serve: cannot open trace file {path}: {e} (tracing disabled)");
+                    None
+                }
+            }
+        });
         ServerState {
             queue: AdmissionQueue::new(config.queue_depth),
             cache: PlanCache::new(),
             stats: Stats::default(),
+            obs: ServeObs::new(trace, config.slow_ms.map(Duration::from_millis)),
+            metrics_file: config.metrics_file.clone(),
             draining: AtomicBool::new(false),
         }
     }
@@ -168,8 +242,7 @@ impl ServerState {
         let body: Value = match serde_json::from_str(line) {
             Ok(v) => v,
             Err(e) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                ccs_telemetry::counter!("serve.errors").incr();
+                self.stats.count_error(ErrorKind::BadRequest);
                 let err = ServeError::bad_request(format!("malformed request: {e}"));
                 write_line(writer, &err_response(&Value::Null, &err));
                 return Admit::Continue;
@@ -222,7 +295,16 @@ impl ServerState {
                 write_line(writer, &ok_response(&id, Value::Object(result)));
                 Admit::Shutdown
             }
+            "stats" => {
+                // Answered inline like `ping`: the metrics surface must
+                // stay reachable even when the queue is saturated.
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                ccs_telemetry::counter!("serve.completed").incr();
+                write_line(writer, &ok_response(&id, self.stats_snapshot()));
+                Admit::Continue
+            }
             "plan" | "replay" | "lifetime" => {
+                let mut trace = self.obs.start();
                 let deadline = match crate::protocol::fields::u64_or(&body, "deadline_ms", 0) {
                     Ok(0) => None,
                     Ok(ms) => Some(Duration::from_millis(ms)),
@@ -232,21 +314,28 @@ impl ServerState {
                     }
                 };
                 let reject_id = id.clone();
+                let admitted_at = Instant::now();
+                // Admission covers the decision up to (and including) the
+                // push; queue wait starts at `admitted_at`.
+                trace.record(Phase::Admission, trace.total_ns());
                 let job = Job {
                     id,
                     cmd,
                     body,
-                    admitted_at: Instant::now(),
+                    admitted_at,
                     deadline,
                     writer: Arc::clone(writer),
+                    trace,
                 };
                 match self.queue.try_push(job) {
                     Ok(()) => {
                         self.stats.admitted.fetch_add(1, Ordering::Relaxed);
                         ccs_telemetry::counter!("serve.admitted").incr();
+                        let depth = self.queue.len();
+                        self.obs.observe_queue_depth(depth);
                         ccs_telemetry::global()
                             .gauge("serve.queue_depth")
-                            .set(self.queue.len() as f64);
+                            .set(depth as f64);
                         Admit::Continue
                     }
                     Err(reason) => {
@@ -275,35 +364,48 @@ impl ServerState {
     }
 
     fn respond_err(&self, writer: &SharedWriter, id: &Value, err: &ServeError) {
-        self.stats.errors.fetch_add(1, Ordering::Relaxed);
-        ccs_telemetry::counter!("serve.errors").incr();
+        self.stats.count_error(err.kind);
         write_line(writer, &err_response(id, err));
     }
 
     /// Executes one admitted job and writes its response.
     fn execute(&self, job: Job) {
+        let Job {
+            id,
+            cmd,
+            body,
+            admitted_at,
+            deadline,
+            writer,
+            mut trace,
+        } = job;
         let registry = ccs_telemetry::global();
         let _span = registry.span("serve.request");
         registry
             .gauge("serve.queue_depth")
             .set(self.queue.len() as f64);
-        if let Some(deadline) = job.deadline {
-            if job.admitted_at.elapsed() > deadline {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                ccs_telemetry::counter!("serve.errors").incr();
-                ccs_telemetry::counter!("serve.expired").incr();
+        let queued = admitted_at.elapsed();
+        trace.record(
+            Phase::QueueWait,
+            u64::try_from(queued.as_nanos()).unwrap_or(u64::MAX),
+        );
+        if let Some(deadline) = deadline {
+            if queued > deadline {
+                self.stats.count_error(ErrorKind::Expired);
                 let err = ServeError::expired(format!(
                     "deadline of {} ms passed while queued",
                     deadline.as_millis()
                 ));
-                write_line(&job.writer, &err_response(&job.id, &err));
+                let line = trace.time(Phase::Serialize, || err_response(&id, &err));
+                write_line(&writer, &line);
+                self.obs.finish(&trace, &cmd, "expired");
                 return;
             }
         }
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            handlers::handle(&self.cache, &job.cmd, &job.body)
+            handlers::handle(&self.cache, &cmd, &body, &mut trace)
         }));
-        let line = match outcome {
+        let (line, status) = match outcome {
             Ok(Ok(handled)) => {
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                 ccs_telemetry::counter!("serve.completed").incr();
@@ -315,29 +417,81 @@ impl ServerState {
                     self.stats.plan_hits.fetch_add(1, Ordering::Relaxed);
                     ccs_telemetry::counter!("serve.cache.plan_hits").incr();
                 }
-                ok_response(&job.id, handled.result)
+                let line = trace.time(Phase::Serialize, || ok_response(&id, handled.result));
+                (line, "ok")
             }
             Ok(Err(err)) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                ccs_telemetry::counter!("serve.errors").incr();
-                err_response(&job.id, &err)
+                self.stats.count_error(err.kind);
+                let line = trace.time(Phase::Serialize, || err_response(&id, &err));
+                (line, err.kind.name())
             }
             Err(payload) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                self.stats.panics.fetch_add(1, Ordering::Relaxed);
-                ccs_telemetry::counter!("serve.errors").incr();
-                ccs_telemetry::counter!("serve.panics").incr();
+                self.stats.count_error(ErrorKind::Internal);
                 let err = ServeError::internal(format!(
                     "request handler panicked: {}",
                     panic_message(payload.as_ref())
                 ));
-                err_response(&job.id, &err)
+                let line = trace.time(Phase::Serialize, || err_response(&id, &err));
+                (line, "internal")
             }
         };
-        write_line(&job.writer, &line);
+        write_line(&writer, &line);
+        // End-to-end latency includes writing the response — what the
+        // client actually observed.
+        self.obs.finish(&trace, &cmd, status);
     }
 
-    fn stats_line(&self) -> String {
+    /// The versioned stats snapshot ([`obs::STATS_SCHEMA`]) — the payload
+    /// of the `stats` protocol command and the JSON stats-every line.
+    fn stats_snapshot(&self) -> Value {
+        let s = self.stats.summary();
+        let uint = |v: u64| Value::Number(Number::PosInt(v));
+        let mut cache = BTreeMap::new();
+        cache.insert("plan_hits".to_string(), uint(s.plan_hits));
+        cache.insert("plans".to_string(), uint(self.cache.plans_cached() as u64));
+        cache.insert("scenario_hits".to_string(), uint(s.scenario_hits));
+        cache.insert("scenarios".to_string(), uint(self.cache.scenarios() as u64));
+        let mut queue = BTreeMap::new();
+        queue.insert("capacity".to_string(), uint(self.queue.depth() as u64));
+        queue.insert("depth".to_string(), uint(self.queue.len() as u64));
+        queue.insert("high_water".to_string(), uint(self.obs.high_water()));
+        let mut requests = BTreeMap::new();
+        requests.insert("admitted".to_string(), uint(s.admitted));
+        requests.insert("bad_request".to_string(), uint(s.bad_request));
+        requests.insert("completed".to_string(), uint(s.completed));
+        requests.insert("errors".to_string(), uint(s.errors));
+        requests.insert("expired".to_string(), uint(s.expired));
+        requests.insert("failed".to_string(), uint(s.failed));
+        requests.insert("panics".to_string(), uint(s.panics));
+        requests.insert("rejected".to_string(), uint(s.rejected));
+        requests.insert("slow".to_string(), uint(self.obs.slow_count()));
+        let mut map = BTreeMap::new();
+        map.insert("cache".to_string(), Value::Object(cache));
+        map.insert("latency_us".to_string(), self.obs.latency_value());
+        map.insert("queue".to_string(), Value::Object(queue));
+        map.insert("requests".to_string(), Value::Object(requests));
+        map.insert(
+            "schema".to_string(),
+            Value::String(obs::STATS_SCHEMA.to_string()),
+        );
+        map.insert(
+            "uptime_s".to_string(),
+            Value::Number(Number::Float(self.obs.uptime_s())),
+        );
+        Value::Object(map)
+    }
+
+    /// Rewrites the Prometheus metrics file, if one is configured.
+    fn write_metrics_file(&self) {
+        if let Some(path) = &self.metrics_file {
+            obs::write_file_atomic(path, &obs::render_prometheus(&self.stats_snapshot()));
+        }
+    }
+
+    fn stats_line(&self, human: bool) -> String {
+        if !human {
+            return obs::render_value(&self.stats_snapshot());
+        }
         let s = self.stats.summary();
         format!(
             "serve: queue={} admitted={} rejected={} completed={} errors={} \
@@ -465,7 +619,14 @@ fn run_with_reader(
                 }
             });
         }
-        if let Some(period) = config.stats_every {
+        if config.stats_every.is_some() || config.metrics_file.is_some() {
+            // Default the metrics-file rewrite to the stats period (or
+            // 10 s when only --metrics-file is set).
+            let period = config
+                .stats_every
+                .unwrap_or_else(|| Duration::from_secs(10));
+            let print_stats = config.stats_every.is_some();
+            let human = config.stats_human;
             let stop = Arc::clone(&stop);
             scope.spawn(move || {
                 let (lock, cond) = &*stop;
@@ -477,7 +638,10 @@ fn run_with_reader(
                         return;
                     }
                     if timeout.timed_out() {
-                        eprintln!("{}", state.stats_line());
+                        if print_stats {
+                            eprintln!("{}", state.stats_line(human));
+                        }
+                        state.write_metrics_file();
                     }
                 }
             });
@@ -490,6 +654,8 @@ fn run_with_reader(
         *lock.lock().expect("stats lock") = true;
         cond.notify_all();
     });
+    // The final metrics-file state covers everything up to the drain.
+    state.write_metrics_file();
     let summary = state.stats.summary();
     eprintln!(
         "serve: drained — admitted={} rejected={} completed={} errors={} \

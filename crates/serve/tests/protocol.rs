@@ -34,6 +34,7 @@ fn run_server(lines: &[String], workers: usize, queue_depth: usize) -> (Vec<Stri
         workers,
         queue_depth,
         stats_every: None,
+        ..ServeConfig::default()
     };
     let summary = serve_connection(input, Box::new(out.clone()), &config);
     let bytes = out.0.lock().unwrap().clone();
@@ -275,6 +276,7 @@ fn unix_socket_serves_and_drains() {
         workers: 1,
         queue_depth: 4,
         stats_every: None,
+        ..ServeConfig::default()
     };
     let summary = std::thread::scope(|scope| {
         let daemon = {

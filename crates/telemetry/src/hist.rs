@@ -1,0 +1,346 @@
+//! Dependency-free log-linear (HDR-style) latency histograms.
+//!
+//! Values are recorded as non-negative integers (nanoseconds by
+//! convention) into fixed log-linear buckets: values below 2^SUB_BITS are
+//! counted exactly, and every power-of-two range above is split into
+//! 2^SUB_BITS linear sub-buckets. With `SUB_BITS = 5` a bucket spans at
+//! most 1/32 ≈ 3.1% of its lower bound, so any quantile estimate lands in
+//! the same bucket as the true rank value — bounded relative error at a
+//! fixed 15 KiB of memory per shard, no allocation on the record path.
+//!
+//! Two types share the bucket math:
+//!
+//! * [`Histogram`] — the concurrent handle: per-shard atomic bucket
+//!   arrays (threads spread over shards to avoid cache-line contention),
+//!   merged on [`Histogram::snapshot`]. Recording is wait-free: three
+//!   relaxed `fetch_add`s plus two `fetch_min`/`fetch_max`.
+//! * [`HistogramSnapshot`] — the plain owned form: recordable,
+//!   mergeable (exact: bucket counts add), and queryable
+//!   ([`HistogramSnapshot::quantile`]). This is what crosses thread and
+//!   serialization boundaries.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Linear sub-bucket resolution: 2^SUB_BITS sub-buckets per power of two.
+pub const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: one exact group for values `< 2^SUB_BITS`, then one
+/// group of `2^SUB_BITS` sub-buckets per remaining power of two of `u64`.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// Shards of the concurrent histogram; threads hash over them.
+const SHARDS: usize = 8;
+
+/// The bucket a value falls into. Monotone in `v`; exact for `v < 32`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let shift = msb - u64::from(SUB_BITS);
+    let group = (msb - u64::from(SUB_BITS) + 1) as usize;
+    (group << SUB_BITS) + ((v >> shift) & (SUB - 1)) as usize
+}
+
+/// The inclusive lower bound and width of bucket `index`. The width of the
+/// topmost bucket nominally overflows `u64`; it is saturated, which only
+/// widens the reported midpoint of values near `u64::MAX`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let group = index >> SUB_BITS;
+    if group == 0 {
+        return (index as u64, 1);
+    }
+    let shift = (group - 1) as u32;
+    let lo = (SUB + (index as u64 & (SUB - 1))) << shift;
+    (lo, 1u64.checked_shl(shift).unwrap_or(u64::MAX))
+}
+
+struct Shard {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Which shard this thread records into: assigned round-robin on first
+/// use, so a fixed worker pool spreads evenly regardless of thread ids.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A concurrent log-linear histogram of non-negative integer samples
+/// (nanoseconds by convention).
+///
+/// Always on — unlike the registry's counters there is no enabled gate,
+/// because the owner (e.g. the serve stack) decides at construction time
+/// whether to keep one at all. Recording never locks and never allocates.
+pub struct Histogram {
+    shards: Vec<Shard>,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum overflow (≈ 585 years of accumulated
+        // nanoseconds) must not wrap the mean into nonsense.
+        let mut sum = shard.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(value);
+            match shard
+                .sum
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating —
+    /// a 585-year request is off the chart anyway).
+    #[inline]
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded (racy snapshot).
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merges every shard into one owned, queryable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        for shard in &self.shards {
+            for (i, c) in shard.counts.iter().enumerate() {
+                out.buckets[i] += c.load(Ordering::Relaxed);
+            }
+            out.count += shard.count.load(Ordering::Relaxed);
+            out.sum = out.sum.saturating_add(shard.sum.load(Ordering::Relaxed));
+        }
+        if out.count > 0 {
+            out.min = self.min.load(Ordering::Relaxed);
+            out.max = self.max.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// The owned form of a histogram: plain bucket counts, recordable without
+/// atomics (for single-writer call sites like the registry's timers),
+/// mergeable, and queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min: u64,
+    /// Exact largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (single-writer path; use [`Histogram`] for
+    /// concurrent recording).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// The exact pointwise merge of two snapshots (bucket counts add, so
+    /// merging is associative and commutative — proptested).
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (a, b) in out.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        out.sum = out.sum.saturating_add(other.sum);
+        match (out.count > 0, other.count > 0) {
+            (true, true) => {
+                out.min = out.min.min(other.min);
+                out.max = out.max.max(other.max);
+            }
+            (false, true) => {
+                out.min = other.min;
+                out.max = other.max;
+            }
+            _ => {}
+        }
+        out.count += other.count;
+        out
+    }
+
+    /// The arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the midpoint of the bucket
+    /// holding the sample of rank `⌈q·count⌉`, clamped into the exact
+    /// observed `[min, max]`. Within `2^-SUB_BITS` relative error of the
+    /// true rank value; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly — answer without the
+        // bucket walk so p0/p100 are never off by a bucket width.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, width) = bucket_bounds(i);
+                let mid = lo.saturating_add(width / 2);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut last = 0usize;
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket index must be monotone in the value");
+            assert!(b < NUM_BUCKETS);
+            let (lo, width) = bucket_bounds(b);
+            assert!(lo <= v, "lower bound {lo} > value {v}");
+            assert!(
+                width == u64::MAX || v - lo < width,
+                "value {v} outside bucket [{lo}, {lo}+{width})"
+            );
+            last = b;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = HistogramSnapshot::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB - 1);
+        assert_eq!(h.count, SUB);
+        assert_eq!(h.sum, (0..SUB).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_in_count() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 80_000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 7 * 1_000 + 9_999);
+    }
+}

@@ -2,8 +2,11 @@
 //!
 //! Observability substrate for the CCS scheduling stack: named counters,
 //! gauges, and wall-clock timers collected in a [`Registry`], hierarchical
-//! RAII [`Span`]s, an optional JSONL event [`sink`], and a serializable
-//! [`RunReport`] snapshot.
+//! RAII [`Span`]s, an optional JSONL event [`sink`], a serializable
+//! [`RunReport`] snapshot (with a flat self-time profile), log-linear
+//! latency [`hist`]ograms (bounded memory, ≤ 3.1% quantile error,
+//! shard-merged across threads), and a size-capped [`rotate`]-on-write
+//! JSONL writer for request tracing.
 //!
 //! ## Zero-dependency design
 //!
@@ -54,13 +57,17 @@
 //! binaries opt in by calling `global().enable()` (the `--report` /
 //! `--trace-json` CLI flags do exactly that) and snapshot it at exit.
 
+pub mod hist;
 mod registry;
 mod report;
+pub mod rotate;
 pub mod sink;
 mod span;
 
+pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, Timer};
-pub use report::{RunReport, TimerStats};
+pub use report::{ProfileRow, RunReport, TimerStats};
+pub use rotate::RotatingWriter;
 pub use span::Span;
 
 use std::sync::OnceLock;

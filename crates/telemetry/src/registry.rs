@@ -1,5 +1,6 @@
 //! The metrics registry: named counters, gauges, and timers.
 
+use crate::hist::HistogramSnapshot;
 use crate::report::{RunReport, TimerStats};
 use crate::sink::EventSink;
 use crate::span::Span;
@@ -9,17 +10,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Cap on retained per-timer samples; beyond it, samples are overwritten
-/// pseudo-randomly so percentiles stay representative with bounded memory.
-const SAMPLE_CAP: usize = 4096;
-
 #[derive(Debug, Default)]
 pub(crate) struct TimerData {
     pub(crate) count: u64,
     pub(crate) total_s: f64,
     pub(crate) min_s: f64,
     pub(crate) max_s: f64,
-    pub(crate) samples: Vec<f64>,
+    /// Log-linear nanosecond buckets behind the percentiles — bounded
+    /// memory at any sample count, ≤ 2^-5 relative quantile error
+    /// (see [`crate::hist`]), allocated on first record.
+    pub(crate) hist: Option<Box<HistogramSnapshot>>,
 }
 
 impl TimerData {
@@ -33,24 +33,22 @@ impl TimerData {
         }
         self.count += 1;
         self.total_s += seconds;
-        if self.samples.len() < SAMPLE_CAP {
-            self.samples.push(seconds);
+        let ns = if seconds <= 0.0 {
+            0
         } else {
-            // Weyl-sequence slot choice: cheap, deterministic, well spread.
-            let slot = (self.count.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
-            self.samples[slot % SAMPLE_CAP] = seconds;
-        }
+            (seconds * 1e9).min(u64::MAX as f64) as u64
+        };
+        self.hist.get_or_insert_with(Box::default).record(ns);
     }
 
     pub(crate) fn stats(&self) -> TimerStats {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let percentile = |q: f64| -> f64 {
-            if sorted.is_empty() {
+        // Quantiles come from the histogram (midpoint of the true rank
+        // value's bucket); min/max/mean stay exact from the f64 track.
+        let quantile_ms = |q: f64| -> f64 {
+            let Some(hist) = self.hist.as_deref() else {
                 return 0.0;
-            }
-            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-            sorted[rank]
+            };
+            (hist.quantile(q) as f64 / 1e6).clamp(self.min_s * 1e3, self.max_s * 1e3)
         };
         TimerStats {
             count: self.count,
@@ -66,8 +64,9 @@ impl TimerData {
             } else {
                 self.total_s / self.count as f64 * 1e3
             },
-            p50_ms: percentile(0.50) * 1e3,
-            p95_ms: percentile(0.95) * 1e3,
+            p50_ms: quantile_ms(0.50),
+            p95_ms: quantile_ms(0.95),
+            p99_ms: quantile_ms(0.99),
         }
     }
 }
@@ -200,10 +199,11 @@ impl Registry {
         }
     }
 
-    /// Snapshots every metric into a serializable report.
+    /// Snapshots every metric into a serializable report, including the
+    /// flat self-time profile derived from the span tree.
     pub fn report(&self) -> RunReport {
         let tables = self.inner.tables.lock();
-        RunReport {
+        let mut report = RunReport {
             counters: tables
                 .counters
                 .iter()
@@ -219,12 +219,15 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.lock().stats()))
                 .collect(),
+            profile: Vec::new(),
             spans: tables
                 .spans
                 .iter()
                 .map(|(k, v)| (k.clone(), v.lock().stats()))
                 .collect(),
-        }
+        };
+        report.profile = crate::report::flat_profile(&report.spans);
+        report
     }
 
     /// Resets every metric to zero (the registrations survive, so hoisted

@@ -4,6 +4,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregated statistics of one timer or span (milliseconds).
+///
+/// `count`/`total`/`min`/`max`/`mean` are exact; the percentiles come
+/// from the log-linear histogram backend ([`crate::hist`]) and carry at
+/// most 2^-5 ≈ 3.1% relative error.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimerStats {
     /// Number of recorded observations.
@@ -16,10 +20,25 @@ pub struct TimerStats {
     pub max_ms: f64,
     /// Arithmetic mean (0 when empty).
     pub mean_ms: f64,
-    /// Median over the retained sample reservoir.
+    /// Median (histogram-backed).
     pub p50_ms: f64,
-    /// 95th percentile over the retained sample reservoir.
+    /// 95th percentile (histogram-backed).
     pub p95_ms: f64,
+    /// 99th percentile (histogram-backed).
+    pub p99_ms: f64,
+}
+
+/// One row of the flat self-time profile derived from the span tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Leaf span name (the last `/` segment, aggregated across paths).
+    pub name: String,
+    /// Times a span with this leaf name closed.
+    pub count: u64,
+    /// Self time: wall-clock inside this span minus its child spans.
+    pub self_ms: f64,
+    /// Share of the run's total self time, in percent.
+    pub pct: f64,
 }
 
 /// Point-in-time snapshot of every metric in a registry, produced by
@@ -34,6 +53,9 @@ pub struct RunReport {
     pub timers: BTreeMap<String, TimerStats>,
     /// RAII span timings by `/`-joined hierarchical path.
     pub spans: BTreeMap<String, TimerStats>,
+    /// Flat self-time profile over the span tree, largest first — the
+    /// self-profile table ("where did the wall clock actually go").
+    pub profile: Vec<ProfileRow>,
 }
 
 impl RunReport {
@@ -46,4 +68,64 @@ impl RunReport {
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("RunReport serialization is infallible")
     }
+
+    /// Renders the flat profile as an aligned text table (empty string
+    /// when no spans were recorded).
+    pub fn profile_table(&self) -> String {
+        if self.profile.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("  self ms      %   count  span\n");
+        for row in &self.profile {
+            out.push_str(&format!(
+                "{:>9.2} {:>5.1}% {:>7}  {}\n",
+                row.self_ms, row.pct, row.count, row.name
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the flat self-time profile from the hierarchical span stats:
+/// each path's self time is its total minus its direct children's totals,
+/// aggregated by leaf name and sorted by self time, largest first.
+pub(crate) fn flat_profile(spans: &BTreeMap<String, TimerStats>) -> Vec<ProfileRow> {
+    let mut rows: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for (path, stats) in spans {
+        let children_total: f64 = spans
+            .iter()
+            .filter(|(p, _)| {
+                p.strip_prefix(path.as_str())
+                    .and_then(|rest| rest.strip_prefix('/'))
+                    .is_some_and(|rest| !rest.contains('/'))
+            })
+            .map(|(_, s)| s.total_ms)
+            .sum();
+        let self_ms = (stats.total_ms - children_total).max(0.0);
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let entry = rows.entry(leaf).or_insert((0, 0.0));
+        entry.0 += stats.count;
+        entry.1 += self_ms;
+    }
+    let grand_total: f64 = rows.values().map(|(_, ms)| ms).sum();
+    let mut profile: Vec<ProfileRow> = rows
+        .into_iter()
+        .map(|(name, (count, self_ms))| ProfileRow {
+            name: name.to_string(),
+            count,
+            self_ms,
+            pct: if grand_total > 0.0 {
+                self_ms / grand_total * 100.0
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    profile.sort_by(|a, b| {
+        b.self_ms
+            .partial_cmp(&a.self_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    profile
 }

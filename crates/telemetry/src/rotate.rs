@@ -1,0 +1,120 @@
+//! Size-capped, self-rotating JSONL file writer.
+//!
+//! Request tracing on a long-running daemon must not fill the disk: the
+//! writer tracks how many bytes it has written and, before a line would
+//! push the active file past the cap, rotates — the current file is
+//! renamed to `<path>.1` (replacing any previous rotation) and a fresh
+//! file is started. At most `2 × max_bytes` ever exist on disk.
+//!
+//! Writing never fails the caller: tracing observes the process, it must
+//! not take it down, so I/O errors drop the line (mirroring
+//! [`crate::sink::EventSink`]).
+
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+struct State {
+    writer: BufWriter<File>,
+    written: u64,
+}
+
+/// A line-oriented file writer that rotates itself at a byte cap.
+pub struct RotatingWriter {
+    path: PathBuf,
+    max_bytes: u64,
+    state: Mutex<State>,
+}
+
+impl RotatingWriter {
+    /// Creates (truncating) the file at `path`, rotating whenever the
+    /// active file would exceed `max_bytes` (clamped to at least 4 KiB so
+    /// a tiny cap cannot rotate on every line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl Into<PathBuf>, max_bytes: u64) -> io::Result<RotatingWriter> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(RotatingWriter {
+            path,
+            max_bytes: max_bytes.max(4096),
+            state: Mutex::new(State {
+                writer: BufWriter::new(file),
+                written: 0,
+            }),
+        })
+    }
+
+    /// The path rotated-out data is moved to (`<path>.1`).
+    pub fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_owned();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Appends one line (a newline is added), rotating first if the line
+    /// would push the active file past the cap. I/O failures drop the
+    /// line silently — tracing must never take down the traced process.
+    pub fn write_line(&self, line: &str) {
+        let mut state = self.state.lock();
+        let len = line.len() as u64 + 1;
+        if state.written > 0 && state.written + len > self.max_bytes {
+            let _ = state.writer.flush();
+            let _ = std::fs::rename(&self.path, self.rotated_path());
+            match File::create(&self.path) {
+                Ok(file) => {
+                    state.writer = BufWriter::new(file);
+                    state.written = 0;
+                }
+                Err(_) => return,
+            }
+        }
+        if writeln!(state.writer, "{line}").is_ok() {
+            state.written += len;
+        }
+        let _ = state.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_at_the_byte_cap_and_keeps_both_files_bounded() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ccs-rotate-test-{}.jsonl", std::process::id()));
+        let writer = RotatingWriter::create(&path, 4096).expect("create");
+        let line = "x".repeat(100);
+        for _ in 0..100 {
+            writer.write_line(&line); // 101 bytes/line ⇒ > 2 caps of data
+        }
+        let active = std::fs::metadata(&path).expect("active file").len();
+        let rotated = std::fs::metadata(writer.rotated_path())
+            .expect("rotated file exists")
+            .len();
+        assert!(active <= 4096, "active file within cap, got {active}");
+        assert!(rotated <= 4096, "rotated file within cap, got {rotated}");
+        assert!(rotated > 0, "rotation moved data");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(writer.rotated_path());
+    }
+
+    #[test]
+    fn single_oversized_line_still_lands() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ccs-rotate-big-{}.jsonl", std::process::id()));
+        let writer = RotatingWriter::create(&path, 4096).expect("create");
+        let line = "y".repeat(10_000);
+        writer.write_line(&line);
+        assert_eq!(
+            std::fs::metadata(&path).expect("file").len(),
+            10_001,
+            "an oversized first line is written, not dropped"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

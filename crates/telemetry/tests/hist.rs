@@ -1,0 +1,149 @@
+//! Property tests of the log-linear histogram against a sorted-vector
+//! oracle: quantile error bounds, exact counts, merge associativity, and
+//! the zero/overflow edge buckets.
+
+use ccs_telemetry::hist::{bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_BITS};
+use proptest::prelude::*;
+
+/// Samples spanning every magnitude class: exact small values, mid-range
+/// latencies, and the huge values that stress the top buckets.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        1_000u64..1_000_000,
+        1_000_000u64..10_000_000_000,
+        (u64::MAX - 1_000_000)..=u64::MAX,
+    ]
+}
+
+/// The oracle: value of rank ⌈q·n⌉ (1-based) in the sorted samples —
+/// the same rank [`HistogramSnapshot::quantile`] targets.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let mut snap = HistogramSnapshot::new();
+    for &s in samples {
+        snap.record(s);
+    }
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_stay_within_the_log_linear_error_bound(
+        samples in proptest::collection::vec(arb_sample(), 1..400),
+        q in 0.0f64..=1.0,
+    ) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        let oracle = oracle_quantile(&sorted, q);
+        let got = snap.quantile(q);
+        // The estimate is the midpoint of the oracle's bucket (clamped to
+        // the observed [min, max]), and a bucket spans ≤ 2^-SUB_BITS of
+        // its lower bound — so the estimate is within one bucket width.
+        let bound = (oracle >> SUB_BITS).max(1);
+        prop_assert!(
+            got.abs_diff(oracle) <= bound,
+            "quantile({}) = {} drifted from oracle {} by more than {}",
+            q, got, oracle, bound
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_exact(
+        a in proptest::collection::vec(arb_sample(), 0..120),
+        b in proptest::collection::vec(arb_sample(), 0..120),
+        c in proptest::collection::vec(arb_sample(), 0..120),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&sb.merge(&sa), &sa.merge(&sb));
+
+        // Merging equals recording the concatenation — bucket-exact.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn small_values_are_bucket_exact(
+        samples in proptest::collection::vec(0u64..(1 << SUB_BITS), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        // Below 2^SUB_BITS every value owns its own bucket: quantiles are
+        // exact, not approximate.
+        prop_assert_eq!(snap.quantile(q), oracle_quantile(&sorted, q));
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn zero_lands_in_the_zero_bucket() {
+    let mut snap = HistogramSnapshot::new();
+    snap.record(0);
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(snap.quantile(0.5), 0);
+    assert_eq!((snap.min, snap.max, snap.count, snap.sum), (0, 0, 1, 0));
+}
+
+#[test]
+fn u64_max_lands_in_the_top_bucket_without_panic() {
+    assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    let hist = Histogram::new();
+    hist.record(u64::MAX);
+    hist.record(u64::MAX - 1);
+    let snap = hist.snapshot();
+    // The midpoint estimate is clamped into the exact observed range.
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.count, 2);
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let mut snap = HistogramSnapshot::new();
+    snap.record(u64::MAX);
+    snap.record(u64::MAX);
+    assert_eq!(snap.sum, u64::MAX, "sum must saturate, not wrap");
+    let merged = snap.merge(&snap);
+    assert_eq!(merged.sum, u64::MAX);
+    assert_eq!(merged.count, 4);
+}
+
+#[test]
+fn concurrent_shards_merge_to_the_single_writer_result() {
+    let hist = Histogram::new();
+    let samples: Vec<u64> = (0..4_000u64).map(|i| i * 977).collect();
+    std::thread::scope(|scope| {
+        for chunk in samples.chunks(500) {
+            let hist = &hist;
+            scope.spawn(move || {
+                for &s in chunk {
+                    hist.record(s);
+                }
+            });
+        }
+    });
+    assert_eq!(hist.snapshot(), snapshot_of(&samples));
+}

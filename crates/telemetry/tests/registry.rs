@@ -65,9 +65,12 @@ fn timer_aggregation_tracks_extremes_and_mean() {
     assert!((stats.max_ms - 60.0).abs() < 1e-9);
     assert!((stats.mean_ms - 30.0).abs() < 1e-9);
     assert!((stats.total_ms - 90.0).abs() < 1e-9);
-    // p50 of {10, 20, 60} is the middle sample; p95 the largest.
-    assert!((stats.p50_ms - 20.0).abs() < 1e-9);
-    assert!((stats.p95_ms - 60.0).abs() < 1e-9);
+    // p50 of {10, 20, 60} targets the middle sample, p95/p99 the
+    // largest; the histogram backend reports bucket midpoints, so allow
+    // its ≤ 2^-5 relative error.
+    assert!((stats.p50_ms - 20.0).abs() <= 20.0 / 16.0);
+    assert!((stats.p95_ms - 60.0).abs() <= 60.0 / 16.0);
+    assert!((stats.p99_ms - 60.0).abs() <= 60.0 / 16.0);
 }
 
 #[test]
@@ -87,15 +90,28 @@ fn timer_retention_stays_bounded_under_many_samples() {
     let registry = Registry::new();
     registry.enable();
     let t = registry.timer("flood");
-    // Far more samples than the retention cap; aggregates must stay exact
-    // even though percentiles come from a bounded reservoir.
+    // Histogram memory is bounded at any sample count; aggregates must
+    // stay exact and percentiles within the log-linear error envelope.
     for i in 0..20_000u64 {
         t.record_secs(i as f64 * 1e-6);
     }
     let stats = &registry.report().timers["flood"];
     assert_eq!(stats.count, 20_000);
     assert!((stats.max_ms - 19_999.0 * 1e-3).abs() < 1e-9);
-    assert!(stats.p50_ms > 0.0, "reservoir keeps representative samples");
+    let p50_exact = 10_000.0 * 1e-3;
+    assert!(
+        (stats.p50_ms - p50_exact).abs() <= p50_exact / 16.0,
+        "p50 {} strayed from {}",
+        stats.p50_ms,
+        p50_exact
+    );
+    let p99_exact = 19_800.0 * 1e-3;
+    assert!(
+        (stats.p99_ms - p99_exact).abs() <= p99_exact / 16.0,
+        "p99 {} strayed from {}",
+        stats.p99_ms,
+        p99_exact
+    );
 }
 
 #[test]

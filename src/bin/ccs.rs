@@ -11,6 +11,9 @@
 //!              [--noise ideal|field] [--breakdown P] [--noshow P]
 //!              [--recover R] [--degrade true|false]
 //! ccs serve  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every S]
+//!            [--stats-human true] [--metrics-file FILE] [--trace-requests FILE]
+//!            [--trace-max-bytes N] [--slow-ms MS]
+//! ccs stats  --socket PATH [--json true]
 //! ```
 //!
 //! Scenarios are plain JSON (the `ccs-wrsn` serde format), so workloads can
@@ -64,6 +67,7 @@ fn main() -> ExitCode {
                 "replay" => cmd_replay(&opts),
                 "lifetime" => cmd_lifetime(&opts),
                 "serve" => cmd_serve(&opts),
+                "stats" => cmd_stats(&opts),
                 other => Err(format!("unknown command '{other}'")),
             }
         });
@@ -106,7 +110,18 @@ fn validate_flags(command: &str, opts: &Flags) -> Result<(), String> {
             "recover",
             "degrade",
         ],
-        "serve" => &["socket", "workers", "queue-depth", "stats-every"],
+        "serve" => &[
+            "socket",
+            "workers",
+            "queue-depth",
+            "stats-every",
+            "stats-human",
+            "metrics-file",
+            "trace-requests",
+            "trace-max-bytes",
+            "slow-ms",
+        ],
+        "stats" => &["socket", "json"],
         // Unknown commands fail later with their own message; don't let a
         // flag complaint mask it.
         _ => return Ok(()),
@@ -132,11 +147,24 @@ commands:
   replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
   lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]
   serve     long-running JSONL daemon  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every SECS]
+  stats     query a running daemon     --socket PATH [--json true]
 
 service mode (serve):
   reads one JSON request per line from stdin (or connections on --socket),
   writes one JSON response per line; `{\"cmd\":\"shutdown\"}` or EOF drains
   in-flight work and exits. --workers 0 = auto, --stats-every 0 = silent.
+
+observability (serve):
+  --stats-every S       period of the stats line on stderr (JSON snapshot)
+  --stats-human BOOL    render the stats line as prose instead of JSON
+  --metrics-file FILE   atomically rewrite FILE with Prometheus text metrics
+                        every stats period and at drain
+  --trace-requests FILE append one JSONL trace line per request (req_id,
+                        phase breakdown, status); size-capped with rotation
+  --trace-max-bytes N   active trace file cap before rotation (default 16 MiB)
+  --slow-ms MS          count+log requests slower end-to-end than MS
+  `{\"cmd\":\"stats\"}` returns the live snapshot; `ccs stats --socket PATH`
+  pretty-prints it.
 
 failures and recovery (replay, lifetime):
   --breakdown P      probability a hired charger breaks down per leg
@@ -216,6 +244,12 @@ fn write_report(path: &str) -> Result<(), String> {
     let json = report.to_json_pretty();
     fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     println!("wrote telemetry report to {path}");
+    // The flat self-time profile, for eyes (stderr keeps stdout contracts
+    // intact); the same rows are in the report's `profile` array.
+    let table = report.profile_table();
+    if !table.is_empty() {
+        eprint!("self-time profile:\n{table}");
+    }
     Ok(())
 }
 
@@ -438,10 +472,16 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     use ccs_repro::ccs_serve::prelude::*;
     let report_path = telemetry_setup(opts)?;
     let stats_secs: u64 = get(opts, "stats-every", 10)?;
+    let slow_ms: u64 = get(opts, "slow-ms", 0)?;
     let config = ServeConfig {
         workers: get(opts, "workers", 0)?,
         queue_depth: get(opts, "queue-depth", 64)?,
         stats_every: (stats_secs > 0).then(|| std::time::Duration::from_secs(stats_secs)),
+        stats_human: get(opts, "stats-human", false)?,
+        metrics_file: opts.get("metrics-file").cloned(),
+        trace_requests: opts.get("trace-requests").cloned(),
+        trace_max_bytes: get(opts, "trace-max-bytes", 16 << 20)?,
+        slow_ms: (slow_ms > 0).then_some(slow_ms),
     };
     let summary = match opts.get("socket") {
         Some(path) => serve_unix(path, &config).map_err(|e| format!("socket {path}: {e}"))?,
@@ -452,6 +492,117 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     let _ = summary;
     if let Some(path) = report_path {
         write_report(&path)?;
+    }
+    Ok(())
+}
+
+/// `ccs stats` — queries a running daemon's `{"cmd":"stats"}` snapshot
+/// over its Unix socket and pretty-prints it (`--json true` for the raw
+/// snapshot).
+fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    use serde_json::{Number, Value};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let socket = opts
+        .get("socket")
+        .ok_or("missing --socket PATH (the running daemon's socket)".to_string())?;
+    let stream = UnixStream::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("socket clone: {e}"))?,
+    );
+    let mut writer = stream;
+    writeln!(writer, r#"{{"id":"ccs-stats","cmd":"stats"}}"#)
+        .map_err(|e| format!("sending stats request: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading stats response: {e}"))?;
+    let response: Value =
+        serde_json::from_str(&line).map_err(|e| format!("parsing stats response: {e}"))?;
+    if response.field("ok") != &Value::Bool(true) {
+        return Err(format!("daemon returned an error: {}", line.trim()));
+    }
+    let snapshot = response.field("result");
+    if get(opts, "json", false)? {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    let uint = |v: &Value| -> u64 {
+        match v {
+            Value::Number(Number::PosInt(u)) => *u,
+            _ => 0,
+        }
+    };
+    let float = |v: &Value| -> f64 {
+        match v {
+            Value::Number(n) => n.as_f64(),
+            _ => 0.0,
+        }
+    };
+    let schema = match snapshot.field("schema") {
+        Value::String(s) => s.as_str(),
+        _ => "?",
+    };
+    println!(
+        "{schema} — uptime {:.1} s",
+        float(snapshot.field("uptime_s"))
+    );
+    let r = snapshot.field("requests");
+    println!(
+        "requests: admitted {} completed {} errors {} (bad_request {}, expired {}, \
+         failed {}, panics {}) rejected {} slow {}",
+        uint(r.field("admitted")),
+        uint(r.field("completed")),
+        uint(r.field("errors")),
+        uint(r.field("bad_request")),
+        uint(r.field("expired")),
+        uint(r.field("failed")),
+        uint(r.field("panics")),
+        uint(r.field("rejected")),
+        uint(r.field("slow")),
+    );
+    let q = snapshot.field("queue");
+    println!(
+        "queue: depth {} / {} (high water {})",
+        uint(q.field("depth")),
+        uint(q.field("capacity")),
+        uint(q.field("high_water")),
+    );
+    let c = snapshot.field("cache");
+    println!(
+        "cache: {} scenarios, {} plans (hits: scenario {}, plan {})",
+        uint(c.field("scenarios")),
+        uint(c.field("plans")),
+        uint(c.field("scenario_hits")),
+        uint(c.field("plan_hits")),
+    );
+    if let Value::Object(series) = snapshot.field("latency_us") {
+        println!(
+            "{:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "latency (us)", "count", "p50", "p90", "p99", "p999", "max"
+        );
+        for (name, entry) in series {
+            if uint(entry.field("count")) == 0 {
+                continue;
+            }
+            println!(
+                "  {:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                uint(entry.field("count")),
+                uint(entry.field("p50")),
+                uint(entry.field("p90")),
+                uint(entry.field("p99")),
+                uint(entry.field("p999")),
+                uint(entry.field("max")),
+            );
+        }
     }
     Ok(())
 }
