@@ -45,6 +45,17 @@ pub struct EngineOptions {
     pub max_rounds: usize,
     /// Strictness margin: an improvement must exceed this to count.
     pub epsilon: f64,
+    /// Maximum join candidates per player scan, built from the game's
+    /// spatial neighbor order ([`HedonicGame::neighbor_order`]). `0` (the
+    /// default) scans every coalition, which is exact; a positive cap turns
+    /// on the large-`n` shortlist approximation. Ignored when the game does
+    /// not provide a neighbor order.
+    pub shortlist_cap: usize,
+    /// Whether to run the final `O(n · coalitions)` Nash-stability audit.
+    /// `true` (the default) reports an honest [`ConvergenceReport::nash_stable`];
+    /// `false` skips the audit and reports `nash_stable: false`, which is
+    /// the right trade at scales where the audit costs more than the run.
+    pub check_stability: bool,
 }
 
 impl Default for EngineOptions {
@@ -53,6 +64,8 @@ impl Default for EngineOptions {
             rule: SwitchRule::SelfishWithHistory,
             max_rounds: 0,
             epsilon: 1e-9,
+            shortlist_cap: 0,
+            check_stability: true,
         }
     }
 }
@@ -69,7 +82,9 @@ pub struct ConvergenceReport {
     /// `true` if a full round passed with no switch (fixed point reached).
     pub converged: bool,
     /// Whether the final partition is Nash-stable (checked independently of
-    /// the switch rule, i.e. against *all* unilateral deviations).
+    /// the switch rule, i.e. against *all* unilateral deviations). Always
+    /// `false` when the audit was skipped via
+    /// [`EngineOptions::check_stability`] — "not verified", not "unstable".
     pub nash_stable: bool,
     /// Total social cost of the final partition.
     pub final_social_cost: f64,
@@ -156,7 +171,7 @@ pub fn run<G: HedonicGame>(
     ccs_telemetry::counter!("coalition.rounds").add(rounds as u64);
     ccs_telemetry::counter!("coalition.switch_ops").add(switches as u64);
 
-    let nash_stable = is_nash_stable(game, &partition, eps);
+    let nash_stable = options.check_stability && is_nash_stable(game, &partition, eps);
     let final_social_cost = game.social_cost(partition.coalitions().map(|(_, members)| members));
     ConvergenceReport {
         partition,
@@ -219,24 +234,65 @@ fn best_move<G: HedonicGame>(
         (0.0, 0.0)
     };
 
-    // Candidate joins, in coalition order; history-blocked compositions are
-    // pruned here (pure and cheap) so they cost no game evaluations.
+    // Candidate joins; history-blocked compositions are pruned here (pure
+    // and cheap) so they cost no game evaluations. With a shortlist cap and
+    // a game that exposes a spatial neighbor order, candidates come from
+    // the coalitions of the nearest players (deduplicated, nearest-first,
+    // capped) instead of a full scan over every coalition — an O(cap)
+    // approximation of the O(coalitions) exact step. The neighbor order is
+    // deterministic, so the trajectory stays thread-count independent.
     let mut candidates: Vec<Candidate> = Vec::new();
-    for (id, members) in partition.coalitions() {
-        if id == from_id {
-            continue;
+    let mut shortlisted = false;
+    if options.shortlist_cap > 0 {
+        let cap = options.shortlist_cap;
+        let mut order: Vec<usize> = Vec::new();
+        // Ask for more neighbors than the cap: nearby players often share a
+        // coalition, and history can block some candidates outright.
+        if game.neighbor_order(player, cap.saturating_mul(4).max(16), &mut order) {
+            shortlisted = true;
+            let mut seen: HashSet<CoalitionId> = HashSet::new();
+            for q in order {
+                if q == player {
+                    continue;
+                }
+                let id = partition.coalition_of(q);
+                if id == from_id || !seen.insert(id) {
+                    continue;
+                }
+                let mut joined: BTreeSet<usize> = partition.members(id).clone();
+                joined.insert(player);
+                if options.rule == SwitchRule::SelfishWithHistory
+                    && history[player].contains(&key_of(&joined))
+                {
+                    continue;
+                }
+                candidates.push(Candidate {
+                    mv: Move::Join(id),
+                    joined,
+                });
+                if candidates.len() >= cap {
+                    break;
+                }
+            }
         }
-        let mut joined: BTreeSet<usize> = members.clone();
-        joined.insert(player);
-        if options.rule == SwitchRule::SelfishWithHistory
-            && history[player].contains(&key_of(&joined))
-        {
-            continue;
+    }
+    if !shortlisted {
+        for (id, members) in partition.coalitions() {
+            if id == from_id {
+                continue;
+            }
+            let mut joined: BTreeSet<usize> = members.clone();
+            joined.insert(player);
+            if options.rule == SwitchRule::SelfishWithHistory
+                && history[player].contains(&key_of(&joined))
+            {
+                continue;
+            }
+            candidates.push(Candidate {
+                mv: Move::Join(id),
+                joined,
+            });
         }
-        candidates.push(Candidate {
-            mv: Move::Join(id),
-            joined,
-        });
     }
     // Candidate: split off into a singleton (only meaningful from a larger
     // coalition, and only if the coalition budget allows one more). Going
@@ -490,6 +546,109 @@ mod tests {
         assert_eq!(report.rounds, 100 * 2, "cap must clamp to 100 * n");
         assert!(report.switches >= report.rounds, "every round kept moving");
         assert!(report.partition.is_consistent());
+    }
+
+    #[test]
+    fn skipping_the_stability_audit_reports_unverified() {
+        let game = line_game(6.0, 5);
+        let audited = run(&game, Partition::singletons(5), EngineOptions::default());
+        let skipped = run(
+            &game,
+            Partition::singletons(5),
+            EngineOptions {
+                check_stability: false,
+                ..EngineOptions::default()
+            },
+        );
+        // Identical dynamics, only the final audit differs.
+        assert_eq!(skipped.partition.canonical(), audited.partition.canonical());
+        assert_eq!(skipped.switches, audited.switches);
+        assert!(audited.nash_stable);
+        assert!(
+            !skipped.nash_stable,
+            "skipped audit must read as unverified"
+        );
+    }
+
+    /// A fee-sharing game that exposes its distance matrix as a spatial
+    /// neighbor order, exercising the shortlist path.
+    struct Spatial(FeeSharingGame);
+    impl HedonicGame for Spatial {
+        fn num_players(&self) -> usize {
+            self.0.num_players()
+        }
+        fn player_cost(&self, p: usize, c: &BTreeSet<usize>) -> f64 {
+            self.0.player_cost(p, c)
+        }
+        fn coalition_feasible(&self, c: &BTreeSet<usize>) -> bool {
+            self.0.coalition_feasible(c)
+        }
+        fn neighbor_order(&self, player: usize, limit: usize, out: &mut Vec<usize>) -> bool {
+            let mut order: Vec<usize> = (0..self.num_players()).filter(|&q| q != player).collect();
+            order.sort_by(|&a, &b| {
+                self.0.distance[player][a]
+                    .total_cmp(&self.0.distance[player][b])
+                    .then(a.cmp(&b))
+            });
+            order.truncate(limit);
+            out.extend_from_slice(&order);
+            true
+        }
+    }
+
+    #[test]
+    fn generous_shortlist_matches_the_full_scan() {
+        // With a cap at least the number of coalitions, the shortlist sees
+        // every coalition the full scan sees, so the trajectory is identical.
+        let full = run(
+            &line_game(6.0, 5),
+            Partition::singletons(5),
+            EngineOptions::default(),
+        );
+        let short = run(
+            &Spatial(line_game(6.0, 5)),
+            Partition::singletons(5),
+            EngineOptions {
+                shortlist_cap: 8,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(short.partition.canonical(), full.partition.canonical());
+        assert_eq!(short.switches, full.switches);
+        assert!(short.converged);
+    }
+
+    #[test]
+    fn tight_shortlist_still_converges_to_a_consistent_partition() {
+        let report = run(
+            &Spatial(line_game(6.0, 5)),
+            Partition::singletons(5),
+            EngineOptions {
+                shortlist_cap: 1,
+                ..EngineOptions::default()
+            },
+        );
+        assert!(report.converged);
+        assert!(report.partition.is_consistent());
+        assert!(report.switches > 0, "nearest neighbor is enough to pair up");
+    }
+
+    #[test]
+    fn shortlist_cap_is_inert_without_a_neighbor_order() {
+        // FeeSharingGame keeps the default `neighbor_order` (returns false),
+        // so a positive cap must fall back to the exact full scan.
+        let game = line_game(6.0, 5);
+        let full = run(&game, Partition::singletons(5), EngineOptions::default());
+        let capped = run(
+            &game,
+            Partition::singletons(5),
+            EngineOptions {
+                shortlist_cap: 1,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(capped.partition.canonical(), full.partition.canonical());
+        assert_eq!(capped.switches, full.switches);
     }
 
     #[test]

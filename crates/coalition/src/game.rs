@@ -43,6 +43,18 @@ pub trait HedonicGame: Sync {
         None
     }
 
+    /// Optional spatial shortlist hook: append up to `limit` players to
+    /// `out` in deterministic nearest-first order from `player` and return
+    /// `true`. The default returns `false` ("no spatial structure"), which
+    /// makes the engine scan every coalition exactly. Only consulted when
+    /// `EngineOptions::shortlist_cap > 0`; implementations must produce the
+    /// same order on every call with the same arguments — the engine's
+    /// determinism guarantee inherits it.
+    fn neighbor_order(&self, player: usize, limit: usize, out: &mut Vec<usize>) -> bool {
+        let _ = (player, limit, out);
+        false
+    }
+
     /// Total social cost of a coalition structure: sum of all player costs.
     fn social_cost<'a, I>(&self, coalitions: I) -> f64
     where
@@ -67,6 +79,9 @@ impl<G: HedonicGame + ?Sized> HedonicGame for &G {
     }
     fn max_coalitions(&self) -> Option<usize> {
         (**self).max_coalitions()
+    }
+    fn neighbor_order(&self, player: usize, limit: usize, out: &mut Vec<usize>) -> bool {
+        (**self).neighbor_order(player, limit, out)
     }
 }
 

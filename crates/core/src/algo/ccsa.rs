@@ -34,6 +34,7 @@ use crate::cost::{
     try_best_facility_with_upper, FacilityChoice,
 };
 use crate::gathering::gathering_point;
+use crate::grid::UniformGrid;
 use crate::problem::CcsProblem;
 use crate::schedule::{GroupPlan, Schedule};
 use crate::sharing::CostSharing;
@@ -45,6 +46,7 @@ use ccs_wrsn::entities::{ChargerId, DeviceId};
 use ccs_wrsn::geometry::Point;
 use ccs_wrsn::units::Cost;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which engine solves the per-facility minimum-density subproblem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -163,9 +165,29 @@ pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOption
 ///
 /// Every `(charger, gathering point)` facility is priced independently, so
 /// the scan runs as one `ccs-par` batch; the winner is then picked by a
-/// serial reduce in facility order with the original strict-improvement
-/// tie-break, keeping the committed group bit-identical at any thread
-/// count.
+/// serial reduce in facility order under the exact `(density, facility
+/// index)` total order, keeping the committed group bit-identical at any
+/// thread count.
+///
+/// ## Geometric pruning
+///
+/// Before a facility pays for its `O(|R|)` weight vector and density scan,
+/// a per-facility **density lower bound** is compared against the best
+/// density computed so far (a shared atomic, monotonically shrinking):
+///
+/// ```text
+/// density(S) >= fee_jp / cap + η_j · min_k g(k)/k
+///             + π_j · w_min + κ_min · d(p, nearest remaining device)
+/// ```
+///
+/// for every nonempty `S ⊆ R` with `|S| <= cap` (all cost terms are
+/// nonnegative). The nearest-device distances come from a per-round
+/// [`UniformGrid`] over the remaining positions. A pruned facility's true
+/// density strictly exceeds some computed density, so it can be neither
+/// the exact argmin nor an exact tie — the committed group is identical to
+/// the unpruned scan's regardless of thread interleaving (which only
+/// affects *how many* facilities get pruned, a telemetry-visible,
+/// result-invisible quantity).
 fn best_round_group(
     problem: &CcsProblem,
     remaining: &[DeviceId],
@@ -192,13 +214,53 @@ fn best_round_group(
         .flat_map(|charger| candidates.iter().map(move |&point| (charger, point)))
         .collect();
 
-    let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
     let tables = problem.tables();
+    // Per-round floors for the density lower bound.
+    let cap = problem
+        .params()
+        .max_group_size
+        .unwrap_or(remaining.len())
+        .min(remaining.len())
+        .max(1);
+    let w_min = demands.iter().copied().fold(f64::INFINITY, f64::min);
+    let kappa_min = remaining
+        .iter()
+        .map(|&d| tables.move_rate(d))
+        .fold(f64::INFINITY, f64::min);
+    // min_k g(k)/k over admissible sizes — no concavity assumption needed.
+    let min_curve_ratio = (1..=cap)
+        .map(|k| tables.curve_value(k) / k as f64)
+        .fold(f64::INFINITY, f64::min);
+    let remaining_pos: Vec<Point> = remaining
+        .iter()
+        .map(|&d| tables.device_position(d))
+        .collect();
+    let remaining_grid = UniformGrid::build(&remaining_pos);
+    // Nearest remaining device per candidate point, shared by all chargers.
+    let point_dmin: Vec<f64> = candidates
+        .iter()
+        .map(|p| remaining_grid.nearest_distance(*p, &remaining_pos))
+        .collect();
+
+    let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
+    let facility_pruned = ccs_telemetry::counter!("ccsa.facility_pruned");
+    // Best density computed so far, as f64 bits (densities are >= 0, so the
+    // bit pattern orders like the value). Monotone min; reads may lag under
+    // parallelism, which only weakens pruning, never the winner.
+    let best_seen = AtomicU64::new(f64::INFINITY.to_bits());
     let priced: Vec<Option<(f64, Vec<usize>)>> =
-        ccs_par::par_map(&facilities, |_, &(charger, point)| {
+        ccs_par::par_map(&facilities, |i, &(charger, point)| {
             facility_evals.incr();
             let c = problem.charger(charger);
             let fee = c.base_fee() + c.travel_cost_rate() * c.position().distance(&point);
+            let bound = fee.value() / cap as f64
+                + c.occupancy_rate().value() * min_curve_ratio
+                + c.energy_price().value() * w_min
+                + kappa_min * point_dmin[i % candidates.len()];
+            if bound > f64::from_bits(best_seen.load(Ordering::Relaxed)) {
+                facility_pruned.incr();
+                return None;
+            }
             let weights: Vec<f64> = remaining
                 .iter()
                 .map(|&d| {
@@ -215,7 +277,12 @@ fn best_round_group(
                 problem.params().congestion_curve.clone(),
                 c.occupancy_rate().value(),
             );
-            min_density(&f, &demands, budget, problem, options)
+            let result = min_density(&f, &demands, budget, problem, options);
+            if let Some((density, _)) = &result {
+                let bits = density.to_bits();
+                let _ = best_seen.fetch_min(bits, Ordering::Relaxed);
+            }
+            result
         });
 
     let mut best: Option<(f64, ChargerId, Point, Vec<DeviceId>)> = None;
@@ -224,7 +291,7 @@ fn best_round_group(
             continue;
         };
         let better = match &best {
-            Some((b, _, _, _)) => *density < *b - 1e-12,
+            Some((b, _, _, _)) => density.total_cmp(b) == std::cmp::Ordering::Less,
             None => true,
         };
         if better {

@@ -48,6 +48,18 @@ pub struct CcsgaOptions {
     pub max_rounds: usize,
     /// Strict-improvement margin.
     pub epsilon: f64,
+    /// Scale mode: cap each device's candidate joins to the coalitions of
+    /// its nearest neighbors (via the device spatial grid) instead of
+    /// scanning every coalition. `0` (the default) keeps the exact full
+    /// scan; the paper-size outputs are bitwise unaffected. A positive cap
+    /// (e.g. 8) makes each best-response `O(cap)` — the knob that keeps
+    /// `n = 10k` runs sub-second.
+    pub neighbor_cap: usize,
+    /// Whether to run the final Nash-stability audit (an extra
+    /// `O(n · coalitions)` pass). Default `true`; turn off at large `n`
+    /// where the audit dwarfs the dynamics. When off,
+    /// [`CcsgaOutcome::nash_stable`] reads `false` ("not verified").
+    pub check_stability: bool,
 }
 
 impl Default for CcsgaOptions {
@@ -57,6 +69,8 @@ impl Default for CcsgaOptions {
             initial: InitialPartition::Singletons,
             max_rounds: 0,
             epsilon: 1e-9,
+            neighbor_cap: 0,
+            check_stability: true,
         }
     }
 }
@@ -72,7 +86,9 @@ pub struct CcsgaOutcome {
     pub switches: usize,
     /// Whether the dynamics reached a fixed point within the round cap.
     pub converged: bool,
-    /// Whether the final partition is a pure Nash equilibrium.
+    /// Whether the final partition is a pure Nash equilibrium. Always
+    /// `false` when the audit was skipped via
+    /// [`CcsgaOptions::check_stability`] — "not verified", not "unstable".
     pub nash_stable: bool,
 }
 
@@ -181,6 +197,43 @@ impl HedonicGame for CcsGame<'_> {
             .collect();
         self.problem.feasible_group(&members)
     }
+
+    /// Nearest devices first, from the precomputed device grid: rings are
+    /// expanded until the ring bound proves the `limit` collected devices
+    /// are the true nearest, then sorted by exact `(distance, id)`. Pure
+    /// function of the instance — deterministic at any thread count.
+    fn neighbor_order(&self, player: usize, limit: usize, out: &mut Vec<usize>) -> bool {
+        let tables = self.problem.tables();
+        let grid = tables.device_grid();
+        if grid.len() <= 1 || limit == 0 {
+            return false;
+        }
+        let pos = |id: u32| tables.device_position(ccs_wrsn::entities::DeviceId::new(id));
+        let from = pos(player as u32);
+        let by_distance_then_id =
+            |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        let mut found: Vec<(f64, u32)> = Vec::new();
+        let mut cursor = grid.rings_from(from);
+        let mut ring = Vec::new();
+        while let Some(lb) = cursor.next_ring(&mut ring) {
+            if found.len() >= limit {
+                found.sort_unstable_by(by_distance_then_id);
+                if lb > found[limit - 1].0 {
+                    break;
+                }
+            }
+            for &id in &ring {
+                if id as usize != player {
+                    found.push((from.distance_value(&pos(id)), id));
+                }
+            }
+            ring.clear();
+        }
+        found.sort_unstable_by(by_distance_then_id);
+        found.truncate(limit);
+        out.extend(found.iter().map(|&(_, id)| id as usize));
+        true
+    }
 }
 
 /// Runs CCSGA and returns the schedule plus convergence diagnostics.
@@ -223,6 +276,8 @@ pub fn ccsga(
             rule: options.rule,
             max_rounds: options.max_rounds,
             epsilon: options.epsilon,
+            shortlist_cap: options.neighbor_cap,
+            check_stability: options.check_stability,
         },
     );
 
@@ -382,6 +437,75 @@ mod tests {
         let out = ccsga(&p, &EqualShare, CcsgaOptions::default());
         out.schedule.validate(&p).unwrap();
         assert!(out.schedule.groups().iter().all(|g| g.members.len() <= 2));
+    }
+
+    #[test]
+    fn skipping_the_stability_audit_keeps_the_schedule_identical() {
+        let p = problem(1, 15, 4);
+        let audited = ccsga(&p, &EqualShare, CcsgaOptions::default());
+        let skipped = ccsga(
+            &p,
+            &EqualShare,
+            CcsgaOptions {
+                check_stability: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            serde_json::to_string(&skipped.schedule).unwrap(),
+            serde_json::to_string(&audited.schedule).unwrap(),
+            "the audit must not influence the dynamics"
+        );
+        assert!(audited.nash_stable);
+        assert!(!skipped.nash_stable, "skipped audit reads as unverified");
+    }
+
+    #[test]
+    fn neighbor_cap_scale_mode_stays_valid_and_rational() {
+        // The shortlist is an approximation: it must still produce a valid,
+        // individually-rational schedule that beats noncooperation.
+        for seed in [1, 2, 3] {
+            let p = problem(seed, 20, 5);
+            let out = ccsga(
+                &p,
+                &EqualShare,
+                CcsgaOptions {
+                    neighbor_cap: 4,
+                    check_stability: false,
+                    ..Default::default()
+                },
+            );
+            out.schedule.validate(&p).unwrap();
+            assert!(out.converged, "seed {seed} did not converge");
+            let ncp = noncooperation(&p, &EqualShare);
+            assert!(
+                out.schedule.total_cost() <= ncp.total_cost() + Cost::new(1e-6),
+                "seed {seed}: capped ccsga {} vs ncp {}",
+                out.schedule.total_cost(),
+                ncp.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn generous_neighbor_cap_matches_the_exact_scan() {
+        // A cap covering every other device shortlists every coalition, so
+        // the trajectory — and the schedule bytes — match the full scan.
+        let p = problem(2, 12, 4);
+        let exact = ccsga(&p, &EqualShare, CcsgaOptions::default());
+        let capped = ccsga(
+            &p,
+            &EqualShare,
+            CcsgaOptions {
+                neighbor_cap: 12,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            serde_json::to_string(&capped.schedule).unwrap(),
+            serde_json::to_string(&exact.schedule).unwrap()
+        );
+        assert_eq!(capped.switches, exact.switches);
     }
 
     #[test]

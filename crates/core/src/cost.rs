@@ -214,18 +214,47 @@ fn pairwise_spatial_bound(problem: &CcsProblem, members: &[DeviceId]) -> f64 {
     best
 }
 
-/// The pruned charger scan behind [`try_best_facility`]: chargers are
-/// visited in ascending lower-bound order and the scan stops as soon as the
-/// next bound *strictly* exceeds `threshold` (which shrinks to the best
-/// cost found so far). A pruned charger's true cost is `>=` its bound `>`
-/// the final best, so it can be neither the argmin nor a tie — the result
-/// (including the id tie-break) is bitwise the full scan's.
-fn pruned_facility_scan(
+/// Evaluates one candidate charger against the incumbent, updating
+/// `best`/`threshold` under the exact `(group_cost, charger id)` total
+/// order shared by both scan strategies.
+fn consider_charger(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    c: ChargerId,
+    best: &mut Option<FacilityChoice>,
+    threshold: &mut f64,
+) {
+    let point = problem.tables().cached_gathering_point(problem, c, members);
+    let choice = evaluate_facility(problem, c, members, point);
+    let cost = choice.group_cost().value();
+    let better = match &best {
+        None => true,
+        Some(incumbent) => {
+            let cur = incumbent.group_cost().value();
+            cost.total_cmp(&cur)
+                .then(choice.charger.cmp(&incumbent.charger))
+                == std::cmp::Ordering::Less
+        }
+    };
+    if better {
+        *threshold = threshold.min(cost);
+        *best = Some(choice);
+    }
+}
+
+/// The full pruned charger scan: every eligible charger gets a lower
+/// bound, chargers are visited in ascending `(bound, id)` order and the
+/// scan stops as soon as the next bound *strictly* exceeds `threshold`
+/// (which shrinks to the best cost found so far). A pruned charger's true
+/// cost is `>=` its bound `>` the final best, so it can be neither the
+/// argmin nor a tie — the result (including the id tie-break) is bitwise
+/// the exhaustive scan's.
+#[doc(hidden)]
+pub fn facility_scan_full(
     problem: &CcsProblem,
     members: &[DeviceId],
     mut threshold: f64,
 ) -> Option<FacilityChoice> {
-    let t = problem.tables();
     let dd_lb = pairwise_spatial_bound(problem, members);
     let mut candidates: Vec<(f64, ChargerId)> = problem
         .scenario()
@@ -240,24 +269,91 @@ fn pruned_facility_scan(
         if bound > threshold {
             break;
         }
-        let point = t.cached_gathering_point(problem, c, members);
-        let choice = evaluate_facility(problem, c, members, point);
-        let cost = choice.group_cost().value();
-        let better = match &best {
-            None => true,
-            Some(incumbent) => {
-                let cur = incumbent.group_cost().value();
-                cost.total_cmp(&cur)
-                    .then(choice.charger.cmp(&incumbent.charger))
-                    == std::cmp::Ordering::Less
+        consider_charger(problem, members, c, &mut best, &mut threshold);
+    }
+    best
+}
+
+/// The ring-ordered charger scan: chargers are enumerated outward from the
+/// first member's position through the charger [`UniformGrid`], ring by
+/// ring. Ring `r` carries a floor on the cost of *every* charger in it or
+/// beyond — the instance-wide fee/price/congestion minima plus
+/// `min(τ_min, κ_ref) · ring_distance` — so the search stops without
+/// touching the remaining rings once the floor exceeds `threshold`.
+/// Within the visited rings each charger gets the same per-charger lower
+/// bound as [`facility_scan_full`] and candidates run in `(bound, id)`
+/// order against the same exact total order, so the winner (including
+/// tie-breaks) is bitwise identical to the full scan — only the number of
+/// evaluated chargers differs. `O(chargers near the group)` instead of
+/// `O(m log m)` per call.
+#[doc(hidden)]
+pub fn facility_scan_grid(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    mut threshold: f64,
+) -> Option<FacilityChoice> {
+    let t = problem.tables();
+    let dd_lb = pairwise_spatial_bound(problem, members);
+
+    // Point-independent floor over ALL chargers: b_j + η_j·g(k) + Σ π_j·w_i
+    // >= min_b + min_η·g(k) + min_π·Σw_i for any charger j.
+    let total_demand: f64 = members
+        .iter()
+        .map(|&d| problem.device(d).demand().value())
+        .sum();
+    let fixed_floor = t.min_base_fee()
+        + t.min_occupancy() * t.curve_value(members.len())
+        + t.min_energy_price() * total_demand;
+    // Rate for the ring-distance floor: spatial_j >= min(τ_j, κ_ref) ·
+    // d(q_j, p_ref) >= min(τ_min, κ_ref) · ring lower bound.
+    let ref_dev = members[0];
+    let spatial_rate = t.min_travel_rate().min(t.move_rate(ref_dev));
+    let ref_pos = t.device_position(ref_dev);
+
+    let mut best: Option<FacilityChoice> = None;
+    let mut cursor = t.charger_grid().rings_from(ref_pos);
+    let mut ring: Vec<u32> = Vec::new();
+    let mut candidates: Vec<(f64, ChargerId)> = Vec::new();
+    while let Some(ring_lb) = cursor.next_ring(&mut ring) {
+        if fixed_floor + dd_lb.max(spatial_rate * ring_lb) > threshold {
+            break;
+        }
+        candidates.clear();
+        for &raw in &ring {
+            let c = ChargerId::new(raw);
+            if problem.charger_can_serve(c, members) {
+                candidates.push((facility_lower_bound(problem, c, members, dd_lb), c));
             }
-        };
-        if better {
-            threshold = threshold.min(cost);
-            best = Some(choice);
+        }
+        ring.clear();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for &(bound, c) in &candidates {
+            if bound > threshold {
+                break;
+            }
+            consider_charger(problem, members, c, &mut best, &mut threshold);
         }
     }
     best
+}
+
+/// Chargers counts below this use the sort-based full scan; the grid's
+/// ring machinery only pays off once there are enough chargers to skip.
+const GRID_MIN_CHARGERS: usize = 64;
+
+/// Strategy dispatch behind [`try_best_facility`]: both strategies return
+/// the bitwise-identical argmin (pinned by the `fastpath_grid` proptests),
+/// so the cutoff is purely a performance choice.
+fn pruned_facility_scan(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    threshold: f64,
+) -> Option<FacilityChoice> {
+    if problem.tables().num_chargers() >= GRID_MIN_CHARGERS {
+        facility_scan_grid(problem, members, threshold)
+    } else {
+        facility_scan_full(problem, members, threshold)
+    }
 }
 
 /// The cheapest facility for a member set among the chargers whose energy

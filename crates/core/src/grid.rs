@@ -1,0 +1,285 @@
+//! A uniform-grid spatial index for ring-ordered candidate enumeration.
+//!
+//! [`UniformGrid`] buckets a fixed set of points (device or charger
+//! positions) into square cells and enumerates them outward from a query
+//! point in **Chebyshev rings** of cells. Each ring comes with a geometric
+//! lower bound: every point in ring `r` (and every later ring) is at least
+//! `(r - 1) · cell` away from the query point, so a search that maintains a
+//! cost threshold can stop expanding rings as soon as the bound alone
+//! exceeds it — without ever looking at the remaining points.
+//!
+//! The index is **exact**, not approximate: enumeration order changes, the
+//! set of points does not. Every pruning decision built on top of it in
+//! `cost::pruned_facility_scan` and the CCSA candidate scan skips a point
+//! only when its lower bound proves it cannot beat the incumbent, which is
+//! why the argmin (including tie-breaks) stays bitwise identical to the
+//! full scan — the property pinned down by `tests/fastpath_grid.rs`.
+
+use ccs_wrsn::geometry::Point;
+
+/// A static spatial hash of points over a uniform square grid, stored as
+/// CSR (`cell_start` offsets into `ids`), built once per problem instance.
+#[derive(Debug)]
+pub struct UniformGrid {
+    origin: Point,
+    /// Cell side length; strictly positive.
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR offsets, length `cols * rows + 1`.
+    cell_start: Vec<u32>,
+    /// Point ids grouped by cell (row-major), ascending id within a cell.
+    ids: Vec<u32>,
+}
+
+impl UniformGrid {
+    /// Builds an index over `points`, sized for roughly two points per
+    /// cell. Ids are the indices into `points`.
+    pub fn build(points: &[Point]) -> Self {
+        let n = points.len();
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if n == 0 {
+            return UniformGrid {
+                origin: Point::ORIGIN,
+                cell: 1.0,
+                cols: 1,
+                rows: 1,
+                cell_start: vec![0, 0],
+                ids: Vec::new(),
+            };
+        }
+        let side = ((n as f64 / 2.0).sqrt().ceil() as usize).max(1);
+        let extent = (max_x - min_x).max(max_y - min_y);
+        let cell = if extent > 0.0 {
+            extent / side as f64
+        } else {
+            1.0
+        };
+        let origin = Point::new(min_x, min_y);
+        let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+
+        let cell_index = |p: &Point| -> usize {
+            let gx = (((p.x - origin.x) / cell).floor() as isize).clamp(0, cols as isize - 1);
+            let gy = (((p.y - origin.y) / cell).floor() as isize).clamp(0, rows as isize - 1);
+            gy as usize * cols + gx as usize
+        };
+
+        let mut counts = vec![0u32; cols * rows + 1];
+        for p in points {
+            counts[cell_index(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let cell_start = counts.clone();
+        let mut ids = vec![0u32; n];
+        let mut fill = counts;
+        // Iterating ids in ascending order keeps each cell's slice sorted.
+        for (id, p) in points.iter().enumerate() {
+            let c = cell_index(p);
+            ids[fill[c] as usize] = id as u32;
+            fill[c] += 1;
+        }
+
+        UniformGrid {
+            origin,
+            cell,
+            cols,
+            rows,
+            cell_start,
+            ids,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The cell coordinates `from` falls into (clamped to the grid).
+    fn cell_of(&self, from: Point) -> (isize, isize) {
+        let gx = (((from.x - self.origin.x) / self.cell).floor() as isize)
+            .clamp(0, self.cols as isize - 1);
+        let gy = (((from.y - self.origin.y) / self.cell).floor() as isize)
+            .clamp(0, self.rows as isize - 1);
+        (gx, gy)
+    }
+
+    fn cell_ids(&self, gx: isize, gy: isize) -> &[u32] {
+        let c = gy as usize * self.cols + gx as usize;
+        let lo = self.cell_start[c] as usize;
+        let hi = self.cell_start[c + 1] as usize;
+        &self.ids[lo..hi]
+    }
+
+    /// The exact distance from `from` to the nearest indexed point, by
+    /// expanding rings until the ring bound proves no closer point exists.
+    /// `positions` must be the slice the grid was built from. Returns
+    /// `f64::INFINITY` when the grid is empty.
+    pub fn nearest_distance(&self, from: Point, positions: &[Point]) -> f64 {
+        debug_assert_eq!(positions.len(), self.len(), "positions mismatch");
+        let mut best = f64::INFINITY;
+        let mut cursor = self.rings_from(from);
+        let mut ring = Vec::new();
+        while let Some(lb) = cursor.next_ring(&mut ring) {
+            if lb >= best {
+                break;
+            }
+            for &id in &ring {
+                let d = from.distance_value(&positions[id as usize]);
+                if d < best {
+                    best = d;
+                }
+            }
+            ring.clear();
+        }
+        best
+    }
+
+    /// Starts a ring enumeration outward from `from`.
+    pub fn rings_from(&self, from: Point) -> RingCursor<'_> {
+        let (cx, cy) = self.cell_of(from);
+        RingCursor {
+            grid: self,
+            cx,
+            cy,
+            r: 0,
+        }
+    }
+}
+
+/// Iterator-style cursor over the Chebyshev cell rings around a query
+/// point (see [`UniformGrid::rings_from`]).
+#[derive(Debug)]
+pub struct RingCursor<'g> {
+    grid: &'g UniformGrid,
+    cx: isize,
+    cy: isize,
+    r: isize,
+}
+
+impl RingCursor<'_> {
+    /// Appends the ids of the next ring to `out` (deterministic order:
+    /// cells scanned bottom-to-top, left-to-right) and returns a lower
+    /// bound on the distance from the query point to **any point in this
+    /// ring or beyond**. Returns `None` once every cell has been visited.
+    ///
+    /// The bound for ring `r` is `(r - 1) · cell`, valid even for query
+    /// points outside the indexed bounding box (their cell is clamped to
+    /// the nearest cell, which only increases true distances).
+    pub fn next_ring(&mut self, out: &mut Vec<u32>) -> Option<f64> {
+        let g = self.grid;
+        let r = self.r;
+        let max_r = (self.cx)
+            .max(g.cols as isize - 1 - self.cx)
+            .max(self.cy)
+            .max(g.rows as isize - 1 - self.cy);
+        if r > max_r {
+            return None;
+        }
+        self.r += 1;
+        let lb = ((r - 1).max(0)) as f64 * g.cell;
+        for gy in (self.cy - r).max(0)..=(self.cy + r).min(g.rows as isize - 1) {
+            let on_rim = gy == self.cy - r || gy == self.cy + r;
+            if on_rim {
+                for gx in (self.cx - r).max(0)..=(self.cx + r).min(g.cols as isize - 1) {
+                    out.extend_from_slice(g.cell_ids(gx, gy));
+                }
+            } else {
+                for gx in [self.cx - r, self.cx + r] {
+                    if gx >= 0 && gx < g.cols as isize && r > 0 {
+                        out.extend_from_slice(g.cell_ids(gx, gy));
+                    }
+                }
+            }
+        }
+        Some(lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize, scale: f64) -> Vec<Point> {
+        // Deterministic pseudo-random scatter without an RNG dependency.
+        (0..n)
+            .map(|i| {
+                let a = ((i as f64 * 12.9898).sin() * 43758.5453).fract().abs();
+                let b = ((i as f64 * 78.233).sin() * 12543.1234).fract().abs();
+                Point::new(a * scale, b * scale)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rings_enumerate_every_point_exactly_once() {
+        for n in [0usize, 1, 2, 17, 100] {
+            let pts = points(n, 500.0);
+            let grid = UniformGrid::build(&pts);
+            assert_eq!(grid.len(), n);
+            let mut seen = Vec::new();
+            let mut cursor = grid.rings_from(Point::new(250.0, 250.0));
+            let mut ring = Vec::new();
+            while cursor.next_ring(&mut ring).is_some() {
+                seen.append(&mut ring);
+            }
+            let mut sorted: Vec<u32> = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ring_lower_bounds_never_exceed_true_distances() {
+        let pts = points(200, 777.0);
+        let grid = UniformGrid::build(&pts);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(400.0, 100.0),
+            Point::new(-50.0, 900.0), // outside the indexed bounding box
+            Point::new(1000.0, -10.0),
+        ] {
+            let mut cursor = grid.rings_from(q);
+            let mut ring = Vec::new();
+            let mut prev_lb = 0.0f64;
+            while let Some(lb) = cursor.next_ring(&mut ring) {
+                assert!(lb >= prev_lb, "bounds must be monotone");
+                prev_lb = lb;
+                for &id in &ring {
+                    let d = q.distance_value(&pts[id as usize]);
+                    assert!(
+                        lb <= d + 1e-9,
+                        "lb {lb} exceeds true distance {d} for id {id}"
+                    );
+                }
+                ring.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_coincident_points_index_cleanly() {
+        let pts = vec![Point::new(5.0, 5.0); 9];
+        let grid = UniformGrid::build(&pts);
+        let mut cursor = grid.rings_from(Point::new(5.0, 5.0));
+        let mut ring = Vec::new();
+        let lb = cursor.next_ring(&mut ring).unwrap();
+        assert_eq!(lb, 0.0);
+        assert_eq!(ring.len(), 9);
+    }
+}

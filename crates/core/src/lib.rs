@@ -9,6 +9,7 @@
 //!
 //! * [`problem`] — the instance type and shared cost parameters;
 //! * [`tables`] — the precomputed evaluation kernel behind the hot paths;
+//! * [`grid`] — the uniform-grid spatial index behind ring-ordered search;
 //! * [`gathering`] — gathering-point strategies (Weiszfeld et al.);
 //! * [`cost`] — group bills, facility choices, comprehensive cost;
 //! * [`sharing`] — equal / proportional / Shapley cost sharing;
@@ -41,6 +42,7 @@ pub mod analysis;
 pub mod cost;
 pub mod exclusive;
 pub mod gathering;
+pub mod grid;
 pub mod lifetime;
 pub mod metrics;
 pub mod problem;

@@ -5,16 +5,25 @@
 //! `cost::best_facility` (a scan over chargers, each requiring a Weiszfeld
 //! gathering-point solve). Both used to recompute geometry and price terms
 //! from the entities on every call. `ProblemTables` hoists everything that
-//! depends only on the *instance* into dense arrays, built once per
+//! depends only on the *instance* into flat arrays, built once per
 //! [`CcsProblem`] on first use:
 //!
-//! * `energy[j][i] = π_j · w_i` — the per-(charger, device) energy charge,
-//!   bit-identical to `device.demand() * charger.energy_price()`;
-//! * `congestion[j][k] = η_j · g(k)` for every `k ≤ n` — the concave
-//!   congestion term as a lookup instead of a curve evaluation;
+//! * **SoA factor columns** — `demand[i]`, `energy_price[j]`,
+//!   `occupancy[j]`, `curve[k]`, `move_rate[i]`, `travel_rate[j]`, and the
+//!   raw positions. The hot per-(charger, device) reads are products of two
+//!   column entries (`π_j · w_i`, `η_j · g(k)`), bitwise identical to the
+//!   direct entity computation but read from contiguous, cache-friendly
+//!   vectors instead of an `m × n` matrix;
 //! * `dist_dc[i][j]` / `dist_dd[i][i']` — device–charger and device–device
-//!   distances, the geometry behind the charger-pruning lower bounds in
-//!   `cost::try_best_facility`;
+//!   distances, **densely cached only while they fit** (≤
+//!   [`DENSE_DIST_LIMIT`] entries). Above the limit the accessors fall back
+//!   to recomputing `hypot` from the stored positions — the same formula on
+//!   the same inputs, hence the same bits — so a 10k-device instance does
+//!   not allocate an 800 MB `n²` matrix;
+//! * two [`UniformGrid`] spatial indexes (devices and chargers) powering
+//!   ring-ordered candidate enumeration with geometric lower bounds in
+//!   `cost::try_best_facility` and the CCSA candidate scan, plus the
+//!   instance-wide rate/price floors those bounds need;
 //! * a memo of gathering points keyed by `(charger, member set)`, so a
 //!   coalition re-evaluated with the same membership (the common case in
 //!   best-response scans) never re-runs Weiszfeld.
@@ -25,11 +34,12 @@
 //! `cost::group_bill_direct` and the `fastpath` proptests pin down.
 
 use crate::gathering::gathering_point;
+use crate::grid::UniformGrid;
 use crate::problem::CcsProblem;
 use ccs_wrsn::entities::{ChargerId, DeviceId};
 use ccs_wrsn::geometry::Point;
 use ccs_wrsn::scenario::Scenario;
-use ccs_wrsn::units::Cost;
+use ccs_wrsn::units::{Cost, CostPerJoule, Joules};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
@@ -39,11 +49,15 @@ use std::sync::Mutex;
 /// Number of independently locked shards of the gathering-point memo.
 const GATHER_SHARDS: usize = 16;
 
+/// Largest entry count for which a distance matrix is cached densely.
+/// 16 M `f64` entries = 128 MB; anything larger recomputes on the fly.
+pub const DENSE_DIST_LIMIT: usize = 16_000_000;
+
 /// One shard of the gathering-point memo: `(charger, sorted member ids)`
 /// to the memoized point.
 type GatherShard = Mutex<HashMap<(u32, Vec<u32>), Point>>;
 
-/// Dense per-instance lookup tables for the CCS cost model.
+/// Flat per-instance lookup tables for the CCS cost model.
 pub struct ProblemTables {
     n: usize,
     m: usize,
@@ -51,21 +65,46 @@ pub struct ProblemTables {
     move_rate: Vec<f64>,
     /// `τ_j` as raw values, indexed by charger.
     travel_rate: Vec<f64>,
-    /// `π_j · w_i`, row-major by charger: `energy[j * n + i]`.
-    energy: Vec<Cost>,
-    /// `η_j · g(k)`, row-major by charger: `congestion[j * (n + 1) + k]`.
-    congestion: Vec<Cost>,
-    /// `d(p_i, q_j)`, row-major by device: `dist_dc[i * m + j]`.
-    dist_dc: Vec<f64>,
-    /// `d(p_i, p_i')`, row-major: `dist_dd[i * n + i']`.
-    dist_dd: Vec<f64>,
+    /// `w_i`, indexed by device.
+    demand: Vec<Joules>,
+    /// `π_j`, indexed by charger.
+    energy_price: Vec<CostPerJoule>,
+    /// `η_j`, indexed by charger.
+    occupancy: Vec<Cost>,
+    /// `g(k)` for every `k ≤ n`.
+    curve: Vec<f64>,
+    /// `p_i`, indexed by device.
+    device_pos: Vec<Point>,
+    /// `q_j`, indexed by charger.
+    charger_pos: Vec<Point>,
+    /// `d(p_i, q_j)`, row-major by device (`dist_dc[i * m + j]`), cached
+    /// only while `n · m <= DENSE_DIST_LIMIT`.
+    dist_dc: Option<Vec<f64>>,
+    /// `d(p_i, p_i')`, row-major (`dist_dd[i * n + i']`), cached only while
+    /// `n² <= DENSE_DIST_LIMIT`.
+    dist_dd: Option<Vec<f64>>,
+    /// Spatial index over device positions.
+    device_grid: UniformGrid,
+    /// Spatial index over charger positions.
+    charger_grid: UniformGrid,
+    /// `min_j τ_j` (`0` when there are no chargers).
+    min_travel_rate: f64,
+    /// `min_i κ_i` (`0` when there are no devices).
+    min_move_rate: f64,
+    /// `min_j b_j` as a raw value.
+    min_base_fee: f64,
+    /// `min_j π_j` as a raw value.
+    min_energy_price: f64,
+    /// `min_j η_j` as a raw value.
+    min_occupancy: f64,
     /// Gathering-point memo: `(charger, sorted member ids) -> point`.
     gather: Vec<GatherShard>,
 }
 
 impl ProblemTables {
     /// Builds the tables for a scenario + cost parameters. Called once per
-    /// problem via `CcsProblem::tables`; `O(n·(n + m))` time and space.
+    /// problem via `CcsProblem::tables`; `O(n + m)` space for the factor
+    /// columns plus the distance caches while they fit.
     pub(crate) fn new(
         scenario: &Scenario,
         curve: &ccs_submodular::set_fn::CardinalityCurve,
@@ -79,37 +118,68 @@ impl ProblemTables {
             .iter()
             .map(|c| c.travel_cost_rate().value())
             .collect();
+        let demand: Vec<Joules> = devices.iter().map(|d| d.demand()).collect();
+        let energy_price: Vec<CostPerJoule> = chargers.iter().map(|c| c.energy_price()).collect();
+        let occupancy: Vec<Cost> = chargers.iter().map(|c| c.occupancy_rate()).collect();
+        let curve: Vec<f64> = (0..=n).map(|k| curve.eval(k)).collect();
+        let device_pos: Vec<Point> = devices.iter().map(|d| d.position()).collect();
+        let charger_pos: Vec<Point> = chargers.iter().map(|c| c.position()).collect();
 
-        let mut energy = Vec::with_capacity(m * n);
-        let mut congestion = Vec::with_capacity(m * (n + 1));
-        for c in chargers {
-            for d in devices {
-                energy.push(d.demand() * c.energy_price());
+        let dist_dc = (n * m <= DENSE_DIST_LIMIT).then(|| {
+            let mut dist = Vec::with_capacity(n * m);
+            for p in &device_pos {
+                for q in &charger_pos {
+                    dist.push(p.distance_value(q));
+                }
             }
-            for k in 0..=n {
-                congestion.push(c.occupancy_rate() * curve.eval(k));
+            dist
+        });
+        let dist_dd = (n * n <= DENSE_DIST_LIMIT).then(|| {
+            let mut dist = Vec::with_capacity(n * n);
+            for p in &device_pos {
+                for other in &device_pos {
+                    dist.push(p.distance_value(other));
+                }
             }
-        }
+            dist
+        });
 
-        let mut dist_dc = Vec::with_capacity(n * m);
-        let mut dist_dd = Vec::with_capacity(n * n);
-        for d in devices {
-            let p = d.position();
-            for c in chargers {
-                dist_dc.push(p.distance_value(&c.position()));
-            }
-            for other in devices {
-                dist_dd.push(p.distance_value(&other.position()));
-            }
-        }
+        let fold_min = |values: &[f64]| values.iter().copied().fold(f64::INFINITY, f64::min);
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
 
         ProblemTables {
             n,
             m,
+            min_travel_rate: finite(fold_min(&travel_rate)),
+            min_move_rate: finite(fold_min(&move_rate)),
+            min_base_fee: finite(
+                chargers
+                    .iter()
+                    .map(|c| c.base_fee().value())
+                    .fold(f64::INFINITY, f64::min),
+            ),
+            min_energy_price: finite(
+                energy_price
+                    .iter()
+                    .map(|p| p.value())
+                    .fold(f64::INFINITY, f64::min),
+            ),
+            min_occupancy: finite(
+                occupancy
+                    .iter()
+                    .map(|o| o.value())
+                    .fold(f64::INFINITY, f64::min),
+            ),
             move_rate,
             travel_rate,
-            energy,
-            congestion,
+            demand,
+            energy_price,
+            occupancy,
+            curve,
+            device_grid: UniformGrid::build(&device_pos),
+            charger_grid: UniformGrid::build(&charger_pos),
+            device_pos,
+            charger_pos,
             dist_dc,
             dist_dd,
             gather: (0..GATHER_SHARDS)
@@ -124,28 +194,43 @@ impl ProblemTables {
         self.n
     }
 
-    /// The energy charge `π_j · w_i`.
+    /// Number of chargers `m` the tables were built for.
+    #[inline]
+    pub fn num_chargers(&self) -> usize {
+        self.m
+    }
+
+    /// The energy charge `π_j · w_i` — the product of the two factor
+    /// columns, bitwise `device.demand() * charger.energy_price()`.
     #[inline]
     pub fn energy(&self, charger: ChargerId, device: DeviceId) -> Cost {
-        self.energy[charger.index() * self.n + device.index()]
+        self.demand[device.index()] * self.energy_price[charger.index()]
     }
 
     /// The congestion term `η_j · g(k)` for a group of size `k ≤ n`.
     #[inline]
     pub fn congestion(&self, charger: ChargerId, k: usize) -> Cost {
-        self.congestion[charger.index() * (self.n + 1) + k]
+        self.occupancy[charger.index()] * self.curve[k]
     }
 
     /// Device–charger distance `d(p_i, q_j)`.
     #[inline]
     pub fn device_charger_distance(&self, device: DeviceId, charger: ChargerId) -> f64 {
-        self.dist_dc[device.index() * self.m + charger.index()]
+        match &self.dist_dc {
+            Some(dist) => dist[device.index() * self.m + charger.index()],
+            None => {
+                self.device_pos[device.index()].distance_value(&self.charger_pos[charger.index()])
+            }
+        }
     }
 
     /// Device–device distance `d(p_i, p_i')`.
     #[inline]
     pub fn device_distance(&self, a: DeviceId, b: DeviceId) -> f64 {
-        self.dist_dd[a.index() * self.n + b.index()]
+        match &self.dist_dd {
+            Some(dist) => dist[a.index() * self.n + b.index()],
+            None => self.device_pos[a.index()].distance_value(&self.device_pos[b.index()]),
+        }
     }
 
     /// The device's movement cost rate `κ_i` as a raw value.
@@ -158,6 +243,72 @@ impl ProblemTables {
     #[inline]
     pub fn travel_rate(&self, charger: ChargerId) -> f64 {
         self.travel_rate[charger.index()]
+    }
+
+    /// The device's position `p_i`.
+    #[inline]
+    pub fn device_position(&self, device: DeviceId) -> Point {
+        self.device_pos[device.index()]
+    }
+
+    /// The charger's position `q_j`.
+    #[inline]
+    pub fn charger_position(&self, charger: ChargerId) -> Point {
+        self.charger_pos[charger.index()]
+    }
+
+    /// The spatial index over device positions.
+    #[inline]
+    pub fn device_grid(&self) -> &UniformGrid {
+        &self.device_grid
+    }
+
+    /// The spatial index over charger positions.
+    #[inline]
+    pub fn charger_grid(&self) -> &UniformGrid {
+        &self.charger_grid
+    }
+
+    /// `min_j τ_j`, the floor used by ring-ordered charger search.
+    #[inline]
+    pub fn min_travel_rate(&self) -> f64 {
+        self.min_travel_rate
+    }
+
+    /// `min_i κ_i`, the floor used by the CCSA candidate-point bound.
+    #[inline]
+    pub fn min_move_rate(&self) -> f64 {
+        self.min_move_rate
+    }
+
+    /// `min_j b_j` as a raw value.
+    #[inline]
+    pub fn min_base_fee(&self) -> f64 {
+        self.min_base_fee
+    }
+
+    /// `min_j π_j` as a raw value.
+    #[inline]
+    pub fn min_energy_price(&self) -> f64 {
+        self.min_energy_price
+    }
+
+    /// `min_j η_j` as a raw value.
+    #[inline]
+    pub fn min_occupancy(&self) -> f64 {
+        self.min_occupancy
+    }
+
+    /// `g(k)` as a raw value (`k ≤ n`).
+    #[inline]
+    pub fn curve_value(&self, k: usize) -> f64 {
+        self.curve[k]
+    }
+
+    /// `true` when the device–device distance matrix is densely cached
+    /// (diagnostics; accessors behave identically either way).
+    pub fn dense_distances(&self) -> bool {
+        self.dist_dd.is_some()
     }
 
     /// The gathering point for `(charger, members)` under the problem's
@@ -203,6 +354,7 @@ impl fmt::Debug for ProblemTables {
         f.debug_struct("ProblemTables")
             .field("n", &self.n)
             .field("m", &self.m)
+            .field("dense_distances", &self.dense_distances())
             .field("gather_cache_len", &self.gather_cache_len())
             .finish()
     }
@@ -238,6 +390,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rate_floors_match_entity_minima() {
+        let p = problem();
+        let t = p.tables();
+        let min_tau = p
+            .scenario()
+            .chargers()
+            .iter()
+            .map(|c| c.travel_cost_rate().value())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(t.min_travel_rate(), min_tau);
+        let min_fee = p
+            .scenario()
+            .chargers()
+            .iter()
+            .map(|c| c.base_fee().value())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(t.min_base_fee(), min_fee);
+    }
+
+    #[test]
+    fn grids_cover_all_entities() {
+        let p = problem();
+        let t = p.tables();
+        assert_eq!(t.device_grid().len(), p.num_devices());
+        assert_eq!(t.charger_grid().len(), p.scenario().chargers().len());
     }
 
     #[test]

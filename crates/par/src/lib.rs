@@ -1,9 +1,9 @@
 //! # ccs-par
 //!
-//! A small **deterministic** parallel-map layer over [`std::thread::scope`]
-//! for the embarrassingly parallel evaluation batches inside the CCS
-//! schedulers (CCSA's facility scan, CCSGA's best-response scan, the
-//! submodular oracle's prefix chains).
+//! A small **deterministic** parallel-map layer over a lazily started
+//! persistent worker pool, for the embarrassingly parallel evaluation
+//! batches inside the CCS schedulers (CCSA's facility scan, CCSGA's
+//! best-response scan, the submodular oracle's prefix chains).
 //!
 //! ## Determinism contract
 //!
@@ -26,9 +26,24 @@
 //! A count of `1` short-circuits to the **exact serial path**: no threads
 //! are spawned and the closure runs inline in index order.
 //!
+//! ## The worker pool
+//!
+//! Earlier versions spawned scoped threads per call — tens of microseconds
+//! of overhead that swamped paper-size batches (BENCH_3 recorded
+//! `speedup < 1` on every parallel bench). Batches now run on a
+//! **persistent pool** (see [`pool`]): worker threads are spawned lazily on
+//! the first large-enough batch, park on a condvar between batches, and
+//! live for the rest of the process. Submitting a batch costs one mutex
+//! push plus a wake; the **caller always participates** as the first
+//! worker, so a batch completes at serial speed even if every helper
+//! arrives late. Work is claimed in chunks from an atomic cursor and every
+//! result is scattered back into its index slot, so the determinism
+//! contract above is unchanged. Nested calls from inside a batch closure
+//! run inline on the worker that issued them.
+//!
 //! ## The minimum-work cutoff
 //!
-//! Spawning scoped threads costs tens of microseconds — more than an entire
+//! Even a pooled dispatch costs a few microseconds — more than an entire
 //! small batch (e.g. the 48-element Lovász prefix chains of `sfm_mnp_n48`)
 //! takes to run serially. Batches shorter than the **minimum item count**
 //! therefore run inline even when multiple workers are configured; the
@@ -47,12 +62,13 @@
 //!
 //! Like `ccs-telemetry`, this crate uses nothing beyond `std` (plus the
 //! telemetry counters themselves). The build environment has no registry
-//! access, and a scoped-thread fan-out with an atomic work cursor covers
+//! access, and a persistent pool with an atomic chunk cursor covers
 //! everything the schedulers need — a full `rayon` would add weight for
 //! features (nested pools, splitting heuristics) the hot paths never use.
 
+mod pool;
+
 use std::num::NonZeroUsize;
-use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
@@ -133,12 +149,15 @@ pub fn set_min_items(n: usize) {
 }
 
 /// Evaluates `f(0), f(1), …, f(n-1)` and returns the results in index
-/// order, fanning the evaluations out over scoped threads.
+/// order, fanning the evaluations out over the persistent worker pool.
 ///
-/// Work is distributed dynamically (an atomic cursor), so uneven per-index
-/// cost does not idle workers; results are scattered back by index, so the
-/// output order is always the serial order. With [`threads`]` == 1` or
-/// `n <= 1` no thread is spawned and `f` runs inline.
+/// Work is distributed dynamically (chunks claimed from an atomic cursor),
+/// so uneven per-index cost does not idle workers; results are scattered
+/// back by index, so the output order is always the serial order. With
+/// [`threads`]` == 1` or `n <= 1` the pool is not touched and `f` runs
+/// inline — the exact serial path. The calling thread always executes
+/// chunks itself, so throughput never regresses below serial waiting for a
+/// pool worker to wake.
 ///
 /// # Panics
 ///
@@ -161,48 +180,13 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let workers = threads().min(n);
-    if workers <= 1 || n < min {
+    if workers <= 1 || n < min || pool::on_pool_worker() {
         return (0..n).map(f).collect();
     }
     ccs_telemetry::counter!("par.batches").incr();
     ccs_telemetry::counter!("par.items").add(n as u64);
 
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut acc: Vec<(usize, U)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        acc.push((i, f(i)));
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(pairs) => {
-                    for (i, value) in pairs {
-                        slots[i] = Some(value);
-                    }
-                }
-                Err(payload) => panic::resume_unwind(payload),
-            }
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index is claimed exactly once"))
-        .collect()
+    pool::run(n, workers, &f)
 }
 
 /// Maps `f` over `items`, returning results in item order. The closure also
@@ -233,6 +217,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic;
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -338,5 +323,69 @@ mod tests {
         });
         set_threads(0);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        set_threads(4);
+        for round in 0..4 {
+            let result = panic::catch_unwind(|| {
+                par_eval_min(256, 1, |i| {
+                    if i % 97 == round {
+                        panic!("boom {round}");
+                    }
+                    i
+                })
+            });
+            assert!(result.is_err(), "round {round}");
+        }
+        // The pool must still produce correct batches afterwards.
+        let out = par_eval_min(256, 1, |i| i * 2);
+        set_threads(0);
+        assert_eq!(out, (0..256).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        set_threads(4);
+        let out = par_eval_min(64, 1, |i| {
+            // A nested batch from inside a batch closure must not deadlock
+            // the pool, whichever thread executes it.
+            par_eval_min(8, 1, move |j| i * 8 + j).iter().sum::<usize>()
+        });
+        set_threads(0);
+        let expected: Vec<usize> = (0..64).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        set_threads(4);
+        let results: Vec<Vec<u64>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    scope.spawn(move || {
+                        par_eval_min(512, 1, move |i| (i as u64).wrapping_mul(t + 1))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        set_threads(0);
+        for (t, got) in results.iter().enumerate() {
+            let expected: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(t as u64 + 1)).collect();
+            assert_eq!(got, &expected, "caller {t}");
+        }
+    }
+
+    #[test]
+    fn repeated_batches_reuse_pool_workers() {
+        set_threads(3);
+        for _ in 0..200 {
+            let out = par_eval_min(128, 1, |i| i + 1);
+            assert_eq!(out.len(), 128);
+            assert_eq!(out[127], 128);
+        }
+        set_threads(0);
     }
 }

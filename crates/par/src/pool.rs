@@ -1,0 +1,298 @@
+//! The persistent worker pool behind [`par_eval`](crate::par_eval).
+//!
+//! ## Lifecycle
+//!
+//! Worker threads are spawned **lazily**: the first batch that wants `k`
+//! helpers brings the pool up to `k` threads, and later batches reuse (or
+//! grow) that set. Workers park on a condvar between batches, so an idle
+//! pool costs nothing but memory; nothing is ever torn down — the threads
+//! are detached and die with the process.
+//!
+//! ## Anatomy of a batch
+//!
+//! A batch lives entirely on the **submitting caller's stack**: the closure,
+//! the result slots, and the shared chunk cursor. The caller publishes a
+//! type-erased [`JobRef`] to the pool's injector list, wakes parked workers,
+//! and then immediately starts executing chunks itself — the caller is
+//! always worker number one, so a batch never waits for a thread wake-up to
+//! make progress. Helpers that arrive late simply find the cursor exhausted
+//! and go back to sleep; helpers that arrive in time claim chunks from the
+//! same atomic cursor (chunked work-stealing).
+//!
+//! ## Why this is sound
+//!
+//! The `JobRef` is a raw pointer to stack memory, so the pool must guarantee
+//! no worker touches it after `run` returns. The protocol:
+//!
+//! * A helper *claims* a job (incrementing its `active` counter) **while
+//!   holding the pool lock**, and only while the job is still in the
+//!   injector list.
+//! * Before returning, the caller removes the job from the list (same
+//!   lock), then waits until `active == 0`. After the removal no new
+//!   claims can happen, so the wait terminates and no helper can hold a
+//!   reference once `run` returns.
+//! * A finishing helper clones the caller's [`Thread`] handle *before* its
+//!   final `active` decrement; after the decrement it touches only that
+//!   owned clone (to unpark the caller), never the job again.
+//!
+//! The release/acquire pairing on `active` also makes every helper's slot
+//! writes visible to the caller before it reads the results.
+//!
+//! ## Determinism
+//!
+//! Chunks are claimed dynamically, but every result is scattered back into
+//! its index slot, so the output order — and therefore every downstream
+//! serial reduction — is independent of which thread computed what.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::{self, Thread};
+
+/// One result slot, written exactly once by whichever thread claims its
+/// chunk. Distinct indices are written by distinct claims, and the caller
+/// only reads after `active == 0`, so the aliasing is race-free.
+struct Slot<U>(UnsafeCell<Option<U>>);
+
+// SAFETY: slots are only written through disjoint cursor claims and only
+// read by the caller after all helpers have released the job.
+unsafe impl<U: Send> Sync for Slot<U> {}
+
+/// The stack-allocated state of one in-flight batch.
+struct Job<'scope, U, F> {
+    f: &'scope F,
+    slots: &'scope [Slot<U>],
+    cursor: AtomicUsize,
+    n: usize,
+    chunk: usize,
+    /// Helpers currently inside [`run_chunks`] (the caller is not counted).
+    active: AtomicUsize,
+    /// First panic payload raised by a helper's closure call.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The submitting thread, unparked by the last finishing helper.
+    caller: Thread,
+}
+
+/// Type-erased handle to a [`Job`] on some caller's stack.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    /// Monomorphized entry point: claim chunks until the cursor runs dry,
+    /// then release the claim and unpark the caller.
+    run: unsafe fn(*const ()),
+    /// Monomorphized claim registration (`active += 1`); called under the
+    /// pool lock while the job is provably alive.
+    activate: unsafe fn(*const ()),
+}
+
+// SAFETY: the claim protocol above keeps the pointee alive for as long as
+// any worker can reach this reference.
+unsafe impl Send for JobRef {}
+
+/// An injector-list entry: a job plus how many more helpers it wants.
+struct JobEntry {
+    id: u64,
+    job: JobRef,
+    claims: usize,
+    cap: usize,
+}
+
+struct PoolState {
+    jobs: Vec<JobEntry>,
+    next_id: u64,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            jobs: Vec::new(),
+            next_id: 0,
+            spawned: 0,
+        }),
+        work: Condvar::new(),
+    })
+}
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` on a pool worker thread. Nested [`par_eval`](crate::par_eval)
+/// calls from inside a batch closure detect this and run inline — the
+/// outer batch already owns the parallelism.
+pub(crate) fn on_pool_worker() -> bool {
+    IS_POOL_WORKER.with(Cell::get)
+}
+
+fn worker_loop() {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    let pool = pool();
+    let mut state = pool.state.lock().expect("pool lock poisoned");
+    loop {
+        if let Some(idx) = state.jobs.iter().position(|e| e.claims < e.cap) {
+            let entry = &mut state.jobs[idx];
+            entry.claims += 1;
+            let job = entry.job;
+            // SAFETY: the job is still in the injector list, so the caller
+            // has not returned; registering under the lock means the caller
+            // will wait for this claim.
+            unsafe { (job.activate)(job.data) };
+            if entry.claims >= entry.cap {
+                state.jobs.remove(idx);
+            }
+            drop(state);
+            // SAFETY: the claim above keeps the job alive until `run`
+            // performs its final `active` decrement.
+            unsafe { (job.run)(job.data) };
+            state = pool.state.lock().expect("pool lock poisoned");
+        } else {
+            state = pool.work.wait(state).expect("pool lock poisoned");
+        }
+    }
+}
+
+/// Shared chunk loop: claim `chunk` indices at a time until the cursor
+/// passes `n`, scattering each result into its slot.
+fn run_chunks<U, F: Fn(usize) -> U>(job: &Job<'_, U, F>) {
+    loop {
+        let start = job.cursor.fetch_add(job.chunk, Ordering::Relaxed);
+        if start >= job.n {
+            return;
+        }
+        let end = (start + job.chunk).min(job.n);
+        for i in start..end {
+            let value = (job.f)(i);
+            // SAFETY: index `i` belongs to exactly one claimed chunk, and
+            // the caller reads slots only after every claim is released.
+            unsafe { *job.slots[i].0.get() = Some(value) };
+        }
+    }
+}
+
+/// Helper-side monomorphized entry point (see [`JobRef::run`]).
+unsafe fn run_helper<U, F>(data: *const ())
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let job = unsafe { &*data.cast::<Job<'_, U, F>>() };
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| run_chunks(job))) {
+        let mut first = job.panic.lock().expect("panic slot poisoned");
+        if first.is_none() {
+            *first = Some(payload);
+        }
+    }
+    // Clone the handle *before* releasing the claim: after the decrement
+    // the job memory may be freed at any moment.
+    let caller = job.caller.clone();
+    job.active.fetch_sub(1, Ordering::Release);
+    caller.unpark();
+}
+
+/// Claim registration (see [`JobRef::activate`]); runs under the pool lock.
+unsafe fn activate_helper<U, F>(data: *const ())
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let job = unsafe { &*data.cast::<Job<'_, U, F>>() };
+    job.active.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Runs `f(0..n)` across the caller plus up to `workers - 1` pool helpers,
+/// returning results in index order. Must only be called with
+/// `workers >= 2` and `n >= 2`, off any pool worker thread.
+pub(crate) fn run<U, F>(n: usize, workers: usize, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let helper_cap = workers - 1;
+    // Oversplit relative to the worker count so late-arriving helpers can
+    // still steal useful work from an uneven batch.
+    let chunk = (n / (workers * 8)).max(1);
+
+    let mut slots: Vec<Slot<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Slot(UnsafeCell::new(None)));
+
+    let job = Job {
+        f,
+        slots: &slots,
+        cursor: AtomicUsize::new(0),
+        n,
+        chunk,
+        active: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        caller: thread::current(),
+    };
+    let job_ref = JobRef {
+        data: (&job as *const Job<'_, U, F>).cast(),
+        run: run_helper::<U, F>,
+        activate: activate_helper::<U, F>,
+    };
+
+    let id;
+    {
+        let mut state = pool().state.lock().expect("pool lock poisoned");
+        id = state.next_id;
+        state.next_id += 1;
+        state.jobs.push(JobEntry {
+            id,
+            job: job_ref,
+            claims: 0,
+            cap: helper_cap,
+        });
+        while state.spawned < helper_cap {
+            let spawn = thread::Builder::new()
+                .name(format!("ccs-par-{}", state.spawned))
+                .spawn(worker_loop);
+            match spawn {
+                Ok(_) => state.spawned += 1,
+                Err(_) => break,
+            }
+        }
+    }
+    pool().work.notify_all();
+
+    // The caller is always the first worker: progress never depends on a
+    // helper waking up in time.
+    let caller_result = panic::catch_unwind(AssertUnwindSafe(|| run_chunks(&job)));
+
+    // Retire the job so no further helper can claim it, then wait out the
+    // helpers that already did.
+    {
+        let mut state = pool().state.lock().expect("pool lock poisoned");
+        if let Some(idx) = state.jobs.iter().position(|e| e.id == id) {
+            state.jobs.remove(idx);
+        }
+    }
+    while job.active.load(Ordering::Acquire) != 0 {
+        thread::park();
+    }
+
+    if let Some(payload) = job.panic.lock().expect("panic slot poisoned").take() {
+        panic::resume_unwind(payload);
+    }
+    if let Err(payload) = caller_result {
+        panic::resume_unwind(payload);
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.0
+                .into_inner()
+                .expect("every index is claimed exactly once")
+        })
+        .collect()
+}

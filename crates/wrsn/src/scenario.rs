@@ -464,6 +464,25 @@ fn place_points<R: Rng + ?Sized>(
     }
 }
 
+/// The seeded large-`n` scenario preset behind the scaling-curve suite
+/// (`bench_scaling`, the grid-equivalence property tests): `n` devices in
+/// Gaussian clusters over a field whose side grows with `sqrt(n)` (constant
+/// spatial density — the paper's setup scaled up, not compressed), one
+/// charger per ~50 devices spread uniformly. Deterministic: the same
+/// `(seed, n)` always generates the same scenario, so benchmark cells and
+/// CI runs are comparable across machines.
+pub fn scale_preset(seed: u64, n_devices: usize) -> ScenarioGenerator {
+    let side = 300.0 * (n_devices as f64 / 50.0).sqrt().max(1.0);
+    ScenarioGenerator::new(seed)
+        .devices(n_devices)
+        .chargers((n_devices / 50).max(8))
+        .field_side(side)
+        .device_placement(Placement::Clustered {
+            count: (n_devices / 100).max(4),
+            sigma: side / 40.0,
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,5 +590,19 @@ mod tests {
     #[should_panic(expected = "range lower bound")]
     fn param_range_rejects_inverted() {
         let _ = ParamRange::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn scale_preset_is_deterministic_and_density_preserving() {
+        let a = scale_preset(7, 1_000).generate();
+        let b = scale_preset(7, 1_000).generate();
+        assert_eq!(a, b, "same (seed, n) must generate the same scenario");
+        assert_eq!(a.devices().len(), 1_000);
+        assert_eq!(a.chargers().len(), 20);
+        // Side scales with sqrt(n): 20x the devices of the n=50 default on
+        // ~20x the area keeps the per-square-meter density constant.
+        let small = scale_preset(7, 50).generate();
+        let ratio = a.field().width() / small.field().width();
+        assert!((ratio - 20.0f64.sqrt()).abs() < 1e-9, "ratio {ratio}");
     }
 }
