@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Every cell is one `(workload, n)` pair from the seeded
-//! [`scale_preset`](ccs_wrsn::scenario::scale_preset) family, timed at 1
+//! [`scale_preset`] family, timed at 1
 //! and 4 worker threads over `--iters` runs (mean and p95 per thread
 //! count), and emitted as a JSON document:
 //!

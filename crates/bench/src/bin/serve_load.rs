@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! serve_load [--clients N] [--requests M] [--workers W] [--out FILE] [--check]
+//! serve_load --gateway [--clients N] [--requests M] [--shards S] [--workers W]
+//!            [--out FILE] [--check]
 //! ```
 //!
 //! Starts an in-process daemon on a Unix socket (the same [`serve_unix`]
@@ -44,15 +46,34 @@
 //! above it fails. Generous tolerances — CI machines are noisy; the point
 //! is to catch an accidental serialization of the worker pool or a
 //! tail-latency cliff, each of which costs far more.
+//!
+//! # Gateway mode (`--gateway`)
+//!
+//! Starts an in-process `ccs gateway` ([`run_gateway_on`]) on an ephemeral
+//! TCP port and drives it over real HTTP/1.1 keep-alive connections with a
+//! **mixed-tenant** workload: client `c` identifies as tenant
+//! `alpha`/`beta`/`gamma` via `X-Tenant` (so the run spans three private
+//! caches and three stats sections), sending a mix of `POST /v1/plan`
+//! bodies, four-item `POST /v1/batch` requests (the scenario-grouped
+//! amortization path), and one malformed body per lap (the `400` path).
+//! Round-trip latency lands in a global histogram *and* a per-tenant one.
+//! After the batch the harness probes `GET /v1/stats` and asserts the
+//! `ccs-gateway-stats/v1` schema and that every tenant shows up with
+//! consistent counters. The run emits a `ccs-serve-load/v3` document
+//! (`BENCH_7.json`-style): one gated `gateway_mixed` bench plus ungated
+//! per-tenant `gateway_tenant_*` entries carrying p50/p99/requests. The
+//! same [`GATES`] apply (throughput −50%, p99 +100%).
 
 use ccs_bench::gate::{self, Direction, Gate};
+use ccs_gateway::{run_gateway_on, GatewayConfig, GATEWAY_STATS_SCHEMA};
 use ccs_serve::prelude::*;
 use ccs_telemetry::Histogram;
 use ccs_wrsn::scenario::ScenarioGenerator;
 use serde::Serialize;
 use serde_json::{Number, Value};
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -214,6 +235,223 @@ fn probe_stats(socket: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The mixed-tenant pool: client `c` identifies as tenant `c % 3`.
+const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Sends one HTTP/1.1 request down a keep-alive connection and reads the
+/// full response. Returns `(status, body)`.
+fn http_round_trip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    tenant: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    // One write per request (and TCP_NODELAY on the stream): fragmented
+    // writes would hand Nagle a reason to stall each round trip.
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: serve-load\r\nX-Tenant: {tenant}\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    writer.write_all(request.as_bytes())?;
+    writer.flush()?;
+    let invalid = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "gateway closed the connection mid-batch",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("malformed status line: {line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(invalid("connection closed mid-headers".to_string()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| invalid(format!("bad content-length: {header:?}")))?;
+        }
+    }
+    let mut response = vec![0u8; content_length];
+    reader.read_exact(&mut response)?;
+    String::from_utf8(response)
+        .map(|body| (status, body))
+        .map_err(|_| invalid("response body is not UTF-8".to_string()))
+}
+
+/// Tallies one JSONL-semantics response value into `outcome`.
+fn tally(outcome: &mut ClientOutcome, value: &Value) -> std::io::Result<()> {
+    match value.field("ok") {
+        Value::Bool(true) => outcome.ok += 1,
+        Value::Bool(false) => {
+            if let Value::String(kind) = value.field("error").field("kind") {
+                if kind == "rejected" {
+                    outcome.rejected += 1;
+                }
+            }
+            outcome.errors += 1;
+        }
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response carries no 'ok' field",
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// One gateway client: `requests` HTTP round trips over one keep-alive
+/// connection as its tenant — plans, four-item batches, and one malformed
+/// body per lap. Round-trip latency lands in both histograms.
+fn run_gateway_client(
+    addr: &str,
+    client: usize,
+    requests: usize,
+    scenarios: &[String],
+    latency: &Histogram,
+    tenant_latency: &Histogram,
+) -> std::io::Result<ClientOutcome> {
+    let tenant = TENANTS[client % TENANTS.len()];
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut outcome = ClientOutcome {
+        ok: 0,
+        errors: 0,
+        rejected: 0,
+    };
+    for i in 0..requests {
+        let scenario = &scenarios[(client + i) % scenarios.len()];
+        let id = (client * requests + i) as u64;
+        let (path, body) = match i % 7 {
+            // One malformed body per lap: the 400 path must not cost the
+            // connection (the gateway keeps well-framed streams alive).
+            6 => ("/v1/plan", "{not json".to_string()),
+            // One four-item batch per lap: same-scenario items, the
+            // grouped amortization path.
+            4 => {
+                let items: Vec<String> = (0..4)
+                    .map(|j| {
+                        format!(
+                            r#"{{"id":{},"cmd":"plan","scenario":{scenario},"algo":"{}"}}"#,
+                            id * 10 + j,
+                            if j % 2 == 0 { "ccsa" } else { "ncp" }
+                        )
+                    })
+                    .collect();
+                (
+                    "/v1/batch",
+                    format!(r#"{{"id":{id},"requests":[{}]}}"#, items.join(",")),
+                )
+            }
+            _ => (
+                "/v1/plan",
+                format!(
+                    r#"{{"id":{id},"cmd":"plan","scenario":{scenario},"algo":"{}"}}"#,
+                    if i % 2 == 0 { "ccsa" } else { "ncp" }
+                ),
+            ),
+        };
+        let start = Instant::now();
+        let (_status, response) =
+            http_round_trip(&mut writer, &mut reader, "POST", path, tenant, &body)?;
+        let took = start.elapsed();
+        latency.record_duration(took);
+        tenant_latency.record_duration(took);
+        let parsed: Value = serde_json::from_str(&response).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })?;
+        if path == "/v1/batch" {
+            if let (Value::Bool(true), Value::Array(items)) =
+                (parsed.field("ok"), parsed.field("result"))
+            {
+                for item in items {
+                    tally(&mut outcome, item)?;
+                }
+            } else {
+                // The whole batch was refused (e.g. backpressure): count
+                // its items so the answered-everything invariant holds.
+                for _ in 0..4 {
+                    tally(&mut outcome, &parsed)?;
+                }
+            }
+        } else {
+            tally(&mut outcome, &parsed)?;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Items one gateway client sends: plans count 1, batches count 4 (the
+/// mirror of `run_gateway_client`'s `i % 7` mix).
+fn gateway_items(requests: usize) -> u64 {
+    (0..requests).map(|i| if i % 7 == 4 { 4 } else { 1 }).sum()
+}
+
+/// Probes `GET /v1/stats` on the quiescent gateway: schema tag, every
+/// tenant present, and per-tenant counter consistency.
+fn probe_gateway_stats(addr: &str) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("gateway stats probe io: {e}");
+    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+    let mut writer = stream;
+    let (status, body) =
+        http_round_trip(&mut writer, &mut reader, "GET", "/v1/stats", TENANTS[0], "")
+            .map_err(io_err)?;
+    if status != 200 {
+        return Err(format!("stats probe answered {status}: {body}"));
+    }
+    let response: Value =
+        serde_json::from_str(&body).map_err(|e| format!("stats unparseable: {e}"))?;
+    let snapshot = response.field("result");
+    if snapshot.field("schema") != &Value::String(GATEWAY_STATS_SCHEMA.to_string()) {
+        return Err(format!("unexpected schema: {:?}", snapshot.field("schema")));
+    }
+    for tenant in TENANTS {
+        let entry = snapshot.field("tenants").field(tenant);
+        let Value::Object(_) = entry else {
+            return Err(format!("tenant {tenant:?} missing from the stats snapshot"));
+        };
+        let requests = entry.field("requests");
+        let completed = entry.field("completed");
+        let (Value::Number(Number::PosInt(r)), Value::Number(Number::PosInt(c))) =
+            (requests, completed)
+        else {
+            return Err(format!("tenant {tenant:?} counters malformed"));
+        };
+        // `completed` counts plan items (a batch carries several), while
+        // `requests` counts HTTP requests — so completed may exceed
+        // requests; both must simply be live.
+        if *c == 0 || *r == 0 {
+            return Err(format!(
+                "tenant {tenant:?} counters dead: completed {c}, requests {r}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn uint(x: u64) -> Value {
     Value::Number(Number::PosInt(x))
 }
@@ -257,10 +495,218 @@ fn to_json(
     Value::Object(root)
 }
 
+/// The `ccs-serve-load/v3` document: the gated `gateway_mixed` bench plus
+/// ungated per-tenant latency entries.
+fn to_json_gateway(
+    clients: usize,
+    requests: usize,
+    total: &ClientOutcome,
+    elapsed: Duration,
+    latency: &Histogram,
+    tenant_latency: &BTreeMap<&str, Histogram>,
+) -> Value {
+    let answered = total.ok + total.errors;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut benches = BTreeMap::new();
+    let snap = latency.snapshot();
+    let mut mixed = BTreeMap::new();
+    mixed.insert(
+        "throughput_rps".to_string(),
+        num(answered as f64 / elapsed.as_secs_f64()),
+    );
+    mixed.insert("total_ms".to_string(), num(elapsed.as_secs_f64() * 1000.0));
+    mixed.insert("p50_ms".to_string(), num(ms(snap.quantile(0.50))));
+    mixed.insert("p99_ms".to_string(), num(ms(snap.quantile(0.99))));
+    mixed.insert("max_ms".to_string(), num(ms(snap.max)));
+    mixed.insert("ok".to_string(), uint(total.ok));
+    mixed.insert("errors".to_string(), uint(total.errors));
+    mixed.insert("rejected".to_string(), uint(total.rejected));
+    benches.insert("gateway_mixed".to_string(), Value::Object(mixed));
+    for (tenant, hist) in tenant_latency {
+        let snap = hist.snapshot();
+        let mut entry = BTreeMap::new();
+        entry.insert("requests".to_string(), uint(snap.count));
+        entry.insert("p50_ms".to_string(), num(ms(snap.quantile(0.50))));
+        entry.insert("p99_ms".to_string(), num(ms(snap.quantile(0.99))));
+        benches.insert(format!("gateway_tenant_{tenant}"), Value::Object(entry));
+    }
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("ccs-serve-load/v3".to_string()),
+    );
+    root.insert("mode".to_string(), Value::String("gateway".to_string()));
+    root.insert("clients".to_string(), uint(clients as u64));
+    root.insert("requests_per_client".to_string(), uint(requests as u64));
+    root.insert("benches".to_string(), Value::Object(benches));
+    Value::Object(root)
+}
+
+/// The `--gateway` run: in-process gateway on an ephemeral TCP port,
+/// mixed-tenant HTTP clients, stats probe, v3 document, gate.
+fn gateway_main(
+    clients: usize,
+    requests: usize,
+    shards: usize,
+    workers: usize,
+    out_path: Option<&str>,
+    check: bool,
+) -> ExitCode {
+    // Capture the baseline before writing anything (see bench_smoke).
+    let baseline = gate::newest_baseline(&["gateway_mixed"]);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener
+        .local_addr()
+        .expect("listener has a local addr")
+        .to_string();
+    let config = GatewayConfig {
+        shards,
+        workers_per_shard: workers.max(1),
+        queue_depth: 256,
+        ..GatewayConfig::default()
+    };
+    let scenarios = scenario_pool();
+    let latency = Histogram::new();
+    let tenant_latency: BTreeMap<&str, Histogram> = TENANTS
+        .iter()
+        .map(|tenant| (*tenant, Histogram::new()))
+        .collect();
+
+    let (summary, total, elapsed, stats_probe) = std::thread::scope(|scope| {
+        let config = &config;
+        let gateway = scope.spawn(move || run_gateway_on(listener, config));
+
+        let start = Instant::now();
+        let outcomes: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = &addr;
+                let scenarios = &scenarios;
+                let latency = &latency;
+                let tenant_hist = &tenant_latency[TENANTS[c % TENANTS.len()]];
+                scope.spawn(move || {
+                    run_gateway_client(addr, c, requests, scenarios, latency, tenant_hist)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        let elapsed = start.elapsed();
+
+        // All clients are done and their connections dropped: the gateway
+        // is quiescent, so the stats snapshot's counters are final.
+        let stats_probe = probe_gateway_stats(&addr);
+
+        {
+            let stream = TcpStream::connect(&addr).expect("shutdown connection");
+            let _ = stream.set_nodelay(true);
+            let mut reader = BufReader::new(stream.try_clone().expect("stream clone"));
+            let mut writer = stream;
+            http_round_trip(
+                &mut writer,
+                &mut reader,
+                "POST",
+                "/v1/shutdown",
+                "alpha",
+                "",
+            )
+            .expect("shutdown request");
+        }
+        let summary = gateway
+            .join()
+            .expect("gateway thread")
+            .expect("gateway serve");
+
+        let mut total = ClientOutcome {
+            ok: 0,
+            errors: 0,
+            rejected: 0,
+        };
+        for outcome in outcomes {
+            let outcome = outcome.expect("client io");
+            total.ok += outcome.ok;
+            total.errors += outcome.errors;
+            total.rejected += outcome.rejected;
+        }
+        (summary, total, elapsed, stats_probe)
+    });
+
+    let expected = clients as u64 * gateway_items(requests);
+    assert_eq!(
+        total.ok + total.errors,
+        expected,
+        "every plan item must be answered"
+    );
+    if let Err(why) = stats_probe {
+        eprintln!("error: gateway stats probe failed: {why}");
+        return ExitCode::FAILURE;
+    }
+    let snap = latency.snapshot();
+    eprintln!(
+        "serve_load --gateway: {clients} clients x {requests} round trips \
+         ({expected} items) in {:.1} ms ({:.0} items/s, p50 {:.2} ms, \
+         p99 {:.2} ms, max {:.2} ms) — ok {} errors {} rejected {} \
+         (gateway: requests {} batches {} rate_limited {})",
+        elapsed.as_secs_f64() * 1000.0,
+        expected as f64 / elapsed.as_secs_f64(),
+        snap.quantile(0.50) as f64 / 1e6,
+        snap.quantile(0.99) as f64 / 1e6,
+        snap.max as f64 / 1e6,
+        total.ok,
+        total.errors,
+        total.rejected,
+        summary.requests,
+        summary.batches,
+        summary.rate_limited,
+    );
+
+    let doc = to_json_gateway(
+        clients,
+        requests,
+        &total,
+        elapsed,
+        &latency,
+        &tenant_latency,
+    );
+    let json = serde_json::to_string_pretty(&doc).expect("results serialize");
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if check {
+        match baseline {
+            Some((name, base)) => {
+                let failures = gate::regressions(&doc, &base, &GATES);
+                if failures.is_empty() {
+                    eprintln!("serve-load gate: ok vs {name}");
+                } else {
+                    eprintln!("serve-load gate: FAILED vs {name}:");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("serve-load gate: no committed gateway baseline, skipping"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut clients = 4usize;
     let mut requests = 25usize;
     let mut workers = 0usize;
+    let mut shards = 0usize;
+    let mut gateway = false;
     let mut out_path: Option<String> = None;
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -278,6 +724,11 @@ fn main() -> ExitCode {
             "--clients" => uint_flag("clients").map(|n| clients = n.max(1)),
             "--requests" => uint_flag("requests").map(|n| requests = n.max(1)),
             "--workers" => uint_flag("workers").map(|n| workers = n),
+            "--shards" => uint_flag("shards").map(|n| shards = n),
+            "--gateway" => {
+                gateway = true;
+                Ok(())
+            }
             "--out" => {
                 out_path = args.next();
                 if out_path.is_none() {
@@ -291,14 +742,25 @@ fn main() -> ExitCode {
                 Ok(())
             }
             other => Err(format!(
-                "usage: serve_load [--clients N] [--requests M] [--workers W] \
-                 [--out FILE] [--check] (got '{other}')"
+                "usage: serve_load [--gateway] [--clients N] [--requests M] \
+                 [--workers W] [--shards S] [--out FILE] [--check] (got '{other}')"
             )),
         };
         if let Err(err) = parsed {
             eprintln!("error: {err}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if gateway {
+        return gateway_main(
+            clients,
+            requests,
+            shards,
+            workers,
+            out_path.as_deref(),
+            check,
+        );
     }
 
     // Capture the baseline before writing anything (see bench_smoke).

@@ -1,0 +1,690 @@
+//! The gateway engine: accept loop, tenant binding, sharded worker pools,
+//! batching, and the stats surface.
+//!
+//! ```text
+//!  TCP accept ─▶ connection thread ─▶ resolve tenant ─▶ rate limit
+//!                      │                                   │
+//!                      │            shard = scenario hash % N
+//!                      │                                   ▼
+//!                      │        ┌──────── AdmissionQueue[shard] ────────┐
+//!                      │        ▼                                       ▼
+//!                      │   shard workers … (tenant's cache, serve engine)
+//!                      │        │
+//!                      ◀── mpsc reply ──┘
+//!                      ▼
+//!               HTTP response (keep-alive)
+//! ```
+//!
+//! Sharding by scenario hash sends every request for one scenario to the
+//! same worker pool, so a burst of requests against one scenario builds
+//! its `ProblemTables` once and then rides the tenant cache, while other
+//! scenarios proceed on other shards. `/v1/batch` goes further: the whole
+//! group runs back-to-back on one worker, amortizing cache lookups too.
+//!
+//! Plan responses are rendered by the same [`ccs_serve::protocol`]
+//! functions the JSONL daemon uses, so a `/v1/plan` body is byte-identical
+//! to the daemon's response line — and its `result.text` to `ccs plan`
+//! stdout.
+
+use crate::http::{read_request, write_response, HttpRequest, ReadOutcome};
+use crate::tenant::{ResolveError, Tenant, TenantRegistry, Tier};
+use ccs_serve::cache::DEFAULT_CACHE_BYTES;
+use ccs_serve::engine;
+use ccs_serve::protocol::{err_response, ok_response, ErrorKind, ServeError};
+use ccs_serve::queue::{AdmissionQueue, AdmitError};
+use ccs_serve::scenario_hash;
+use ccs_serve::ServeObs;
+use ccs_telemetry::{CounterFamily, HistogramFamily};
+use serde::value::{Number, Value};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Version tag of the `/v1/stats` payload.
+pub const GATEWAY_STATS_SCHEMA: &str = "ccs-gateway-stats/v1";
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address, e.g. `127.0.0.1:7077` (`:0` = ephemeral port).
+    pub addr: String,
+    /// Worker-pool shards (scenario hash space partitions). `0` = auto:
+    /// half the machine's parallelism, clamped to `[1, 4]`.
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Queued-request cap per shard (beyond it: `429`).
+    pub queue_depth: usize,
+    /// Cap on one request body.
+    pub max_body_bytes: usize,
+    /// Cap on one `/v1/batch` request's item count.
+    pub batch_max: usize,
+    /// Byte budget of each tenant's private cache.
+    pub cache_bytes: usize,
+    /// Default rate-limit tier for self-declared tenants
+    /// (`rate <= 0` = unlimited).
+    pub rate: f64,
+    /// Default burst capacity.
+    pub burst: f64,
+    /// Optional tenants file mapping bearer tokens to named tenants and
+    /// their tiers (see [`TenantRegistry::load_tokens`]).
+    pub tenants_file: Option<String>,
+    /// Cap on distinct live tenants.
+    pub max_tenants: usize,
+    /// Idle keep-alive connections are dropped after this long.
+    pub idle_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            shards: 0,
+            workers_per_shard: 1,
+            queue_depth: 64,
+            max_body_bytes: 4 << 20,
+            batch_max: 64,
+            cache_bytes: DEFAULT_CACHE_BYTES / 8,
+            rate: 0.0,
+            burst: 0.0,
+            tenants_file: None,
+            max_tenants: 256,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl GatewayConfig {
+    fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        (cores / 2).clamp(1, 4)
+    }
+}
+
+/// Final counters of one gateway run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewaySummary {
+    /// HTTP requests served (all routes).
+    pub requests: u64,
+    /// Plan-route items answered `ok`.
+    pub completed: u64,
+    /// Plan-route items answered with an error.
+    pub errors: u64,
+    /// Items rejected by queue backpressure or drain.
+    pub rejected: u64,
+    /// Requests refused by a tenant's rate limit.
+    pub rate_limited: u64,
+    /// `/v1/batch` requests served.
+    pub batches: u64,
+    /// Items carried by those batches.
+    pub batch_items: u64,
+}
+
+/// One unit of worker work: a group of request bodies for one tenant,
+/// executed back-to-back on one worker (the batching amortization).
+struct GwJob {
+    tenant: Arc<Tenant>,
+    items: Vec<(usize, Value)>,
+    reply: mpsc::Sender<(usize, Result<Value, ServeError>)>,
+}
+
+struct GatewayState {
+    registry: TenantRegistry,
+    shards: Vec<AdmissionQueue<GwJob>>,
+    obs: ServeObs,
+    draining: AtomicBool,
+    // Global counters (always-on atomics via the telemetry family slot).
+    totals: CounterFamily,
+    tenant_requests: CounterFamily,
+    tenant_completed: CounterFamily,
+    tenant_errors: CounterFamily,
+    tenant_rate_limited: CounterFamily,
+    route_latency: HistogramFamily,
+    max_body_bytes: usize,
+    batch_max: usize,
+    idle_timeout: Duration,
+}
+
+fn status_of(kind: ErrorKind) -> u16 {
+    match kind {
+        ErrorKind::BadRequest => 400,
+        ErrorKind::Rejected => 429,
+        ErrorKind::Failed => 422,
+        ErrorKind::Internal => 500,
+        ErrorKind::Expired => 504,
+    }
+}
+
+/// A response value mirroring [`ok_response`] for batch items.
+fn ok_value(result: Value) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("ok".to_string(), Value::Bool(true));
+    map.insert("result".to_string(), result);
+    Value::Object(map)
+}
+
+/// A response value mirroring [`err_response`] for batch items.
+fn err_value(error: &ServeError) -> Value {
+    let mut detail = BTreeMap::new();
+    detail.insert(
+        "kind".to_string(),
+        Value::String(error.kind.name().to_string()),
+    );
+    detail.insert("message".to_string(), Value::String(error.message.clone()));
+    let mut map = BTreeMap::new();
+    map.insert("error".to_string(), Value::Object(detail));
+    map.insert("ok".to_string(), Value::Bool(false));
+    Value::Object(map)
+}
+
+impl GatewayState {
+    fn new(config: &GatewayConfig) -> std::io::Result<Self> {
+        let default_tier = Tier {
+            rate: config.rate,
+            burst: if config.burst > 0.0 {
+                config.burst
+            } else {
+                config.rate.max(1.0)
+            },
+        };
+        let mut registry =
+            TenantRegistry::new(config.cache_bytes, default_tier, config.max_tenants);
+        if let Some(path) = &config.tenants_file {
+            let text = std::fs::read_to_string(path)?;
+            let value: Value = serde_json::from_str(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("tenants file {path}: {e}"),
+                )
+            })?;
+            registry.load_tokens(&value).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("tenants file {path}: {e}"),
+                )
+            })?;
+        }
+        let shards = (0..config.resolved_shards())
+            .map(|_| AdmissionQueue::new(config.queue_depth))
+            .collect();
+        Ok(GatewayState {
+            registry,
+            shards,
+            obs: ServeObs::new(None, None),
+            draining: AtomicBool::new(false),
+            totals: CounterFamily::new(16),
+            tenant_requests: CounterFamily::new(config.max_tenants + 1),
+            tenant_completed: CounterFamily::new(config.max_tenants + 1),
+            tenant_errors: CounterFamily::new(config.max_tenants + 1),
+            tenant_rate_limited: CounterFamily::new(config.max_tenants + 1),
+            route_latency: HistogramFamily::new(16),
+            max_body_bytes: config.max_body_bytes,
+            batch_max: config.batch_max,
+            idle_timeout: config.idle_timeout,
+        })
+    }
+
+    fn shard_of(&self, body: &Value) -> usize {
+        let hash = match body.field("scenario") {
+            Value::Null => 0,
+            value => scenario_hash(value),
+        };
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Executes one worker job: every item of the group, back-to-back,
+    /// against the owning tenant's cache.
+    fn run_job(&self, job: GwJob) {
+        for (index, body) in job.items {
+            let mut trace = self.obs.start();
+            let cmd = match body.field("cmd") {
+                Value::Null => "plan".to_string(),
+                Value::String(s) => s.clone(),
+                other => {
+                    let err = ServeError::bad_request(format!(
+                        "'cmd' must be a string, got {}",
+                        other.kind()
+                    ));
+                    let _ = job.reply.send((index, Err(err)));
+                    continue;
+                }
+            };
+            let outcome = engine::execute(&job.tenant.cache, &cmd, &body, &mut trace);
+            let status = match &outcome {
+                Ok(_) => "ok",
+                Err(e) => e.kind.name(),
+            };
+            match &outcome {
+                Ok(handled) => {
+                    self.totals.get("completed").incr();
+                    self.tenant_completed.get(job.tenant.name()).incr();
+                    if handled.scenario_hit == Some(true) {
+                        self.totals.get("scenario_hits").incr();
+                    }
+                    if handled.plan_hit == Some(true) {
+                        self.totals.get("plan_hits").incr();
+                    }
+                }
+                Err(_) => {
+                    self.totals.get("errors").incr();
+                    self.tenant_errors.get(job.tenant.name()).incr();
+                }
+            }
+            self.obs.finish(&trace, &cmd, status);
+            let _ = job
+                .reply
+                .send((index, outcome.map(|handled| handled.result)));
+        }
+    }
+
+    /// Dispatches `items` for `tenant` across the shards and collects the
+    /// per-item outcomes in request order.
+    fn dispatch(&self, tenant: &Arc<Tenant>, items: Vec<Value>) -> Vec<Result<Value, ServeError>> {
+        let total = items.len();
+        let (reply, replies) = mpsc::channel();
+        let mut groups: BTreeMap<usize, Vec<(usize, Value)>> = BTreeMap::new();
+        for (index, body) in items.into_iter().enumerate() {
+            groups
+                .entry(self.shard_of(&body))
+                .or_default()
+                .push((index, body));
+        }
+        let mut results: Vec<Option<Result<Value, ServeError>>> =
+            (0..total).map(|_| None).collect();
+        let mut pending = 0usize;
+        for (shard, group) in groups {
+            let indexes: Vec<usize> = group.iter().map(|(i, _)| *i).collect();
+            let job = GwJob {
+                tenant: Arc::clone(tenant),
+                items: group,
+                reply: reply.clone(),
+            };
+            match self.shards[shard].try_push(job) {
+                Ok(()) => pending += indexes.len(),
+                Err(reason) => {
+                    let err = match reason {
+                        AdmitError::Full { depth } => ServeError::rejected(format!(
+                            "shard {shard} queue full (depth {depth})"
+                        )),
+                        AdmitError::Draining => ServeError::rejected("draining"),
+                    };
+                    self.totals.get("rejected").add(indexes.len() as u64);
+                    for index in indexes {
+                        results[index] = Some(Err(err.clone()));
+                    }
+                }
+            }
+        }
+        drop(reply);
+        for _ in 0..pending {
+            // Workers always answer every admitted item (the engine
+            // converts panics to errors), so this cannot deadlock; the
+            // Err arm covers workers lost to a poisoned process state.
+            match replies.recv() {
+                Ok((index, outcome)) => results[index] = Some(outcome),
+                Err(_) => break,
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(ServeError::internal("worker reply lost"))))
+            .collect()
+    }
+
+    /// Binds the request to a tenant and spends its rate-limit token.
+    fn admit(&self, req: &HttpRequest) -> Result<Arc<Tenant>, (u16, String)> {
+        let tenant = match self
+            .registry
+            .resolve(req.header("authorization"), req.header("x-tenant"))
+        {
+            Ok(tenant) => tenant,
+            Err(ResolveError::UnknownToken) => {
+                let err = ServeError::bad_request("unknown bearer token");
+                return Err((401, err_response(&Value::Null, &err)));
+            }
+            Err(ResolveError::BadName(name)) => {
+                let err = ServeError::bad_request(format!(
+                    "invalid X-Tenant {name:?}: want 1-64 chars of [A-Za-z0-9_-]"
+                ));
+                return Err((400, err_response(&Value::Null, &err)));
+            }
+            Err(ResolveError::TooManyTenants) => {
+                let err = ServeError::rejected("tenant capacity reached");
+                return Err((429, err_response(&Value::Null, &err)));
+            }
+        };
+        self.tenant_requests.get(tenant.name()).incr();
+        if !tenant.admit() {
+            self.totals.get("rate_limited").incr();
+            self.tenant_rate_limited.get(tenant.name()).incr();
+            let err = ServeError::rejected(format!("tenant {} rate limit exceeded", tenant.name()));
+            return Err((429, err_response(&Value::Null, &err)));
+        }
+        Ok(tenant)
+    }
+
+    fn parse_body(&self, req: &HttpRequest) -> Result<Value, (u16, String)> {
+        let text = std::str::from_utf8(&req.body).map_err(|_| {
+            let err = ServeError::bad_request("body is not valid UTF-8");
+            (400, err_response(&Value::Null, &err))
+        })?;
+        serde_json::from_str(text).map_err(|e| {
+            let err = ServeError::bad_request(format!("malformed body: {e}"));
+            (400, err_response(&Value::Null, &err))
+        })
+    }
+
+    /// `POST /v1/plan` — one request body, JSONL-daemon semantics.
+    fn plan_route(&self, req: &HttpRequest) -> (u16, String) {
+        let tenant = match self.admit(req) {
+            Ok(tenant) => tenant,
+            Err(refusal) => return refusal,
+        };
+        let body = match self.parse_body(req) {
+            Ok(body) => body,
+            Err(refusal) => return refusal,
+        };
+        if body.as_object().is_none() {
+            let err = ServeError::bad_request(format!(
+                "request must be a JSON object, got {}",
+                body.kind()
+            ));
+            return (400, err_response(&Value::Null, &err));
+        }
+        let id = body.field("id").clone();
+        let outcome = self.dispatch(&tenant, vec![body]).pop().expect("one item");
+        match outcome {
+            Ok(result) => (200, ok_response(&id, result)),
+            Err(err) => (status_of(err.kind), err_response(&id, &err)),
+        }
+    }
+
+    /// `POST /v1/batch` — many plan bodies in one HTTP request, grouped by
+    /// scenario so each group amortizes one tables build.
+    fn batch_route(&self, req: &HttpRequest) -> (u16, String) {
+        let tenant = match self.admit(req) {
+            Ok(tenant) => tenant,
+            Err(refusal) => return refusal,
+        };
+        let body = match self.parse_body(req) {
+            Ok(body) => body,
+            Err(refusal) => return refusal,
+        };
+        let id = body.field("id").clone();
+        let Value::Array(items) = body.field("requests") else {
+            let err = ServeError::bad_request("missing 'requests' array");
+            return (400, err_response(&id, &err));
+        };
+        if items.is_empty() || items.len() > self.batch_max {
+            let err = ServeError::bad_request(format!(
+                "'requests' must carry 1..={} items, got {}",
+                self.batch_max,
+                items.len()
+            ));
+            return (400, err_response(&id, &err));
+        }
+        self.totals.get("batches").incr();
+        self.totals.get("batch_items").add(items.len() as u64);
+        let outcomes = self.dispatch(&tenant, items.clone());
+        let rendered: Vec<Value> = outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(result) => ok_value(result),
+                Err(err) => err_value(&err),
+            })
+            .collect();
+        (200, ok_response(&id, Value::Array(rendered)))
+    }
+
+    fn stats_route(&self) -> (u16, String) {
+        let uint = |v: u64| Value::Number(Number::PosInt(v));
+        let counter = |name: &str| uint(self.totals.get(name).get());
+        let mut requests = BTreeMap::new();
+        requests.insert("batch_items".to_string(), counter("batch_items"));
+        requests.insert("batches".to_string(), counter("batches"));
+        requests.insert("completed".to_string(), counter("completed"));
+        requests.insert("errors".to_string(), counter("errors"));
+        requests.insert("http".to_string(), counter("http"));
+        requests.insert("plan_hits".to_string(), counter("plan_hits"));
+        requests.insert("rate_limited".to_string(), counter("rate_limited"));
+        requests.insert("rejected".to_string(), counter("rejected"));
+        requests.insert("scenario_hits".to_string(), counter("scenario_hits"));
+
+        let mut queue = BTreeMap::new();
+        queue.insert("shards".to_string(), uint(self.shards.len() as u64));
+        queue.insert(
+            "depth".to_string(),
+            uint(self.shards.iter().map(|s| s.len() as u64).sum()),
+        );
+        queue.insert(
+            "capacity".to_string(),
+            uint(self.shards.iter().map(|s| s.depth() as u64).sum()),
+        );
+
+        let mut tenants = BTreeMap::new();
+        for tenant in self.registry.snapshot() {
+            let mut cache = BTreeMap::new();
+            cache.insert("bytes".to_string(), uint(tenant.cache.bytes() as u64));
+            cache.insert("evictions".to_string(), uint(tenant.cache.evictions()));
+            cache.insert("hits".to_string(), uint(tenant.cache.hits()));
+            cache.insert("misses".to_string(), uint(tenant.cache.misses()));
+            cache.insert(
+                "plans".to_string(),
+                uint(tenant.cache.plans_cached() as u64),
+            );
+            cache.insert(
+                "scenarios".to_string(),
+                uint(tenant.cache.scenarios() as u64),
+            );
+            let mut entry = BTreeMap::new();
+            entry.insert("cache".to_string(), Value::Object(cache));
+            entry.insert(
+                "completed".to_string(),
+                uint(self.tenant_completed.get(tenant.name()).get()),
+            );
+            entry.insert(
+                "errors".to_string(),
+                uint(self.tenant_errors.get(tenant.name()).get()),
+            );
+            entry.insert(
+                "rate_limited".to_string(),
+                uint(self.tenant_rate_limited.get(tenant.name()).get()),
+            );
+            entry.insert(
+                "requests".to_string(),
+                uint(self.tenant_requests.get(tenant.name()).get()),
+            );
+            tenants.insert(tenant.name().to_string(), Value::Object(entry));
+        }
+
+        let mut http_latency = BTreeMap::new();
+        for (route, hist) in self.route_latency.snapshot() {
+            http_latency.insert(route, ccs_serve::obs::latency_entry(&hist.snapshot()));
+        }
+
+        let mut map = BTreeMap::new();
+        map.insert("http_latency_us".to_string(), Value::Object(http_latency));
+        map.insert("latency_us".to_string(), self.obs.latency_value());
+        map.insert("queue".to_string(), Value::Object(queue));
+        map.insert("requests".to_string(), Value::Object(requests));
+        map.insert(
+            "schema".to_string(),
+            Value::String(GATEWAY_STATS_SCHEMA.to_string()),
+        );
+        map.insert("tenants".to_string(), Value::Object(tenants));
+        map.insert(
+            "uptime_s".to_string(),
+            Value::Number(Number::Float(self.obs.uptime_s())),
+        );
+        (200, ok_response(&Value::Null, Value::Object(map)))
+    }
+
+    /// Routes one request. Returns `(status, body, close_after)`.
+    fn route(&self, req: &HttpRequest) -> (u16, String, bool) {
+        self.totals.get("http").incr();
+        let started = Instant::now();
+        let (route_label, (status, body), close) = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let mut map = BTreeMap::new();
+                map.insert("ok".to_string(), Value::Bool(true));
+                (
+                    "healthz",
+                    (200, ok_response(&Value::Null, Value::Object(map))),
+                    false,
+                )
+            }
+            ("GET", "/v1/stats") => ("stats", self.stats_route(), false),
+            ("POST", "/v1/plan") => ("plan", self.plan_route(req), false),
+            ("POST", "/v1/batch") => ("batch", self.batch_route(req), false),
+            ("POST", "/v1/shutdown") => {
+                self.draining.store(true, Ordering::Relaxed);
+                let mut map = BTreeMap::new();
+                map.insert("draining".to_string(), Value::Bool(true));
+                (
+                    "shutdown",
+                    (200, ok_response(&Value::Null, Value::Object(map))),
+                    true,
+                )
+            }
+            _ => {
+                let err = ServeError::bad_request(format!("no route {} {}", req.method, req.path));
+                ("none", (404, err_response(&Value::Null, &err)), false)
+            }
+        };
+        self.route_latency
+            .get(route_label)
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        (status, body, close)
+    }
+
+    fn summary(&self) -> GatewaySummary {
+        GatewaySummary {
+            requests: self.totals.get("http").get(),
+            completed: self.totals.get("completed").get(),
+            errors: self.totals.get("errors").get(),
+            rejected: self.totals.get("rejected").get(),
+            rate_limited: self.totals.get("rate_limited").get(),
+            batches: self.totals.get("batches").get(),
+            batch_items: self.totals.get("batch_items").get(),
+        }
+    }
+}
+
+fn handle_connection(state: &GatewayState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.idle_timeout));
+    // One buffered write per response + TCP_NODELAY: without these, each
+    // formatted fragment becomes its own small segment and Nagle stalls
+    // every keep-alive round trip on the peer's delayed ACK (~40 ms).
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut out = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, state.max_body_bytes) {
+            // Idle past the timeout (or transport error): drop the
+            // connection, so drain never waits on a silent client.
+            Err(_) | Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Bad(message)) => {
+                // The stream cannot be resynchronized after a framing
+                // error; answer and close.
+                let err = ServeError::bad_request(message);
+                let body = err_response(&Value::Null, &err);
+                let _ = write_response(&mut out, 400, &body, false);
+                break;
+            }
+            Ok(ReadOutcome::Request(req)) => {
+                let (status, body, close_after) = state.route(&req);
+                let keep =
+                    req.keep_alive() && !close_after && !state.draining.load(Ordering::Relaxed);
+                if write_response(&mut out, status, &body, keep).is_err() || !keep {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Binds `config.addr` and serves until a `/v1/shutdown` drains the
+/// gateway. See [`run_gateway_on`] for the listener-injected variant.
+///
+/// # Errors
+///
+/// Binding the listener, or an invalid tenants file.
+pub fn run_gateway(config: &GatewayConfig) -> std::io::Result<GatewaySummary> {
+    let listener = TcpListener::bind(&config.addr)?;
+    eprintln!(
+        "gateway: listening on {}",
+        listener
+            .local_addr()
+            .map_or_else(|_| config.addr.clone(), |a| a.to_string())
+    );
+    run_gateway_on(listener, config)
+}
+
+/// Serves an already-bound listener (tests bind port 0 and read
+/// `local_addr` first). Returns after a `/v1/shutdown` request has
+/// drained all shards.
+///
+/// # Errors
+///
+/// Configuring the listener, or an invalid tenants file.
+pub fn run_gateway_on(
+    listener: TcpListener,
+    config: &GatewayConfig,
+) -> std::io::Result<GatewaySummary> {
+    listener.set_nonblocking(true)?;
+    let state = GatewayState::new(config)?;
+    let state_ref = &state;
+    let workers_per_shard = config.workers_per_shard.max(1);
+    std::thread::scope(|scope| {
+        for shard in &state_ref.shards {
+            for _ in 0..workers_per_shard {
+                scope.spawn(move || {
+                    while let Some(job) = shard.pop() {
+                        state_ref.run_job(job);
+                    }
+                });
+            }
+        }
+        while !state_ref.draining.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    scope.spawn(move || handle_connection(state_ref, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+        for shard in &state_ref.shards {
+            shard.close();
+        }
+        // Scope exit joins the workers (the drain) and the connection
+        // threads (bounded by the idle timeout).
+    });
+    let summary = state.summary();
+    eprintln!(
+        "gateway: drained — requests={} completed={} errors={} rejected={} \
+         rate_limited={} batches={} batch_items={}",
+        summary.requests,
+        summary.completed,
+        summary.errors,
+        summary.rejected,
+        summary.rate_limited,
+        summary.batches,
+        summary.batch_items,
+    );
+    Ok(summary)
+}

@@ -1,0 +1,307 @@
+//! Tenancy: namespaced caches, admission tiers, and identity resolution.
+//!
+//! A tenant is the unit of isolation in the gateway: each gets its own
+//! byte-budgeted [`PlanCache`] (one tenant's eviction pressure never
+//! evicts another's entries) and its own token-bucket rate limit. Identity
+//! comes from `Authorization: Bearer <token>` (mapped to a named tenant
+//! with its configured tier via the tenants file) or the `X-Tenant` header
+//! (self-declared, default tier); requests carrying neither land on the
+//! [`DEFAULT_TENANT`]. Unknown bearer tokens are refused — a typo'd token
+//! must not silently create a fresh tenant with a fresh quota.
+//!
+//! Tenant names are client-controlled, so the registry caps how many
+//! distinct tenants exist; past the cap, new names are refused rather
+//! than growing gateway memory without bound.
+
+use ccs_serve::lock_unpoisoned;
+use ccs_serve::PlanCache;
+use serde::value::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The tenant serving requests that carry no identity.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Cap on a tenant name's length (see [`valid_name`]).
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// A rate-limit tier: a token bucket refilled at `rate` requests/second
+/// with capacity `burst`. `rate <= 0` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tier {
+    /// Sustained requests per second.
+    pub rate: f64,
+    /// Burst capacity (instantaneous requests from a full bucket).
+    pub burst: f64,
+}
+
+impl Tier {
+    /// The no-limit tier.
+    pub fn unlimited() -> Self {
+        Tier {
+            rate: 0.0,
+            burst: 0.0,
+        }
+    }
+
+    /// Whether this tier imposes no limit.
+    pub fn is_unlimited(&self) -> bool {
+        self.rate <= 0.0
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// One tenant: its namespaced cache, tier, and bucket state.
+pub struct Tenant {
+    name: String,
+    /// The tenant's private plan/scenario cache.
+    pub cache: PlanCache,
+    tier: Tier,
+    bucket: Mutex<Bucket>,
+}
+
+impl Tenant {
+    fn new(name: &str, cache_bytes: usize, tier: Tier) -> Self {
+        Tenant {
+            name: name.to_string(),
+            cache: PlanCache::with_budget(cache_bytes),
+            tier,
+            bucket: Mutex::new(Bucket {
+                tokens: tier.burst.max(1.0),
+                refilled: Instant::now(),
+            }),
+        }
+    }
+
+    /// The tenant's name (the stats key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's tier.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Spends one request from the token bucket. `false` = rate-limited.
+    pub fn admit(&self) -> bool {
+        if self.tier.is_unlimited() {
+            return true;
+        }
+        let mut bucket = lock_unpoisoned(&self.bucket);
+        let now = Instant::now();
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.tier.rate).min(self.tier.burst.max(1.0));
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Whether `name` is an acceptable self-declared tenant name: 1–64 chars
+/// of `[A-Za-z0-9_-]`. Anything else (path separators, control bytes,
+/// megabyte names) is refused before it becomes a map key or stats label.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_NAME
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Why a request could not be bound to a tenant.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The bearer token is not in the tenants file → `401`.
+    UnknownToken,
+    /// The `X-Tenant` value fails [`valid_name`] → `400`.
+    BadName(String),
+    /// The registry is at its tenant cap → `429`.
+    TooManyTenants,
+}
+
+/// The tenant registry: name → tenant, token → (name, tier).
+pub struct TenantRegistry {
+    tenants: Mutex<BTreeMap<String, Arc<Tenant>>>,
+    tokens: BTreeMap<String, (String, Tier)>,
+    default_tier: Tier,
+    cache_bytes: usize,
+    max_tenants: usize,
+}
+
+impl TenantRegistry {
+    /// A registry with per-tenant caches of `cache_bytes`, self-declared
+    /// tenants on `default_tier`, and at most `max_tenants` tenants.
+    pub fn new(cache_bytes: usize, default_tier: Tier, max_tenants: usize) -> Self {
+        TenantRegistry {
+            tenants: Mutex::new(BTreeMap::new()),
+            tokens: BTreeMap::new(),
+            default_tier,
+            cache_bytes,
+            max_tenants: max_tenants.max(1),
+        }
+    }
+
+    /// Installs the token map from a parsed tenants file:
+    /// `{"tenants": [{"name", "token", "rate", "burst"}, ...]}` —
+    /// `rate`/`burst` optional (default tier when absent).
+    ///
+    /// # Errors
+    ///
+    /// A message describing the first malformed entry.
+    pub fn load_tokens(&mut self, value: &Value) -> Result<(), String> {
+        let Value::Array(entries) = value.field("tenants") else {
+            return Err("tenants file must carry a 'tenants' array".to_string());
+        };
+        for entry in entries {
+            let Value::String(name) = entry.field("name") else {
+                return Err("tenant entry missing string 'name'".to_string());
+            };
+            if !valid_name(name) {
+                return Err(format!("invalid tenant name {name:?}"));
+            }
+            let Value::String(token) = entry.field("token") else {
+                return Err(format!("tenant {name:?} missing string 'token'"));
+            };
+            let mut tier = self.default_tier;
+            if let Value::Number(n) = entry.field("rate") {
+                tier.rate = n.as_f64();
+            }
+            if let Value::Number(n) = entry.field("burst") {
+                tier.burst = n.as_f64();
+            }
+            self.tokens.insert(token.clone(), (name.clone(), tier));
+        }
+        Ok(())
+    }
+
+    fn get_or_create(&self, name: &str, tier: Tier) -> Result<Arc<Tenant>, ResolveError> {
+        let mut tenants = lock_unpoisoned(&self.tenants);
+        if let Some(tenant) = tenants.get(name) {
+            return Ok(Arc::clone(tenant));
+        }
+        if tenants.len() >= self.max_tenants {
+            return Err(ResolveError::TooManyTenants);
+        }
+        let tenant = Arc::new(Tenant::new(name, self.cache_bytes, tier));
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Binds a request to its tenant from the `Authorization` and
+    /// `X-Tenant` headers (either may be absent).
+    ///
+    /// # Errors
+    ///
+    /// See [`ResolveError`] for the refusal cases and their statuses.
+    pub fn resolve(
+        &self,
+        authorization: Option<&str>,
+        x_tenant: Option<&str>,
+    ) -> Result<Arc<Tenant>, ResolveError> {
+        if let Some(auth) = authorization {
+            let token = auth.strip_prefix("Bearer ").unwrap_or(auth).trim();
+            let Some((name, tier)) = self.tokens.get(token) else {
+                return Err(ResolveError::UnknownToken);
+            };
+            return self.get_or_create(name, *tier);
+        }
+        if let Some(name) = x_tenant {
+            if !valid_name(name) {
+                return Err(ResolveError::BadName(name.to_string()));
+            }
+            return self.get_or_create(name, self.default_tier);
+        }
+        self.get_or_create(DEFAULT_TENANT, Tier::unlimited())
+    }
+
+    /// All live tenants, sorted by name (for the stats snapshot).
+    pub fn snapshot(&self) -> Vec<Arc<Tenant>> {
+        lock_unpoisoned(&self.tenants)
+            .values()
+            .map(Arc::clone)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_validated() {
+        assert!(valid_name("acme-01_x"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("héllo"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn header_tenants_share_an_instance_and_caps_hold() {
+        let registry = TenantRegistry::new(1 << 20, Tier::unlimited(), 2);
+        let a1 = registry.resolve(None, Some("a")).unwrap();
+        let a2 = registry.resolve(None, Some("a")).unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        registry.resolve(None, Some("b")).unwrap();
+        let Err(capped) = registry.resolve(None, Some("c")) else {
+            panic!("tenant cap must refuse a third tenant");
+        };
+        assert_eq!(capped, ResolveError::TooManyTenants);
+        let Err(bad) = registry.resolve(None, Some("no spaces")) else {
+            panic!("invalid names must be refused");
+        };
+        assert_eq!(bad, ResolveError::BadName("no spaces".to_string()));
+    }
+
+    #[test]
+    fn tokens_map_to_named_tenants_with_their_tier() {
+        let mut registry = TenantRegistry::new(1 << 20, Tier::unlimited(), 8);
+        let file: Value = serde_json::from_str(
+            r#"{"tenants":[{"name":"acme","token":"tok_a","rate":2.0,"burst":3.0}]}"#,
+        )
+        .unwrap();
+        registry.load_tokens(&file).unwrap();
+        let acme = registry.resolve(Some("Bearer tok_a"), None).unwrap();
+        assert_eq!(acme.name(), "acme");
+        assert_eq!(
+            acme.tier(),
+            Tier {
+                rate: 2.0,
+                burst: 3.0
+            }
+        );
+        let Err(unknown) = registry.resolve(Some("Bearer wrong"), None) else {
+            panic!("unknown tokens must be refused");
+        };
+        assert_eq!(unknown, ResolveError::UnknownToken);
+    }
+
+    #[test]
+    fn token_bucket_limits_bursts_and_unlimited_never_blocks() {
+        let tenant = Tenant::new(
+            "t",
+            1 << 20,
+            Tier {
+                rate: 0.001,
+                burst: 2.0,
+            },
+        );
+        assert!(tenant.admit());
+        assert!(tenant.admit());
+        assert!(!tenant.admit(), "burst of 2 spent, refill is ~0");
+        let open = Tenant::new("o", 1 << 20, Tier::unlimited());
+        for _ in 0..1000 {
+            assert!(open.admit());
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Gateway protocol suite: keep-alive, malformed requests, framing
+//! errors, tenant isolation, rate limiting, batching, and byte-identity
+//! of `/v1/plan` with the JSONL daemon's response line.
+
+use ccs_gateway::prelude::*;
+use ccs_serve::engine;
+use ccs_serve::protocol::ok_response;
+use ccs_serve::{PlanCache, ServeObs};
+use ccs_wrsn::scenario::ScenarioGenerator;
+use serde::value::Value;
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+/// A gateway running on an ephemeral port, shut down on `stop()`.
+struct TestGateway {
+    addr: std::net::SocketAddr,
+    thread: JoinHandle<std::io::Result<GatewaySummary>>,
+}
+
+fn start_gateway(mut config: GatewayConfig) -> TestGateway {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    config.idle_timeout = std::time::Duration::from_secs(2);
+    let thread = std::thread::spawn(move || run_gateway_on(listener, &config));
+    TestGateway { addr, thread }
+}
+
+impl TestGateway {
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(self.addr).expect("connect to gateway")
+    }
+
+    fn stop(self) -> GatewaySummary {
+        let mut stream = self.connect();
+        let _ = request(&mut stream, "POST", "/v1/shutdown", &[], "");
+        self.thread
+            .join()
+            .expect("gateway thread")
+            .expect("gateway run")
+    }
+}
+
+/// Sends one request and reads one response off `stream`.
+fn request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String) {
+    let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(raw.as_bytes()).expect("write request");
+    read_response(stream)
+}
+
+/// Reads one `Content-Length`-framed response.
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(raw) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = raw.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn scenario_value(seed: u64, devices: usize) -> Value {
+    ScenarioGenerator::new(seed)
+        .devices(devices)
+        .chargers(3)
+        .generate()
+        .to_value()
+}
+
+fn plan_body(seed: u64, devices: usize, algo: &str, sharing: &str, id: u64) -> String {
+    let scenario = serde_json::to_string(&scenario_value(seed, devices)).expect("serializes");
+    format!(
+        r#"{{"id":{id},"cmd":"plan","scenario":{scenario},"algo":"{algo}","sharing":"{sharing}"}}"#
+    )
+}
+
+fn parsed(body: &str) -> Value {
+    serde_json::from_str(body).expect("response body parses")
+}
+
+/// Byte-identity: the `/v1/plan` HTTP body must equal the JSONL daemon's
+/// response line for the same request, across the full 27-request grid
+/// (3 seeds x 3 algorithms x 3 sharing schemes). Combined with the serve
+/// crate's `served_plan_is_byte_identical_to_direct_computation` (daemon
+/// line == one-shot `ccs plan` stdout), this pins the whole chain.
+#[test]
+fn plan_responses_are_byte_identical_to_the_daemon_for_27_requests() {
+    let gateway = start_gateway(GatewayConfig::default());
+    let reference = PlanCache::new();
+    let obs = ServeObs::new(None, None);
+    let mut stream = gateway.connect();
+    let mut id = 0u64;
+    for seed in [41, 42, 43] {
+        for algo in ["ccsa", "ccsga", "ncp"] {
+            for sharing in ["equal", "proportional", "shapley"] {
+                id += 1;
+                let body = plan_body(seed, 8, algo, sharing, id);
+                let (status, got) = request(&mut stream, "POST", "/v1/plan", &[], &body);
+                assert_eq!(status, 200, "{algo}/{sharing}: {got}");
+
+                let request_value: Value = serde_json::from_str(&body).unwrap();
+                let mut trace = obs.start();
+                let handled = engine::execute(&reference, "plan", &request_value, &mut trace)
+                    .expect("reference plan");
+                let expected = ok_response(request_value.field("id"), handled.result);
+                assert_eq!(got, expected, "seed {seed} {algo}/{sharing}");
+            }
+        }
+    }
+    drop(stream);
+    let summary = gateway.stop();
+    assert_eq!(summary.completed, 27);
+    assert_eq!(summary.errors, 0);
+}
+
+/// One connection, many requests: HTTP/1.1 keep-alive must reuse the
+/// stream, and `Connection: close` must end it.
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let gateway = start_gateway(GatewayConfig::default());
+    let mut stream = gateway.connect();
+    for id in 1..=5u64 {
+        let body = plan_body(7, 6, "ccsa", "equal", id);
+        let (status, response) = request(&mut stream, "POST", "/v1/plan", &[], &body);
+        assert_eq!(status, 200);
+        let value = parsed(&response);
+        assert_eq!(value.field("ok"), &Value::Bool(true));
+        assert_eq!(
+            value.field("id"),
+            &Value::Number(serde::value::Number::PosInt(id))
+        );
+    }
+    // Same stream, now with Connection: close — answered, then closed.
+    let (status, _) = request(
+        &mut stream,
+        "GET",
+        "/healthz",
+        &[("Connection", "close")],
+        "",
+    );
+    assert_eq!(status, 200);
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "server closed after Connection: close");
+    drop(stream);
+    gateway.stop();
+}
+
+/// Malformed request lines, bad headers, and unsupported framing are
+/// answered `400` (not dropped, not fatal), and the gateway keeps serving
+/// fresh connections afterwards.
+#[test]
+fn malformed_requests_get_400_and_the_gateway_survives() {
+    let gateway = start_gateway(GatewayConfig::default());
+    for raw in [
+        "NOT-EVEN-HTTP\r\n\r\n",
+        "GET /healthz SPDY/3\r\n\r\n",
+        "GET /healthz HTTP/1.1\r\nbroken header line\r\n\r\n",
+        "POST /v1/plan HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        "POST /v1/plan HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    ] {
+        let mut stream = gateway.connect();
+        stream.write_all(raw.as_bytes()).expect("write");
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 400, "raw {raw:?}: {body}");
+        let value = parsed(&body);
+        assert_eq!(value.field("ok"), &Value::Bool(false));
+    }
+    // Content-Length mismatch: declared longer than sent.
+    let mut stream = gateway.connect();
+    stream
+        .write_all(b"POST /v1/plan HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        .expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("content-length mismatch"), "{body}");
+
+    // The daemon is still alive and serving.
+    let mut stream = gateway.connect();
+    let (status, _) = request(&mut stream, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200);
+    drop(stream);
+    gateway.stop();
+}
+
+/// Tenant isolation: tenant A's eviction pressure (many distinct
+/// scenarios against a tiny per-tenant cache budget) must not evict
+/// tenant B's cached scenario.
+#[test]
+fn tenant_a_eviction_pressure_does_not_evict_tenant_b() {
+    let config = GatewayConfig {
+        cache_bytes: 64 << 10,
+        ..GatewayConfig::default()
+    };
+    let gateway = start_gateway(config);
+    let mut stream = gateway.connect();
+    let b_headers = [("X-Tenant", "tenant-b")];
+    let a_headers = [("X-Tenant", "tenant-a")];
+
+    // Warm tenant B with one scenario.
+    let (status, _) = request(
+        &mut stream,
+        "POST",
+        "/v1/plan",
+        &b_headers,
+        &plan_body(100, 6, "ccsa", "equal", 1),
+    );
+    assert_eq!(status, 200);
+
+    // Hammer tenant A with enough distinct scenarios to overflow its
+    // 64 KiB budget several times over.
+    for seed in 0..24u64 {
+        let (status, _) = request(
+            &mut stream,
+            "POST",
+            "/v1/plan",
+            &a_headers,
+            &plan_body(200 + seed, 6, "ccsa", "equal", 10 + seed),
+        );
+        assert_eq!(status, 200);
+    }
+
+    let (status, stats) = request(&mut stream, "GET", "/v1/stats", &[], "");
+    assert_eq!(status, 200);
+    let stats = parsed(&stats);
+    let tenants = stats.field("result").field("tenants");
+    let a_cache = tenants.field("tenant-a").field("cache");
+    let b_cache = tenants.field("tenant-b").field("cache");
+    let num = |v: &Value| match v {
+        Value::Number(n) => n.as_f64() as u64,
+        other => panic!("expected number, got {other:?}"),
+    };
+    assert!(
+        num(a_cache.field("evictions")) > 0,
+        "tenant A must be under eviction pressure: {a_cache:?}"
+    );
+    assert_eq!(
+        num(b_cache.field("evictions")),
+        0,
+        "tenant B saw no eviction pressure"
+    );
+    assert_eq!(num(b_cache.field("scenarios")), 1);
+
+    // Tenant B's entry is still hot: replaying its request hits the cache.
+    let before = num(b_cache.field("hits"));
+    let (status, _) = request(
+        &mut stream,
+        "POST",
+        "/v1/plan",
+        &b_headers,
+        &plan_body(100, 6, "ccsa", "equal", 2),
+    );
+    assert_eq!(status, 200);
+    let (_, stats) = request(&mut stream, "GET", "/v1/stats", &[], "");
+    let stats = parsed(&stats);
+    let b_cache = stats
+        .field("result")
+        .field("tenants")
+        .field("tenant-b")
+        .field("cache");
+    assert!(
+        num(b_cache.field("hits")) > before,
+        "tenant B's scenario survived A's evictions: {b_cache:?}"
+    );
+    drop(stream);
+    gateway.stop();
+}
+
+/// The default tier's token bucket answers `429` once the burst is spent.
+#[test]
+fn rate_limited_tenants_get_429() {
+    let config = GatewayConfig {
+        rate: 0.001,
+        burst: 3.0,
+        ..GatewayConfig::default()
+    };
+    let gateway = start_gateway(config);
+    let mut stream = gateway.connect();
+    let headers = [("X-Tenant", "limited")];
+    let mut seen_429 = 0;
+    for id in 1..=6u64 {
+        let (status, body) = request(
+            &mut stream,
+            "POST",
+            "/v1/plan",
+            &headers,
+            &plan_body(9, 6, "ccsa", "equal", id),
+        );
+        match status {
+            200 => {}
+            429 => {
+                seen_429 += 1;
+                assert!(body.contains("rate limit"), "{body}");
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(seen_429, 3, "burst of 3, then limited");
+    drop(stream);
+    let summary = gateway.stop();
+    assert_eq!(summary.rate_limited, 3);
+    gateway_summary_sane(&summary);
+}
+
+fn gateway_summary_sane(summary: &GatewaySummary) {
+    assert!(summary.requests >= summary.completed);
+}
+
+/// `/v1/batch`: one HTTP request carrying many plan bodies; per-item
+/// responses come back in request order, and repeats of one scenario
+/// amortize onto the cache.
+#[test]
+fn batch_requests_answer_per_item_in_order() {
+    let gateway = start_gateway(GatewayConfig::default());
+    let mut stream = gateway.connect();
+    let scenario = serde_json::to_string(&scenario_value(55, 6)).unwrap();
+    let items: Vec<String> = (0..6)
+        .map(|i| {
+            if i == 3 {
+                // One poison item: unknown algo -> per-item error, not a
+                // failed batch.
+                format!(r#"{{"cmd":"plan","scenario":{scenario},"algo":"nope"}}"#)
+            } else {
+                format!(r#"{{"cmd":"plan","scenario":{scenario},"algo":"ccsa"}}"#)
+            }
+        })
+        .collect();
+    let body = format!(r#"{{"id":77,"requests":[{}]}}"#, items.join(","));
+    let (status, response) = request(&mut stream, "POST", "/v1/batch", &[], &body);
+    assert_eq!(status, 200, "{response}");
+    let value = parsed(&response);
+    assert_eq!(value.field("ok"), &Value::Bool(true));
+    let Value::Array(results) = value.field("result") else {
+        panic!("batch result must be an array: {response}");
+    };
+    assert_eq!(results.len(), 6);
+    let mut ok_texts = Vec::new();
+    for (i, item) in results.iter().enumerate() {
+        if i == 3 {
+            assert_eq!(item.field("ok"), &Value::Bool(false), "item {i}");
+            continue;
+        }
+        assert_eq!(item.field("ok"), &Value::Bool(true), "item {i}");
+        let Value::String(text) = item.field("result").field("text") else {
+            panic!("item {i} has no result.text");
+        };
+        ok_texts.push(text.clone());
+    }
+    assert!(
+        ok_texts.windows(2).all(|w| w[0] == w[1]),
+        "identical requests produce identical plans"
+    );
+
+    // The five identical items hit the plan memo after the first.
+    let (_, stats) = request(&mut stream, "GET", "/v1/stats", &[], "");
+    let stats = parsed(&stats);
+    let requests = stats.field("result").field("requests");
+    let Value::Number(plan_hits) = requests.field("plan_hits") else {
+        panic!("stats carry plan_hits: {stats:?}");
+    };
+    assert!(
+        plan_hits.as_f64() >= 4.0,
+        "batch amortizes repeated items: {requests:?}"
+    );
+    drop(stream);
+    let summary = gateway.stop();
+    assert_eq!(summary.batches, 1);
+    assert_eq!(summary.batch_items, 6);
+    assert_eq!(summary.errors, 1);
+}
+
+/// Identity handling: bad tenant names are 400, unknown bearer tokens are
+/// 401, and the stats snapshot is versioned.
+#[test]
+fn identity_refusals_and_stats_schema() {
+    let gateway = start_gateway(GatewayConfig::default());
+    let mut stream = gateway.connect();
+    let (status, body) = request(
+        &mut stream,
+        "POST",
+        "/v1/plan",
+        &[("X-Tenant", "no spaces allowed")],
+        "{}",
+    );
+    assert_eq!(status, 400, "{body}");
+
+    let mut stream = gateway.connect();
+    let (status, body) = request(
+        &mut stream,
+        "POST",
+        "/v1/plan",
+        &[("Authorization", "Bearer nobody-knows-me")],
+        "{}",
+    );
+    assert_eq!(status, 401, "{body}");
+
+    let (status, stats) = request(&mut stream, "GET", "/v1/stats", &[], "");
+    assert_eq!(status, 200);
+    let stats = parsed(&stats);
+    assert_eq!(
+        stats.field("result").field("schema"),
+        &Value::String("ccs-gateway-stats/v1".to_string())
+    );
+    let (status, body) = request(&mut stream, "GET", "/v1/nope", &[], "");
+    assert_eq!(status, 404, "{body}");
+    drop(stream);
+    gateway.stop();
+}

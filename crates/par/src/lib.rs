@@ -31,7 +31,7 @@
 //! Earlier versions spawned scoped threads per call — tens of microseconds
 //! of overhead that swamped paper-size batches (BENCH_3 recorded
 //! `speedup < 1` on every parallel bench). Batches now run on a
-//! **persistent pool** (see [`pool`]): worker threads are spawned lazily on
+//! **persistent pool** (the `pool` module): worker threads are spawned lazily on
 //! the first large-enough batch, park on a condvar between batches, and
 //! live for the rest of the process. Submitting a batch costs one mutex
 //! push plus a wake; the **caller always participates** as the first

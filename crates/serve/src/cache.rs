@@ -11,6 +11,16 @@
 //! bodies (whitespace, key order, file vs inline) therefore share one
 //! cache entry.
 //!
+//! ## Bounded memory
+//!
+//! Both maps are byte-budgeted LRUs ([`ByteLru`]): a long-running daemon
+//! fed an endless stream of distinct scenarios evicts cold entries instead
+//! of leaking until OOM. Costs are estimates (canonical JSON length plus
+//! the dense-table footprint for problems, rendered result length for
+//! plans) — good enough to bound memory, cheap enough to compute inline.
+//! Eviction is *transparent*: the algorithms are deterministic, so a
+//! re-computed entry is byte-identical to the evicted one.
+//!
 //! ## Concurrency
 //!
 //! Lookups take a short-lived lock; *computation happens outside the lock*
@@ -18,17 +28,23 @@
 //! Two workers racing on the same miss may both compute — the algorithms
 //! are deterministic, so both produce the identical value and the loser's
 //! work is merely wasted, never wrong (`first insert wins` keeps `Arc`
-//! identity stable).
+//! identity stable). Locks are poison-tolerant ([`lock_unpoisoned`](crate::lru::lock_unpoisoned)): a
+//! caught handler panic never bricks the cache.
 
+use crate::lru::ByteLru;
 use crate::protocol::ServeError;
 use ccs_core::prelude::*;
 use ccs_wrsn::scenario::Scenario;
 use serde::value::Value;
 use serde::Deserialize;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// Default byte budget of one [`PlanCache`] (split between problems and
+/// plans): large enough that paper-scale workloads never evict, small
+/// enough that a daemon fed garbage scenarios stays bounded.
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
 
 /// A fully priced, validated plan, cached with its canonical renderings.
 pub struct CachedPlan {
@@ -46,26 +62,48 @@ struct PlanKey {
     sharing: &'static str,
 }
 
-/// The cache. One per server.
+/// The cache. One per server (or per gateway tenant).
 pub struct PlanCache {
-    problems: Mutex<HashMap<u64, Arc<CcsProblem>>>,
-    plans: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+    problems: ByteLru<u64, CcsProblem>,
+    plans: ByteLru<PlanKey, CachedPlan>,
 }
 
 /// Hashes the canonical rendering of a parsed scenario value.
 pub fn scenario_hash(value: &Value) -> u64 {
-    let canonical = serde_json::to_string(value).expect("value tree serializes");
+    hash_canonical(&canonical_json(value))
+}
+
+fn canonical_json(value: &Value) -> String {
+    serde_json::to_string(value).expect("value tree serializes")
+}
+
+fn hash_canonical(canonical: &str) -> u64 {
     let mut hasher = DefaultHasher::new();
     canonical.hash(&mut hasher);
     hasher.finish()
 }
 
+/// Byte-cost estimate of one cached problem: the canonical JSON plus the
+/// dense per-pair tables the kernel materializes at paper scale.
+fn problem_bytes(canonical_len: usize, problem: &CcsProblem) -> usize {
+    let n = problem.scenario().devices().len();
+    let m = problem.scenario().chargers().len();
+    canonical_len + 8 * n * (n + m) + 16 * (n + m) + 1024
+}
+
 impl PlanCache {
-    /// An empty cache.
+    /// A cache with the default byte budget ([`DEFAULT_CACHE_BYTES`]).
     pub fn new() -> Self {
+        Self::with_budget(DEFAULT_CACHE_BYTES)
+    }
+
+    /// A cache bounded to roughly `budget` bytes, split evenly between the
+    /// problem and plan maps.
+    pub fn with_budget(budget: usize) -> Self {
+        let half = (budget / 2).max(1);
         PlanCache {
-            problems: Mutex::new(HashMap::new()),
-            plans: Mutex::new(HashMap::new()),
+            problems: ByteLru::new(half),
+            plans: ByteLru::new(half),
         }
     }
 
@@ -78,16 +116,17 @@ impl PlanCache {
     ///
     /// `bad_request` when `value` does not deserialize as a scenario.
     pub fn problem(&self, value: &Value) -> Result<(u64, Arc<CcsProblem>, bool), ServeError> {
-        let hash = scenario_hash(value);
-        if let Some(problem) = self.problems.lock().expect("cache lock").get(&hash) {
-            return Ok((hash, Arc::clone(problem), true));
+        let canonical = canonical_json(value);
+        let hash = hash_canonical(&canonical);
+        if let Some(problem) = self.problems.get(&hash) {
+            return Ok((hash, problem, true));
         }
         let scenario = Scenario::from_value(value)
             .map_err(|e| ServeError::bad_request(format!("invalid scenario: {e}")))?;
         let problem = Arc::new(CcsProblem::new(scenario));
-        let mut problems = self.problems.lock().expect("cache lock");
-        let entry = problems.entry(hash).or_insert_with(|| Arc::clone(&problem));
-        Ok((hash, Arc::clone(entry), false))
+        let bytes = problem_bytes(canonical.len(), &problem);
+        let entry = self.problems.insert(hash, problem, bytes);
+        Ok((hash, entry, false))
     }
 
     /// The cached plan for `(scenario, algo, sharing)`, computing it with
@@ -108,23 +147,45 @@ impl PlanCache {
             algo,
             sharing,
         };
-        if let Some(plan) = self.plans.lock().expect("cache lock").get(&key) {
-            return Ok((Arc::clone(plan), true));
+        if let Some(plan) = self.plans.get(&key) {
+            return Ok((plan, true));
         }
         let computed = Arc::new(compute()?);
-        let mut plans = self.plans.lock().expect("cache lock");
-        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&computed));
-        Ok((Arc::clone(entry), false))
+        // The rendered result dominates a plan's footprint; the schedule
+        // itself is within a small factor of it.
+        let bytes = 2 * canonical_json(&computed.result).len() + 256;
+        let entry = self.plans.insert(key, computed, bytes);
+        Ok((entry, false))
     }
 
     /// Number of distinct scenarios cached (for stats lines).
     pub fn scenarios(&self) -> usize {
-        self.problems.lock().expect("cache lock").len()
+        self.problems.len()
     }
 
     /// Number of memoized plans (for stats lines).
     pub fn plans_cached(&self) -> usize {
-        self.plans.lock().expect("cache lock").len()
+        self.plans.len()
+    }
+
+    /// Estimated bytes held across both maps.
+    pub fn bytes(&self) -> usize {
+        self.problems.bytes() + self.plans.bytes()
+    }
+
+    /// Entries evicted from either map to stay under budget.
+    pub fn evictions(&self) -> u64 {
+        self.problems.evictions() + self.plans.evictions()
+    }
+
+    /// Lookups that found an entry, across both maps.
+    pub fn hits(&self) -> u64 {
+        self.problems.hits() + self.plans.hits()
+    }
+
+    /// Lookups that found nothing, across both maps.
+    pub fn misses(&self) -> u64 {
+        self.problems.misses() + self.plans.misses()
     }
 }
 
@@ -181,6 +242,7 @@ mod tests {
         assert!(Arc::ptr_eq(&plan1, &plan2));
         assert_eq!(cache.scenarios(), 1);
         assert_eq!(cache.plans_cached(), 1);
+        assert!(cache.bytes() > 0);
     }
 
     #[test]
@@ -189,5 +251,64 @@ mod tests {
         let bogus: Value = serde_json::from_str(r#"{"devices": "nope"}"#).unwrap();
         let err = cache.problem(&bogus).unwrap_err();
         assert_eq!(err.kind.name(), "bad_request");
+    }
+
+    /// Eviction transparency: a tiny budget forces distinct scenarios to
+    /// evict each other, and a re-computed entry must be byte-identical to
+    /// what the first computation produced.
+    #[test]
+    fn eviction_is_byte_transparent() {
+        let cache = PlanCache::with_budget(4096);
+        let plan_text = |seed: u64| {
+            let value = scenario_value(seed);
+            let (hash, problem, _) = cache.problem(&value).unwrap();
+            let (plan, hit) = cache
+                .plan(hash, "ccsa", "equal", || {
+                    let schedule = ccsa(&problem, &EqualShare, CcsaOptions::default());
+                    Ok(CachedPlan {
+                        result: Value::String(schedule.to_string()),
+                        schedule,
+                    })
+                })
+                .unwrap();
+            (canonical_json(&plan.result), hit)
+        };
+        let (first, _) = plan_text(1);
+        for seed in 2..8 {
+            let _ = plan_text(seed);
+        }
+        assert!(
+            cache.evictions() > 0,
+            "a 4 KiB budget must evict across 7 scenarios (bytes {})",
+            cache.bytes()
+        );
+        let (again, hit) = plan_text(1);
+        assert!(!hit, "scenario 1 was evicted, so this is a recompute");
+        assert_eq!(first, again, "eviction must be byte-transparent");
+    }
+
+    /// The poisoned-lock regression (ISSUE 8): a panic while a cache lock
+    /// is held must not turn every later request into a lock panic.
+    #[test]
+    fn poisoned_cache_locks_recover() {
+        let cache = PlanCache::new();
+        let value = scenario_value(2);
+        let (hash, problem, _) = cache.problem(&value).unwrap();
+        cache.problems.poison_for_test();
+        cache.plans.poison_for_test();
+        let (_, p2, hit) = cache.problem(&value).unwrap();
+        assert!(hit, "lookups keep working after the poison");
+        assert!(Arc::ptr_eq(&problem, &p2));
+        let (_, plan_hit) = cache
+            .plan(hash, "ccsa", "equal", || {
+                let schedule = ccsa(&p2, &EqualShare, CcsaOptions::default());
+                Ok(CachedPlan {
+                    result: Value::String(schedule.to_string()),
+                    schedule,
+                })
+            })
+            .unwrap();
+        assert!(!plan_hit);
+        assert_eq!(cache.plans_cached(), 1);
     }
 }

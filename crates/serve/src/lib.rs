@@ -32,13 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod engine;
 pub mod handlers;
+pub mod lru;
 pub mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::{scenario_hash, CachedPlan, PlanCache};
+pub use cache::{scenario_hash, CachedPlan, PlanCache, DEFAULT_CACHE_BYTES};
+pub use lru::{lock_unpoisoned, ByteLru};
 pub use obs::{Phase, ReqTrace, ServeObs, STATS_SCHEMA};
 pub use protocol::{err_response, ok_response, ErrorKind, ServeError};
 pub use queue::{AdmissionQueue, AdmitError};

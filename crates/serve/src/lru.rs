@@ -1,0 +1,256 @@
+//! A byte-budgeted LRU map shared by the daemon's [`PlanCache`] and the
+//! gateway's per-tenant caches.
+//!
+//! Entries carry an explicit byte-cost estimate; once the sum of costs
+//! exceeds the budget, least-recently-used entries are evicted until the
+//! cache fits again (always keeping at least one entry, so a single
+//! over-budget value still caches rather than thrashing). Recency is
+//! tracked with a lazily compacted sequence queue — touches are O(1), and
+//! evictions pop stale queue entries amortized O(1).
+//!
+//! Hit/miss/eviction counters are plain atomics, live regardless of
+//! whether the telemetry registry is enabled — they feed the daemon's
+//! stats snapshot, which must always work.
+//!
+//! [`PlanCache`]: crate::cache::PlanCache
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Every shared map/deque in this crate is a plain value store mutated
+/// under short critical sections that contain no panicking user code, so
+/// the state behind a poisoned lock is always consistent — recovering is
+/// strictly better than turning one caught handler panic into a permanent
+/// daemon-wide outage (the poisoned-`expect` bug this replaces).
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct Slot<V> {
+    value: Arc<V>,
+    bytes: usize,
+    /// Sequence number of this entry's newest queue ticket; older tickets
+    /// for the same key are stale and skipped during eviction.
+    seq: u64,
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Slot<V>>,
+    /// Recency queue of (ticket, key); front is oldest. May hold stale
+    /// tickets — an entry is LRU only if its ticket matches its slot's.
+    order: VecDeque<(u64, K)>,
+    next_seq: u64,
+    bytes: usize,
+}
+
+/// A thread-safe byte-budgeted LRU of `Arc<V>` values.
+pub struct ByteLru<K: Eq + Hash + Clone, V> {
+    inner: Mutex<Inner<K, V>>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
+    /// A cache evicting past `budget` bytes (`usize::MAX` = unbounded).
+    pub fn new(budget: usize) -> Self {
+        ByteLru {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                next_seq: 0,
+                bytes: 0,
+            }),
+            budget: budget.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The value for `key`, marking it most-recently used. Counts a hit or
+    /// a miss.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let seq = inner.next_seq;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.seq = seq;
+                let value = Arc::clone(&slot.value);
+                inner.next_seq += 1;
+                inner.order.push_back((seq, key.clone()));
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` at cost `bytes`, evicting LRU entries past the
+    /// budget. First insert wins: when `key` is already present the cached
+    /// value is returned (and touched) so `Arc` identity stays stable
+    /// under racing computes.
+    pub fn insert(&self, key: K, value: Arc<V>, bytes: usize) -> Arc<V> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if let Some(slot) = inner.map.get_mut(&key) {
+            slot.seq = seq;
+            let value = Arc::clone(&slot.value);
+            inner.order.push_back((seq, key));
+            return value;
+        }
+        inner.map.insert(
+            key.clone(),
+            Slot {
+                value: Arc::clone(&value),
+                bytes,
+                seq,
+            },
+        );
+        inner.order.push_back((seq, key));
+        inner.bytes += bytes;
+        let mut evicted = 0u64;
+        while inner.bytes > self.budget && inner.map.len() > 1 {
+            let Some((ticket, key)) = inner.order.pop_front() else {
+                break;
+            };
+            let stale = inner.map.get(&key).is_none_or(|slot| slot.seq != ticket);
+            if stale {
+                continue;
+            }
+            if let Some(slot) = inner.map.remove(&key) {
+                inner.bytes -= slot.bytes;
+                evicted += 1;
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of the byte costs of all cached entries.
+    pub fn bytes(&self) -> usize {
+        lock_unpoisoned(&self.inner).bytes
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay under budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+impl<K: Eq + Hash + Clone + Send, V: Send + Sync> ByteLru<K, V> {
+    /// Test hook: poisons the inner mutex (a thread panics while holding
+    /// it), simulating a handler panic caught mid-critical-section.
+    pub(crate) fn poison_for_test(&self) {
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = self.inner.lock().unwrap();
+                    panic!("poison the lru lock");
+                })
+                .join()
+        });
+        assert!(self.inner.is_poisoned(), "the lock really was poisoned");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_past_the_budget() {
+        let lru: ByteLru<u32, u32> = ByteLru::new(100);
+        lru.insert(1, Arc::new(10), 40);
+        lru.insert(2, Arc::new(20), 40);
+        // Touch 1 so 2 is now the LRU.
+        assert_eq!(*lru.get(&1).unwrap(), 10);
+        lru.insert(3, Arc::new(30), 40);
+        assert_eq!(lru.evictions(), 1);
+        assert!(lru.get(&2).is_none(), "LRU entry 2 was evicted");
+        assert!(lru.get(&1).is_some() && lru.get(&3).is_some());
+        assert_eq!(lru.bytes(), 80);
+    }
+
+    #[test]
+    fn a_single_over_budget_entry_still_caches() {
+        let lru: ByteLru<&str, u8> = ByteLru::new(10);
+        lru.insert("big", Arc::new(1), 1000);
+        assert_eq!(lru.len(), 1);
+        assert!(lru.get(&"big").is_some(), "never evict down to zero");
+        lru.insert("big2", Arc::new(2), 1000);
+        assert_eq!(lru.len(), 1, "the older giant made room for the newer");
+        assert!(lru.get(&"big2").is_some());
+    }
+
+    #[test]
+    fn first_insert_wins_keeps_arc_identity() {
+        let lru: ByteLru<u8, u8> = ByteLru::new(100);
+        let first = lru.insert(1, Arc::new(7), 10);
+        let second = lru.insert(1, Arc::new(8), 10);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*second, 7);
+        assert_eq!(lru.bytes(), 10, "re-insert does not double-count bytes");
+    }
+
+    #[test]
+    fn counters_track_hits_misses_evictions() {
+        let lru: ByteLru<u8, u8> = ByteLru::new(usize::MAX);
+        assert!(lru.get(&1).is_none());
+        lru.insert(1, Arc::new(1), 1);
+        assert!(lru.get(&1).is_some());
+        assert_eq!((lru.hits(), lru.misses(), lru.evictions()), (1, 1, 0));
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered() {
+        let lru: ByteLru<u8, u8> = ByteLru::new(100);
+        lru.insert(1, Arc::new(9), 10);
+        lru.poison_for_test();
+        assert_eq!(*lru.get(&1).unwrap(), 9, "reads recover past the poison");
+        lru.insert(2, Arc::new(2), 10);
+        assert_eq!(lru.len(), 2, "writes recover past the poison");
+    }
+}

@@ -266,7 +266,10 @@ fn trace_value(trace: &ReqTrace, cmd: &str, status: &str, total_ns: u64, slow: b
     Value::Object(map)
 }
 
-fn latency_entry(snap: &HistogramSnapshot) -> Value {
+/// Renders one histogram snapshot (nanosecond samples) as the standard
+/// microsecond latency entry (`count`/`max`/`mean`/`p50`/`p90`/`p99`/
+/// `p999`) — shared by the daemon's stats snapshot and the gateway's.
+pub fn latency_entry(snap: &HistogramSnapshot) -> Value {
     let us = |ns: u64| Value::Number(Number::PosInt(ns / 1_000));
     let mut map = BTreeMap::new();
     map.insert(

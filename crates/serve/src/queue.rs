@@ -9,6 +9,7 @@
 //! the drain-on-shutdown semantics: `close()` rejects all future work but
 //! lets everything already admitted finish.
 
+use crate::lru::lock_unpoisoned;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -57,7 +58,7 @@ impl<T> AdmissionQueue<T> {
 
     /// Jobs currently queued (racy snapshot, for stats only).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").jobs.len()
+        lock_unpoisoned(&self.state).jobs.len()
     }
 
     /// Whether the queue is currently empty (racy snapshot).
@@ -67,7 +68,7 @@ impl<T> AdmissionQueue<T> {
 
     /// Admits `job`, or explains why it cannot be admitted. Never blocks.
     pub fn try_push(&self, job: T) -> Result<(), AdmitError> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_unpoisoned(&self.state);
         if state.closed {
             return Err(AdmitError::Draining);
         }
@@ -83,7 +84,7 @@ impl<T> AdmissionQueue<T> {
     /// Blocks until a job is available (returning it) or the queue is
     /// closed *and* empty (returning `None` — the worker should exit).
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -91,20 +92,23 @@ impl<T> AdmissionQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue lock");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Starts the drain: all future pushes fail with
     /// [`AdmitError::Draining`]; already-admitted jobs remain poppable.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.ready.notify_all();
     }
 
     /// Whether [`AdmissionQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock").closed
+        lock_unpoisoned(&self.state).closed
     }
 }
 
@@ -143,6 +147,27 @@ mod tests {
         assert_eq!(q.depth(), 1);
         q.try_push(1).unwrap();
         assert_eq!(q.try_push(2), Err(AdmitError::Full { depth: 1 }));
+    }
+
+    /// The poisoned-lock regression (ISSUE 8): a panic while the queue
+    /// lock is held must not wedge admission or the worker pop loop.
+    #[test]
+    fn poisoned_queue_lock_recovers() {
+        let q = Arc::new(AdmissionQueue::<u8>::new(4));
+        q.try_push(1).unwrap();
+        let poisoner = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        assert!(q.state.is_poisoned(), "the lock really was poisoned");
+        assert_eq!(q.pop(), Some(1), "pop recovers past the poison");
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 1, "push recovers past the poison");
+        q.close();
+        assert_eq!(q.pop(), Some(2), "drain still yields queued work");
+        assert_eq!(q.pop(), None, "drain still terminates");
     }
 
     #[test]

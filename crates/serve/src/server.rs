@@ -23,8 +23,9 @@
 //!   returns 0. Process supervisors should close the daemon's stdin (or
 //!   send `{"cmd":"shutdown"}`) as their TERM action.
 
-use crate::cache::PlanCache;
-use crate::handlers;
+use crate::cache::{PlanCache, DEFAULT_CACHE_BYTES};
+use crate::engine;
+use crate::lru::lock_unpoisoned;
 use crate::obs::{self, Phase, ReqTrace, ServeObs};
 use crate::protocol::{err_response, ok_response, ErrorKind, ServeError};
 use crate::queue::{AdmissionQueue, AdmitError};
@@ -32,7 +33,6 @@ use ccs_telemetry::RotatingWriter;
 use serde::value::{Number, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -65,6 +65,11 @@ pub struct ServeConfig {
     /// `"slow":true` in their trace line, and logged to stderr with their
     /// phase breakdown (`None` = off).
     pub slow_ms: Option<u64>,
+    /// Hard cap on one request line's length; longer lines are discarded
+    /// and answered with `bad_request` instead of buffering without bound.
+    pub max_line_bytes: usize,
+    /// Byte budget of the plan/scenario cache ([`PlanCache::with_budget`]).
+    pub cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +83,8 @@ impl Default for ServeConfig {
             trace_requests: None,
             trace_max_bytes: 16 << 20,
             slow_ms: None,
+            max_line_bytes: 4 << 20,
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -200,10 +207,71 @@ struct ServerState {
 }
 
 fn write_line(writer: &SharedWriter, line: &str) {
-    let mut w = writer.lock().expect("writer lock");
+    // Poison-tolerant: a worker that panicked mid-write must not turn
+    // every later response into a lock panic.
+    let mut w = lock_unpoisoned(writer);
     // A broken client pipe must not kill the daemon; drop the response.
     let _ = writeln!(w, "{line}");
     let _ = w.flush();
+}
+
+/// Outcome of one capped line read ([`read_line_capped`]).
+pub enum LineRead {
+    /// A complete line, without its trailing newline. Bytes that are not
+    /// valid UTF-8 are replaced (the JSON parse then rejects the line).
+    Line(String),
+    /// The line exceeded the cap; it was consumed (through its newline, or
+    /// EOF) and discarded. Carries the number of bytes consumed.
+    TooLong(usize),
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line from `reader`, holding at most `cap`
+/// bytes in memory. An over-long line is drained to its newline and
+/// reported as [`LineRead::TooLong`] so the connection can answer
+/// `bad_request` and resynchronize, instead of buffering an attacker- (or
+/// bug-)sized line without bound.
+///
+/// # Errors
+///
+/// Propagates io errors from the underlying reader.
+pub fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    let mut consumed = 0usize;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                LineRead::TooLong(consumed)
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        consumed += take;
+        if !overflow {
+            if buf.len() + take <= cap {
+                buf.extend_from_slice(&chunk[..take]);
+            } else {
+                overflow = true;
+                buf = Vec::new();
+            }
+        }
+        let terminated = newline.is_some();
+        reader.consume(take + usize::from(terminated));
+        if terminated {
+            return Ok(if overflow {
+                LineRead::TooLong(consumed)
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
 }
 
 /// What the reader should do after a line was processed.
@@ -225,7 +293,7 @@ impl ServerState {
         });
         ServerState {
             queue: AdmissionQueue::new(config.queue_depth),
-            cache: PlanCache::new(),
+            cache: PlanCache::with_budget(config.cache_bytes),
             stats: Stats::default(),
             obs: ServeObs::new(trace, config.slow_ms.map(Duration::from_millis)),
             metrics_file: config.metrics_file.clone(),
@@ -368,6 +436,17 @@ impl ServerState {
         write_line(writer, &err_response(id, err));
     }
 
+    /// Answers an over-long request line with `bad_request`.
+    fn reject_long_line(&self, writer: &SharedWriter, bytes: usize, cap: usize) {
+        self.respond_err(
+            writer,
+            &Value::Null,
+            &ServeError::bad_request(format!(
+                "request line of {bytes} bytes exceeds the {cap}-byte cap"
+            )),
+        );
+    }
+
     /// Executes one admitted job and writes its response.
     fn execute(&self, job: Job) {
         let Job {
@@ -402,11 +481,11 @@ impl ServerState {
                 return;
             }
         }
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            handlers::handle(&self.cache, &cmd, &body, &mut trace)
-        }));
+        // The shared engine runs the handler under the panic backstop; a
+        // caught panic surfaces here as an `Internal` error.
+        let outcome = engine::execute(&self.cache, &cmd, &body, &mut trace);
         let (line, status) = match outcome {
-            Ok(Ok(handled)) => {
+            Ok(handled) => {
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                 ccs_telemetry::counter!("serve.completed").incr();
                 if handled.scenario_hit == Some(true) {
@@ -420,19 +499,10 @@ impl ServerState {
                 let line = trace.time(Phase::Serialize, || ok_response(&id, handled.result));
                 (line, "ok")
             }
-            Ok(Err(err)) => {
+            Err(err) => {
                 self.stats.count_error(err.kind);
                 let line = trace.time(Phase::Serialize, || err_response(&id, &err));
                 (line, err.kind.name())
-            }
-            Err(payload) => {
-                self.stats.count_error(ErrorKind::Internal);
-                let err = ServeError::internal(format!(
-                    "request handler panicked: {}",
-                    panic_message(payload.as_ref())
-                ));
-                let line = trace.time(Phase::Serialize, || err_response(&id, &err));
-                (line, "internal")
             }
         };
         write_line(&writer, &line);
@@ -447,6 +517,8 @@ impl ServerState {
         let s = self.stats.summary();
         let uint = |v: u64| Value::Number(Number::PosInt(v));
         let mut cache = BTreeMap::new();
+        cache.insert("bytes".to_string(), uint(self.cache.bytes() as u64));
+        cache.insert("evictions".to_string(), uint(self.cache.evictions()));
         cache.insert("plan_hits".to_string(), uint(s.plan_hits));
         cache.insert("plans".to_string(), uint(self.cache.plans_cached() as u64));
         cache.insert("scenario_hits".to_string(), uint(s.scenario_hits));
@@ -509,16 +581,6 @@ impl ServerState {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
 /// Serves one line-oriented connection (requests on `input`, responses on
 /// `output`) with a worker pool, until EOF or a `shutdown` request, then
 /// drains and returns the final counters.
@@ -533,11 +595,18 @@ pub fn serve_connection<R: BufRead>(
     let state = ServerState::new(config);
     let writer: SharedWriter = Arc::new(Mutex::new(output));
     let state_ref = &state;
+    let cap = config.max_line_bytes;
     run_with_reader(state_ref, config, move || {
-        for line in input.lines() {
-            let Ok(line) = line else { break };
-            if let Admit::Shutdown = state_ref.admit_line(&line, &writer) {
-                break;
+        let mut input = input;
+        loop {
+            match read_line_capped(&mut input, cap) {
+                Ok(LineRead::Line(line)) => {
+                    if let Admit::Shutdown = state_ref.admit_line(&line, &writer) {
+                        break;
+                    }
+                }
+                Ok(LineRead::TooLong(bytes)) => state_ref.reject_long_line(&writer, bytes, cap),
+                Ok(LineRead::Eof) | Err(_) => break,
             }
         }
     })
@@ -578,13 +647,23 @@ pub fn serve_unix(path: &str, config: &ServeConfig) -> std::io::Result<ServeSumm
                             continue;
                         };
                         let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+                        let cap = config.max_line_bytes;
                         scope.spawn(move || {
-                            let reader = BufReader::new(stream);
-                            for line in reader.lines() {
-                                let Ok(line) = line else { break };
-                                if let Admit::Shutdown = state_ref.admit_line(&line, &writer) {
-                                    state_ref.draining.store(true, Ordering::Relaxed);
-                                    break;
+                            let mut reader = BufReader::new(stream);
+                            loop {
+                                match read_line_capped(&mut reader, cap) {
+                                    Ok(LineRead::Line(line)) => {
+                                        if let Admit::Shutdown =
+                                            state_ref.admit_line(&line, &writer)
+                                        {
+                                            state_ref.draining.store(true, Ordering::Relaxed);
+                                            break;
+                                        }
+                                    }
+                                    Ok(LineRead::TooLong(bytes)) => {
+                                        state_ref.reject_long_line(&writer, bytes, cap);
+                                    }
+                                    Ok(LineRead::Eof) | Err(_) => break,
                                 }
                             }
                         });
@@ -630,9 +709,11 @@ fn run_with_reader(
             let stop = Arc::clone(&stop);
             scope.spawn(move || {
                 let (lock, cond) = &*stop;
-                let mut stopped = lock.lock().expect("stats lock");
+                let mut stopped = lock_unpoisoned(lock);
                 loop {
-                    let (guard, timeout) = cond.wait_timeout(stopped, period).expect("stats lock");
+                    let (guard, timeout) = cond
+                        .wait_timeout(stopped, period)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                     stopped = guard;
                     if *stopped {
                         return;
@@ -651,7 +732,7 @@ fn run_with_reader(
         state.queue.close();
         // Scope exit joins the workers (the drain) and then the ticker.
         let (lock, cond) = &*stop;
-        *lock.lock().expect("stats lock") = true;
+        *lock_unpoisoned(lock) = true;
         cond.notify_all();
     });
     // The final metrics-file state covers everything up to the drain.

@@ -310,3 +310,53 @@ fn unix_socket_serves_and_drains() {
         "socket file removed"
     );
 }
+
+/// The line-cap regression (ISSUE 8): a request line past
+/// `max_line_bytes` is answered with `bad_request` instead of being
+/// buffered without bound, and the connection resynchronizes — the next
+/// request on the same stream is served normally.
+#[test]
+fn oversized_request_line_is_rejected_and_the_stream_resyncs() {
+    let scenario = scenario_json(11, 6);
+    let huge = format!(
+        r#"{{"id":1,"cmd":"plan","scenario":{scenario},"pad":"{}"}}"#,
+        "x".repeat(8192)
+    );
+    let lines = [
+        huge,
+        format!(r#"{{"id":2,"cmd":"plan","scenario":{scenario}}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let input = std::io::Cursor::new(lines.join("\n").into_bytes());
+    let out = SharedBuf::default();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 8,
+        stats_every: None,
+        max_line_bytes: 4096,
+        ..ServeConfig::default()
+    };
+    let summary = serve_connection(input, Box::new(out.clone()), &config);
+    let bytes = out.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("responses are UTF-8");
+    let responses: Vec<String> = text.lines().map(str::to_string).collect();
+
+    // The oversized line's response has a null id (the line was never
+    // parsed), kind bad_request, and a message naming the cap.
+    let rejected = responses
+        .iter()
+        .map(|l| serde_json::from_str::<Value>(l).expect("response parses"))
+        .find(|v| v.field("id") == &Value::Null && v.field("ok") == &Value::Bool(false))
+        .expect("the oversized line was answered");
+    assert_eq!(error_kind(&rejected), "bad_request");
+    let Value::String(message) = rejected.field("error").field("message") else {
+        panic!("error.message missing: {rejected:?}");
+    };
+    assert!(message.contains("4096-byte cap"), "{message}");
+
+    // The stream resynchronized: the follow-up plan was served.
+    let plan = response_with_id(&responses, 2);
+    assert_eq!(plan.field("ok"), &Value::Bool(true));
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.bad_request, 1);
+}

@@ -188,7 +188,18 @@ fn stats_snapshot_is_versioned_and_consistent() {
         );
         assert_eq!(
             keys(snapshot.field("cache")),
-            ["plan_hits", "plans", "scenario_hits", "scenarios"]
+            [
+                "bytes",
+                "evictions",
+                "plan_hits",
+                "plans",
+                "scenario_hits",
+                "scenarios"
+            ]
+        );
+        assert!(
+            u64_field(snapshot.field("cache"), "bytes") > 0,
+            "a cached scenario has a non-zero byte estimate"
         );
         let plan_latency = snapshot.field("latency_us").field("serve.plan");
         assert_eq!(

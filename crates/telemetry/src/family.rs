@@ -1,0 +1,151 @@
+//! Labeled metric families: per-label counters and histograms with a hard
+//! cardinality cap.
+//!
+//! The gateway needs per-tenant counters and latency histograms, but the
+//! tenant label comes from a client-controlled header — unbounded label
+//! cardinality would let a hostile client grow the metric map without
+//! limit. A [`Family`] therefore caps distinct labels: once the cap is
+//! reached, new labels share the reserved [`OTHER_LABEL`] slot, so totals
+//! stay correct while memory stays bounded.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The reserved overflow label receiving all values past the cap.
+pub const OTHER_LABEL: &str = "__other";
+
+/// Default cap on distinct labels per family.
+pub const DEFAULT_MAX_LABELS: usize = 1024;
+
+/// A family of metrics keyed by a label string (e.g. a tenant name), with
+/// a hard cardinality cap. `get` creates the labeled metric on demand;
+/// past the cap, unknown labels fold into [`OTHER_LABEL`].
+pub struct Family<T: Default> {
+    inner: Mutex<BTreeMap<String, Arc<T>>>,
+    max_labels: usize,
+}
+
+impl<T: Default> Family<T> {
+    /// A family holding at most `max_labels` distinct labels (clamped to
+    /// at least 1, not counting the overflow slot).
+    pub fn new(max_labels: usize) -> Self {
+        Family {
+            inner: Mutex::new(BTreeMap::new()),
+            max_labels: max_labels.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<T>>> {
+        // Poison-tolerant: the map is only ever inserted into.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The metric for `label`, created on demand. Past the cap, the shared
+    /// [`OTHER_LABEL`] metric.
+    pub fn get(&self, label: &str) -> Arc<T> {
+        let mut map = self.lock();
+        if let Some(existing) = map.get(label) {
+            return Arc::clone(existing);
+        }
+        let key = if map.len() < self.max_labels {
+            label.to_string()
+        } else {
+            OTHER_LABEL.to_string()
+        };
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Number of distinct labels currently held (including the overflow
+    /// slot once it exists).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no labels have been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `(label, metric)` pairs, sorted by label.
+    pub fn snapshot(&self) -> Vec<(String, Arc<T>)> {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+impl<T: Default> Default for Family<T> {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_LABELS)
+    }
+}
+
+/// A plain atomic counter for use inside a [`Family`] — unlike
+/// [`crate::Counter`] it has no enable gate or registry, because family
+/// metrics (per-tenant request counts) must always record.
+#[derive(Default)]
+pub struct FamilyCounter(AtomicU64);
+
+impl FamilyCounter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-label always-on counters (e.g. requests per tenant).
+pub type CounterFamily = Family<FamilyCounter>;
+
+/// Per-label latency histograms (e.g. gateway phase timings per route).
+pub type HistogramFamily = Family<crate::Histogram>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_created_on_demand_and_shared() {
+        let family = CounterFamily::new(8);
+        family.get("a").incr();
+        family.get("a").add(2);
+        family.get("b").incr();
+        assert_eq!(family.get("a").get(), 3);
+        assert_eq!(family.get("b").get(), 1);
+        assert_eq!(family.len(), 2);
+    }
+
+    #[test]
+    fn cardinality_is_capped_at_the_overflow_label() {
+        let family = CounterFamily::new(2);
+        family.get("a").incr();
+        family.get("b").incr();
+        family.get("c").incr();
+        family.get("d").incr();
+        assert_eq!(family.len(), 3, "a, b, and __other");
+        assert_eq!(family.get(OTHER_LABEL).get(), 2, "c and d folded");
+        let labels: Vec<String> = family.snapshot().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["__other", "a", "b"]);
+    }
+
+    #[test]
+    fn histogram_families_record_per_label() {
+        let family = HistogramFamily::new(4);
+        family.get("plan").record(100);
+        family.get("plan").record(300);
+        family.get("stats").record(5);
+        assert_eq!(family.get("plan").snapshot().count, 2);
+        assert_eq!(family.get("stats").snapshot().count, 1);
+    }
+}

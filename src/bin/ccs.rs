@@ -12,7 +12,12 @@
 //!              [--recover R] [--degrade true|false]
 //! ccs serve  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every S]
 //!            [--stats-human true] [--metrics-file FILE] [--trace-requests FILE]
-//!            [--trace-max-bytes N] [--slow-ms MS]
+//!            [--trace-max-bytes N] [--slow-ms MS] [--max-line-bytes N]
+//!            [--cache-mb MB]
+//! ccs gateway [--addr HOST:PORT] [--shards N] [--workers-per-shard N]
+//!             [--queue-depth N] [--max-body-mb MB] [--batch-max N]
+//!             [--cache-mb MB] [--rate R] [--burst B] [--tenants-file FILE]
+//!             [--max-tenants N] [--idle-secs S]
 //! ccs stats  --socket PATH [--json true]
 //! ```
 //!
@@ -67,6 +72,7 @@ fn main() -> ExitCode {
                 "replay" => cmd_replay(&opts),
                 "lifetime" => cmd_lifetime(&opts),
                 "serve" => cmd_serve(&opts),
+                "gateway" => cmd_gateway(&opts),
                 "stats" => cmd_stats(&opts),
                 other => Err(format!("unknown command '{other}'")),
             }
@@ -120,6 +126,22 @@ fn validate_flags(command: &str, opts: &Flags) -> Result<(), String> {
             "trace-requests",
             "trace-max-bytes",
             "slow-ms",
+            "max-line-bytes",
+            "cache-mb",
+        ],
+        "gateway" => &[
+            "addr",
+            "shards",
+            "workers-per-shard",
+            "queue-depth",
+            "max-body-mb",
+            "batch-max",
+            "cache-mb",
+            "rate",
+            "burst",
+            "tenants-file",
+            "max-tenants",
+            "idle-secs",
         ],
         "stats" => &["socket", "json"],
         // Unknown commands fail later with their own message; don't let a
@@ -147,12 +169,28 @@ commands:
   replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
   lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]
   serve     long-running JSONL daemon  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every SECS]
+  gateway   multi-tenant HTTP service  [--addr HOST:PORT] [--shards N] [--tenants-file FILE] [--rate R]
   stats     query a running daemon     --socket PATH [--json true]
 
 service mode (serve):
   reads one JSON request per line from stdin (or connections on --socket),
   writes one JSON response per line; `{\"cmd\":\"shutdown\"}` or EOF drains
   in-flight work and exits. --workers 0 = auto, --stats-every 0 = silent.
+  --max-line-bytes N caps one request line (default 4 MiB); --cache-mb MB
+  caps the plan/scenario cache byte budget (default 256 MiB).
+
+gateway mode (gateway):
+  HTTP/1.1 on a TcpListener: POST /v1/plan (one daemon request body, the
+  response body is byte-identical to the daemon's response line),
+  POST /v1/batch ({\"items\":[...]} grouped by scenario hash so each group
+  amortizes one tables build), GET /v1/stats, GET /healthz, and
+  POST /v1/shutdown (drain and exit). Tenancy: `Authorization: Bearer`
+  tokens map to named tenants via --tenants-file
+  ({\"tenants\":[{\"name\",\"token\",\"rate\",\"burst\"}]}); the X-Tenant
+  header self-declares a tenant on the default tier (--rate/--burst,
+  rate 0 = unlimited). Every tenant gets a private --cache-mb cache and
+  its own token bucket. --shards 0 = auto; --max-tenants caps distinct
+  tenants (default 256); --idle-secs drops silent keep-alive connections.
 
 observability (serve):
   --stats-every S       period of the stats line on stderr (JSON snapshot)
@@ -482,6 +520,12 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         trace_requests: opts.get("trace-requests").cloned(),
         trace_max_bytes: get(opts, "trace-max-bytes", 16 << 20)?,
         slow_ms: (slow_ms > 0).then_some(slow_ms),
+        max_line_bytes: get(opts, "max-line-bytes", 4usize << 20)?,
+        cache_bytes: mb_to_bytes(get(
+            opts,
+            "cache-mb",
+            ccs_repro::ccs_serve::DEFAULT_CACHE_BYTES >> 20,
+        )?),
     };
     let summary = match opts.get("socket") {
         Some(path) => serve_unix(path, &config).map_err(|e| format!("socket {path}: {e}"))?,
@@ -493,6 +537,37 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     if let Some(path) = report_path {
         write_report(&path)?;
     }
+    Ok(())
+}
+
+/// `--cache-mb` and `--max-body-mb` are declared in MiB (0 floors to 1).
+fn mb_to_bytes(mb: usize) -> usize {
+    mb.max(1).saturating_mul(1 << 20)
+}
+
+/// `ccs gateway` — the multi-tenant HTTP front end (see `ccs_gateway` for
+/// the routes, the tenancy model, and the vendored HTTP/1.1 shim's scope).
+fn cmd_gateway(opts: &Flags) -> Result<(), String> {
+    use ccs_repro::ccs_gateway::prelude::*;
+    let config = GatewayConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7077".to_string()),
+        shards: get(opts, "shards", 0)?,
+        workers_per_shard: get(opts, "workers-per-shard", 1)?,
+        queue_depth: get(opts, "queue-depth", 64)?,
+        max_body_bytes: mb_to_bytes(get(opts, "max-body-mb", 4)?),
+        batch_max: get(opts, "batch-max", 64)?,
+        cache_bytes: mb_to_bytes(get(opts, "cache-mb", 32)?),
+        rate: get(opts, "rate", 0.0)?,
+        burst: get(opts, "burst", 0.0)?,
+        tenants_file: opts.get("tenants-file").cloned(),
+        max_tenants: get(opts, "max-tenants", 256)?,
+        idle_timeout: std::time::Duration::from_secs(get(opts, "idle-secs", 5)?),
+    };
+    // The drain summary line comes from `run_gateway_on` itself.
+    let _summary = run_gateway(&config).map_err(|e| format!("gateway: {e}"))?;
     Ok(())
 }
 

@@ -19,7 +19,12 @@
 //!   are bit-identical at any thread count);
 //! * [`ccs_serve`] — the long-running service mode behind `ccs serve`:
 //!   JSONL requests in, JSONL responses out, with bounded admission,
-//!   per-scenario caching, and panic-proof request handling.
+//!   per-scenario caching, and panic-proof request handling;
+//! * [`ccs_gateway`] — the multi-tenant HTTP front end behind
+//!   `ccs gateway`: a vendored HTTP/1.1 shim over `TcpListener`, per-tenant
+//!   byte-budgeted caches and rate-limit tiers, scenario-hash-sharded
+//!   worker pools, and request batching — plan responses stay
+//!   byte-identical to the JSONL daemon's (and to `ccs plan`).
 //!
 //! # Quickstart
 //!
@@ -40,6 +45,7 @@
 
 pub use ccs_coalition;
 pub use ccs_core;
+pub use ccs_gateway;
 pub use ccs_par;
 pub use ccs_serve;
 pub use ccs_submodular;
