@@ -11,14 +11,17 @@
 //!   scenario hash so each group amortizes one `ProblemTables` build.
 //! * `GET /v1/stats` — versioned per-tenant counters, cache sizes, queue
 //!   depths, and latency histograms (`ccs-gateway-stats/v1`).
-//! * `GET /healthz` — liveness; `POST /v1/shutdown` — drain and exit.
+//! * `GET /healthz` — liveness; `POST /v1/shutdown` — drain and exit
+//!   (authenticated: the admin token when one is configured, else any
+//!   tenants-file token; open only on a credential-free gateway).
 //!
 //! **Tenancy** is the organizing principle ([`tenant`]): every tenant gets
 //! a private byte-budgeted plan cache (isolation: one tenant's eviction
 //! pressure cannot evict another's entries), a rate-limit tier, and its
 //! own stats section. Identity comes from `Authorization: Bearer` tokens
-//! (named tenants from a tenants file) or the self-service `X-Tenant`
-//! header.
+//! (named tenants from a tenants file; those names are reserved from
+//! self-declaration) or the self-service `X-Tenant` header; headerless
+//! requests share the default tenant at the default tier.
 //!
 //! **Scheduling** reuses the serve crate's hardened pieces: bounded
 //! [`ccs_serve::AdmissionQueue`]s (one per shard, sharded by scenario

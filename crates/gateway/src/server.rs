@@ -72,6 +72,9 @@ pub struct GatewayConfig {
     /// Optional tenants file mapping bearer tokens to named tenants and
     /// their tiers (see [`TenantRegistry::load_tokens`]).
     pub tenants_file: Option<String>,
+    /// Optional admin token gating `/v1/shutdown` (overrides the tenants
+    /// file's `admin_token`; see [`TenantRegistry::authorize_admin`]).
+    pub admin_token: Option<String>,
     /// Cap on distinct live tenants.
     pub max_tenants: usize,
     /// Idle keep-alive connections are dropped after this long.
@@ -91,6 +94,7 @@ impl Default for GatewayConfig {
             rate: 0.0,
             burst: 0.0,
             tenants_file: None,
+            admin_token: None,
             max_tenants: 256,
             idle_timeout: Duration::from_secs(5),
         }
@@ -211,6 +215,9 @@ impl GatewayState {
                     format!("tenants file {path}: {e}"),
                 )
             })?;
+        }
+        if let Some(token) = &config.admin_token {
+            registry.set_admin_token(token.clone());
         }
         let shards = (0..config.resolved_shards())
             .map(|_| AdmissionQueue::new(config.queue_depth))
@@ -355,6 +362,12 @@ impl GatewayState {
                     "invalid X-Tenant {name:?}: want 1-64 chars of [A-Za-z0-9_-]"
                 ));
                 return Err((400, err_response(&Value::Null, &err)));
+            }
+            Err(ResolveError::ReservedName(name)) => {
+                let err = ServeError::bad_request(format!(
+                    "tenant {name:?} requires its bearer token"
+                ));
+                return Err((403, err_response(&Value::Null, &err)));
             }
             Err(ResolveError::TooManyTenants) => {
                 let err = ServeError::rejected("tenant capacity reached");
@@ -545,14 +558,28 @@ impl GatewayState {
             ("POST", "/v1/plan") => ("plan", self.plan_route(req), false),
             ("POST", "/v1/batch") => ("batch", self.batch_route(req), false),
             ("POST", "/v1/shutdown") => {
-                self.draining.store(true, Ordering::Relaxed);
-                let mut map = BTreeMap::new();
-                map.insert("draining".to_string(), Value::Bool(true));
-                (
-                    "shutdown",
-                    (200, ok_response(&Value::Null, Value::Object(map))),
-                    true,
-                )
+                // Draining kills every tenant's service at once, so it
+                // demands the strongest credential configured — never the
+                // anonymous default that the plan routes are happy with.
+                if self.registry.authorize_admin(req.header("authorization")) {
+                    self.draining.store(true, Ordering::Relaxed);
+                    let mut map = BTreeMap::new();
+                    map.insert("draining".to_string(), Value::Bool(true));
+                    (
+                        "shutdown",
+                        (200, ok_response(&Value::Null, Value::Object(map))),
+                        true,
+                    )
+                } else {
+                    let err = ServeError::bad_request(
+                        "shutdown requires an authorized bearer token",
+                    );
+                    (
+                        "shutdown",
+                        (401, err_response(&Value::Null, &err)),
+                        false,
+                    )
+                }
             }
             _ => {
                 let err = ServeError::bad_request(format!("no route {} {}", req.method, req.path));

@@ -6,8 +6,11 @@
 //! comes from `Authorization: Bearer <token>` (mapped to a named tenant
 //! with its configured tier via the tenants file) or the `X-Tenant` header
 //! (self-declared, default tier); requests carrying neither land on the
-//! [`DEFAULT_TENANT`]. Unknown bearer tokens are refused — a typo'd token
-//! must not silently create a fresh tenant with a fresh quota.
+//! [`DEFAULT_TENANT`] at the default tier. Unknown bearer tokens are
+//! refused — a typo'd token must not silently create a fresh tenant with
+//! a fresh quota — and names configured in the tenants file are
+//! *reserved*: a self-declared `X-Tenant` naming one is refused rather
+//! than handed that tenant's cache and rate bucket without the token.
 //!
 //! Tenant names are client-controlled, so the registry caps how many
 //! distinct tenants exist; past the cap, new names are refused rather
@@ -16,7 +19,7 @@
 use ccs_serve::lock_unpoisoned;
 use ccs_serve::PlanCache;
 use serde::value::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -125,6 +128,10 @@ pub enum ResolveError {
     UnknownToken,
     /// The `X-Tenant` value fails [`valid_name`] → `400`.
     BadName(String),
+    /// The `X-Tenant` value names a token-configured tenant → `403`.
+    /// Handing it out would let an unauthenticated client share that
+    /// tenant's cache and spend its rate budget.
+    ReservedName(String),
     /// The registry is at its tenant cap → `429`.
     TooManyTenants,
 }
@@ -133,6 +140,10 @@ pub enum ResolveError {
 pub struct TenantRegistry {
     tenants: Mutex<BTreeMap<String, Arc<Tenant>>>,
     tokens: BTreeMap<String, (String, Tier)>,
+    /// Names owned by the tenants file; refused as `X-Tenant` values.
+    reserved: BTreeSet<String>,
+    /// When set, the only credential [`Self::authorize_admin`] accepts.
+    admin_token: Option<String>,
     default_tier: Tier,
     cache_bytes: usize,
     max_tenants: usize,
@@ -145,6 +156,8 @@ impl TenantRegistry {
         TenantRegistry {
             tenants: Mutex::new(BTreeMap::new()),
             tokens: BTreeMap::new(),
+            reserved: BTreeSet::new(),
+            admin_token: None,
             default_tier,
             cache_bytes,
             max_tenants: max_tenants.max(1),
@@ -152,22 +165,32 @@ impl TenantRegistry {
     }
 
     /// Installs the token map from a parsed tenants file:
-    /// `{"tenants": [{"name", "token", "rate", "burst"}, ...]}` —
-    /// `rate`/`burst` optional (default tier when absent).
+    /// `{"tenants": [{"name", "token", "rate", "burst"}, ...],
+    /// "admin_token": "..."}` — `rate`/`burst` optional (default tier when
+    /// absent), `admin_token` optional (see [`Self::authorize_admin`]).
+    /// Every configured name is reserved for token-authenticated use.
     ///
     /// # Errors
     ///
-    /// A message describing the first malformed entry.
+    /// A message describing the first malformed entry. Two entries may
+    /// share a name only with the same tier — otherwise whichever token
+    /// was used first would silently fix the tenant's tier for both.
     pub fn load_tokens(&mut self, value: &Value) -> Result<(), String> {
         let Value::Array(entries) = value.field("tenants") else {
             return Err("tenants file must carry a 'tenants' array".to_string());
         };
+        let mut tier_of: BTreeMap<String, Tier> = BTreeMap::new();
         for entry in entries {
             let Value::String(name) = entry.field("name") else {
                 return Err("tenant entry missing string 'name'".to_string());
             };
             if !valid_name(name) {
                 return Err(format!("invalid tenant name {name:?}"));
+            }
+            if name == DEFAULT_TENANT {
+                return Err(format!(
+                    "tenant name {DEFAULT_TENANT:?} is reserved for anonymous requests"
+                ));
             }
             let Value::String(token) = entry.field("token") else {
                 return Err(format!("tenant {name:?} missing string 'token'"));
@@ -179,9 +202,44 @@ impl TenantRegistry {
             if let Value::Number(n) = entry.field("burst") {
                 tier.burst = n.as_f64();
             }
+            if let Some(previous) = tier_of.insert(name.clone(), tier) {
+                if previous != tier {
+                    return Err(format!(
+                        "tenant {name:?} is configured with conflicting tiers"
+                    ));
+                }
+            }
             self.tokens.insert(token.clone(), (name.clone(), tier));
+            self.reserved.insert(name.clone());
+        }
+        if let Value::String(token) = value.field("admin_token") {
+            self.admin_token = Some(token.clone());
         }
         Ok(())
+    }
+
+    /// Overrides the admin token (the `--admin-token` flag beats the
+    /// tenants file's `admin_token` field).
+    pub fn set_admin_token(&mut self, token: String) {
+        self.admin_token = Some(token);
+    }
+
+    /// Whether `authorization` may invoke admin routes (`/v1/shutdown`).
+    ///
+    /// With an admin token configured, only that exact bearer token is
+    /// accepted. Otherwise any token from the tenants file qualifies —
+    /// a credentialed tenant may drain the gateway, an anonymous client
+    /// may not. A gateway with no credentials configured at all (no
+    /// tenants file, no admin token: local/dev use) stays open.
+    pub fn authorize_admin(&self, authorization: Option<&str>) -> bool {
+        let token = authorization.map(|auth| auth.strip_prefix("Bearer ").unwrap_or(auth).trim());
+        if let Some(admin) = &self.admin_token {
+            return token == Some(admin.as_str());
+        }
+        if self.tokens.is_empty() {
+            return true;
+        }
+        token.is_some_and(|t| self.tokens.contains_key(t))
     }
 
     fn get_or_create(&self, name: &str, tier: Tier) -> Result<Arc<Tenant>, ResolveError> {
@@ -219,9 +277,14 @@ impl TenantRegistry {
             if !valid_name(name) {
                 return Err(ResolveError::BadName(name.to_string()));
             }
+            if self.reserved.contains(name) {
+                return Err(ResolveError::ReservedName(name.to_string()));
+            }
             return self.get_or_create(name, self.default_tier);
         }
-        self.get_or_create(DEFAULT_TENANT, Tier::unlimited())
+        // The default tier, NOT unlimited: omitting both headers must not
+        // be a rate-limit bypass on a gateway configured with `--rate`.
+        self.get_or_create(DEFAULT_TENANT, self.default_tier)
     }
 
     /// All live tenants, sorted by name (for the stats snapshot).
@@ -284,6 +347,96 @@ mod tests {
             panic!("unknown tokens must be refused");
         };
         assert_eq!(unknown, ResolveError::UnknownToken);
+    }
+
+    #[test]
+    fn token_configured_names_are_reserved_from_self_declaration() {
+        let mut registry = TenantRegistry::new(1 << 20, Tier::unlimited(), 8);
+        let file: Value = serde_json::from_str(
+            r#"{"tenants":[{"name":"acme","token":"tok_a","rate":2.0,"burst":3.0}]}"#,
+        )
+        .unwrap();
+        registry.load_tokens(&file).unwrap();
+        // Headers alone must not reach acme's cache and rate bucket…
+        let Err(reserved) = registry.resolve(None, Some("acme")) else {
+            panic!("X-Tenant must not impersonate a token-configured tenant");
+        };
+        assert_eq!(reserved, ResolveError::ReservedName("acme".to_string()));
+        // …and the refusal must not have created the tenant, so the token
+        // still binds it at its configured tier (no first-touch fixation).
+        let acme = registry.resolve(Some("Bearer tok_a"), None).unwrap();
+        assert_eq!(
+            acme.tier(),
+            Tier {
+                rate: 2.0,
+                burst: 3.0
+            }
+        );
+        // When both headers are present the token wins, so a valid bearer
+        // may still name its own tenant in X-Tenant for visibility.
+        let both = registry.resolve(Some("Bearer tok_a"), Some("acme")).unwrap();
+        assert!(Arc::ptr_eq(&acme, &both));
+    }
+
+    #[test]
+    fn tenants_file_refusals() {
+        let mut registry = TenantRegistry::new(1 << 20, Tier::unlimited(), 8);
+        let conflicting: Value = serde_json::from_str(
+            r#"{"tenants":[{"name":"a","token":"t1","rate":1.0,"burst":1.0},
+                           {"name":"a","token":"t2","rate":9.0,"burst":9.0}]}"#,
+        )
+        .unwrap();
+        assert!(
+            registry.load_tokens(&conflicting).is_err(),
+            "one name, two tiers: whichever token arrived first would fix the tier"
+        );
+        let shadowing: Value =
+            serde_json::from_str(r#"{"tenants":[{"name":"default","token":"t"}]}"#).unwrap();
+        assert!(
+            registry.load_tokens(&shadowing).is_err(),
+            "'default' belongs to anonymous requests"
+        );
+    }
+
+    #[test]
+    fn anonymous_requests_get_the_default_tier_not_unlimited() {
+        let limited = Tier {
+            rate: 0.001,
+            burst: 2.0,
+        };
+        let registry = TenantRegistry::new(1 << 20, limited, 8);
+        let anon = registry.resolve(None, None).unwrap();
+        assert_eq!(anon.name(), DEFAULT_TENANT);
+        assert_eq!(anon.tier(), limited, "omitting headers is not a bypass");
+        assert!(anon.admit() && anon.admit());
+        assert!(!anon.admit(), "the default tenant's bucket really limits");
+    }
+
+    #[test]
+    fn admin_authorization_tracks_configured_credentials() {
+        // No credentials configured: open (local/dev gateways).
+        let mut registry = TenantRegistry::new(1 << 20, Tier::unlimited(), 8);
+        assert!(registry.authorize_admin(None));
+        // Tenants file without admin_token: any configured token.
+        let file: Value =
+            serde_json::from_str(r#"{"tenants":[{"name":"acme","token":"tok_a"}]}"#).unwrap();
+        registry.load_tokens(&file).unwrap();
+        assert!(!registry.authorize_admin(None));
+        assert!(!registry.authorize_admin(Some("Bearer wrong")));
+        assert!(registry.authorize_admin(Some("Bearer tok_a")));
+        // With an admin token: only that token, tenant tokens no longer do.
+        let file: Value = serde_json::from_str(
+            r#"{"tenants":[{"name":"acme","token":"tok_a"}],"admin_token":"root_t"}"#,
+        )
+        .unwrap();
+        let mut registry = TenantRegistry::new(1 << 20, Tier::unlimited(), 8);
+        registry.load_tokens(&file).unwrap();
+        assert!(!registry.authorize_admin(Some("Bearer tok_a")));
+        assert!(registry.authorize_admin(Some("Bearer root_t")));
+        // The flag overrides the file.
+        registry.set_admin_token("flag_t".to_string());
+        assert!(!registry.authorize_admin(Some("Bearer root_t")));
+        assert!(registry.authorize_admin(Some("Bearer flag_t")));
     }
 
     #[test]

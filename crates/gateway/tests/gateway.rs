@@ -33,13 +33,26 @@ impl TestGateway {
     }
 
     fn stop(self) -> GatewaySummary {
+        self.stop_with(&[])
+    }
+
+    /// Stops a gateway whose `/v1/shutdown` demands credentials.
+    fn stop_with(self, headers: &[(&str, &str)]) -> GatewaySummary {
         let mut stream = self.connect();
-        let _ = request(&mut stream, "POST", "/v1/shutdown", &[], "");
+        let (status, body) = request(&mut stream, "POST", "/v1/shutdown", headers, "");
+        assert_eq!(status, 200, "shutdown refused: {body}");
         self.thread
             .join()
             .expect("gateway thread")
             .expect("gateway run")
     }
+}
+
+/// Writes a tenants file into a per-test temp path.
+fn write_tenants_file(name: &str, contents: &str) -> String {
+    let path = std::env::temp_dir().join(format!("ccs-gw-{}-{name}.json", std::process::id()));
+    std::fs::write(&path, contents).expect("write tenants file");
+    path.to_str().expect("utf-8 temp path").to_string()
 }
 
 /// Sends one request and reads one response off `stream`.
@@ -398,6 +411,127 @@ fn batch_requests_answer_per_item_in_order() {
     assert_eq!(summary.batches, 1);
     assert_eq!(summary.batch_items, 6);
     assert_eq!(summary.errors, 1);
+}
+
+/// On a credentialed gateway `/v1/shutdown` is an authenticated route:
+/// anonymous and unknown-token requests bounce with 401 (and the gateway
+/// keeps serving), tenant tokens qualify — unless an admin token is
+/// configured, which then becomes the only accepted credential.
+#[test]
+fn shutdown_requires_credentials_on_a_credentialed_gateway() {
+    let tenants = write_tenants_file(
+        "shutdown",
+        r#"{"tenants":[{"name":"acme","token":"tok_acme"}]}"#,
+    );
+    let config = GatewayConfig {
+        tenants_file: Some(tenants.clone()),
+        ..GatewayConfig::default()
+    };
+    let gateway = start_gateway(config);
+    let mut stream = gateway.connect();
+    let (status, body) = request(&mut stream, "POST", "/v1/shutdown", &[], "");
+    assert_eq!(status, 401, "anonymous shutdown must bounce: {body}");
+    let (status, body) = request(
+        &mut stream,
+        "POST",
+        "/v1/shutdown",
+        &[("Authorization", "Bearer wrong")],
+        "",
+    );
+    assert_eq!(status, 401, "unknown-token shutdown must bounce: {body}");
+    // The bounced shutdowns didn't drain anything.
+    let (status, _) = request(&mut stream, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200, "gateway still serving after refused shutdowns");
+    drop(stream);
+    gateway.stop_with(&[("Authorization", "Bearer tok_acme")]);
+
+    // With an admin token configured, tenant tokens no longer qualify.
+    let config = GatewayConfig {
+        tenants_file: Some(tenants.clone()),
+        admin_token: Some("root_token".to_string()),
+        ..GatewayConfig::default()
+    };
+    let gateway = start_gateway(config);
+    let mut stream = gateway.connect();
+    let (status, body) = request(
+        &mut stream,
+        "POST",
+        "/v1/shutdown",
+        &[("Authorization", "Bearer tok_acme")],
+        "",
+    );
+    assert_eq!(status, 401, "tenant token is not the admin token: {body}");
+    drop(stream);
+    gateway.stop_with(&[("Authorization", "Bearer root_token")]);
+    let _ = std::fs::remove_file(&tenants);
+}
+
+/// Token-configured names are reserved: a bare `X-Tenant` naming one is
+/// refused 403 rather than handed that tenant's cache and rate bucket.
+#[test]
+fn self_declared_tenant_cannot_impersonate_a_token_configured_one() {
+    let tenants = write_tenants_file(
+        "reserved",
+        r#"{"tenants":[{"name":"acme","token":"tok_acme"}]}"#,
+    );
+    let config = GatewayConfig {
+        tenants_file: Some(tenants.clone()),
+        ..GatewayConfig::default()
+    };
+    let gateway = start_gateway(config);
+    let mut stream = gateway.connect();
+    let (status, body) = request(
+        &mut stream,
+        "POST",
+        "/v1/plan",
+        &[("X-Tenant", "acme")],
+        "{}",
+    );
+    assert_eq!(status, 403, "{body}");
+    assert!(body.contains("bearer token"), "{body}");
+    // Other self-declared names still work.
+    let (status, _) = request(
+        &mut stream,
+        "POST",
+        "/v1/plan",
+        &[("X-Tenant", "someone-else")],
+        &plan_body(3, 6, "ccsa", "equal", 1),
+    );
+    assert_eq!(status, 200);
+    drop(stream);
+    gateway.stop_with(&[("Authorization", "Bearer tok_acme")]);
+    let _ = std::fs::remove_file(&tenants);
+}
+
+/// Omitting both identity headers lands on the default tenant at the
+/// configured default tier — not an unlimited rate-limit bypass.
+#[test]
+fn anonymous_requests_are_rate_limited_at_the_default_tier() {
+    let config = GatewayConfig {
+        rate: 0.001,
+        burst: 3.0,
+        ..GatewayConfig::default()
+    };
+    let gateway = start_gateway(config);
+    let mut stream = gateway.connect();
+    let mut seen_429 = 0;
+    for id in 1..=6u64 {
+        let (status, body) = request(
+            &mut stream,
+            "POST",
+            "/v1/plan",
+            &[],
+            &plan_body(9, 6, "ccsa", "equal", id),
+        );
+        match status {
+            200 => {}
+            429 => seen_429 += 1,
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(seen_429, 3, "headerless requests spend the default bucket");
+    drop(stream);
+    gateway.stop();
 }
 
 /// Identity handling: bad tenant names are 400, unknown bearer tokens are

@@ -49,6 +49,21 @@ struct Inner<K, V> {
     bytes: usize,
 }
 
+impl<K: Eq + Hash + Clone, V> Inner<K, V> {
+    /// Sweeps stale tickets once they outnumber live entries 2:1 (plus
+    /// slack so tiny maps don't sweep every touch). Without this, a
+    /// hit-heavy under-budget workload — the steady state eviction never
+    /// runs in — grows `order` by one ticket per request forever. Each
+    /// touch enqueues at most one ticket, so the sweep is amortized O(1).
+    fn compact(&mut self) {
+        let Inner { map, order, .. } = self;
+        if order.len() <= 2 * map.len() + 8 {
+            return;
+        }
+        order.retain(|(ticket, key)| map.get(key).is_some_and(|slot| slot.seq == *ticket));
+    }
+}
+
 /// A thread-safe byte-budgeted LRU of `Arc<V>` values.
 pub struct ByteLru<K: Eq + Hash + Clone, V> {
     inner: Mutex<Inner<K, V>>,
@@ -86,6 +101,7 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
                 let value = Arc::clone(&slot.value);
                 inner.next_seq += 1;
                 inner.order.push_back((seq, key.clone()));
+                inner.compact();
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
@@ -110,6 +126,7 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
             slot.seq = seq;
             let value = Arc::clone(&slot.value);
             inner.order.push_back((seq, key));
+            inner.compact();
             return value;
         }
         inner.map.insert(
@@ -181,6 +198,12 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
 
 #[cfg(test)]
 impl<K: Eq + Hash + Clone + Send, V: Send + Sync> ByteLru<K, V> {
+    /// Test hook: current length of the recency queue (tickets, including
+    /// stale ones awaiting compaction).
+    pub(crate) fn order_len(&self) -> usize {
+        lock_unpoisoned(&self.inner).order.len()
+    }
+
     /// Test hook: poisons the inner mutex (a thread panics while holding
     /// it), simulating a handler panic caught mid-critical-section.
     pub(crate) fn poison_for_test(&self) {
@@ -242,6 +265,41 @@ mod tests {
         lru.insert(1, Arc::new(1), 1);
         assert!(lru.get(&1).is_some());
         assert_eq!((lru.hits(), lru.misses(), lru.evictions()), (1, 1, 0));
+    }
+
+    #[test]
+    fn hit_heavy_under_budget_workload_keeps_the_recency_queue_bounded() {
+        let lru: ByteLru<u8, u8> = ByteLru::new(usize::MAX);
+        for key in 0..4u8 {
+            lru.insert(key, Arc::new(key), 1);
+        }
+        // The leak scenario: a long-running daemon far under budget,
+        // hammering the same hot keys. Eviction never runs, so before
+        // compaction every hit left a ticket behind forever.
+        for round in 0..10_000u32 {
+            let key = (round % 4) as u8;
+            assert!(lru.get(&key).is_some());
+            lru.insert(key, Arc::new(key), 1);
+        }
+        assert_eq!(lru.len(), 4);
+        assert!(
+            lru.order_len() <= 2 * lru.len() + 8 + 1,
+            "recency queue stays bounded by live entries, got {}",
+            lru.order_len()
+        );
+        // Recency is intact after all that compaction: 0 is now the LRU.
+        let under_pressure: ByteLru<u8, u8> = ByteLru::new(4);
+        for key in 0..4u8 {
+            under_pressure.insert(key, Arc::new(key), 1);
+        }
+        for _ in 0..100 {
+            for key in 1..4u8 {
+                under_pressure.get(&key);
+            }
+        }
+        under_pressure.insert(9, Arc::new(9), 1);
+        assert!(under_pressure.get(&0).is_none(), "0 was the LRU");
+        assert!(under_pressure.get(&3).is_some());
     }
 
     #[test]

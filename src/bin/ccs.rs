@@ -17,7 +17,7 @@
 //! ccs gateway [--addr HOST:PORT] [--shards N] [--workers-per-shard N]
 //!             [--queue-depth N] [--max-body-mb MB] [--batch-max N]
 //!             [--cache-mb MB] [--rate R] [--burst B] [--tenants-file FILE]
-//!             [--max-tenants N] [--idle-secs S]
+//!             [--admin-token TOK] [--max-tenants N] [--idle-secs S]
 //! ccs stats  --socket PATH [--json true]
 //! ```
 //!
@@ -140,6 +140,7 @@ fn validate_flags(command: &str, opts: &Flags) -> Result<(), String> {
             "rate",
             "burst",
             "tenants-file",
+            "admin-token",
             "max-tenants",
             "idle-secs",
         ],
@@ -182,15 +183,19 @@ service mode (serve):
 gateway mode (gateway):
   HTTP/1.1 on a TcpListener: POST /v1/plan (one daemon request body, the
   response body is byte-identical to the daemon's response line),
-  POST /v1/batch ({\"items\":[...]} grouped by scenario hash so each group
-  amortizes one tables build), GET /v1/stats, GET /healthz, and
-  POST /v1/shutdown (drain and exit). Tenancy: `Authorization: Bearer`
-  tokens map to named tenants via --tenants-file
-  ({\"tenants\":[{\"name\",\"token\",\"rate\",\"burst\"}]}); the X-Tenant
-  header self-declares a tenant on the default tier (--rate/--burst,
-  rate 0 = unlimited). Every tenant gets a private --cache-mb cache and
-  its own token bucket. --shards 0 = auto; --max-tenants caps distinct
-  tenants (default 256); --idle-secs drops silent keep-alive connections.
+  POST /v1/batch ({\"requests\":[...]} grouped by scenario hash so each
+  group amortizes one tables build), GET /v1/stats, GET /healthz, and
+  POST /v1/shutdown (drain and exit; requires --admin-token or the
+  tenants file's \"admin_token\" when set, else any configured bearer
+  token — open only when no credentials are configured at all).
+  Tenancy: `Authorization: Bearer` tokens map to named tenants via
+  --tenants-file ({\"tenants\":[{\"name\",\"token\",\"rate\",\"burst\"}]},
+  names reserved from X-Tenant); the X-Tenant header self-declares a
+  tenant on the default tier (--rate/--burst, rate 0 = unlimited), and
+  requests with neither header share the 'default' tenant on that same
+  tier. Every tenant gets a private --cache-mb cache and its own token
+  bucket. --shards 0 = auto; --max-tenants caps distinct tenants
+  (default 256); --idle-secs drops silent keep-alive connections.
 
 observability (serve):
   --stats-every S       period of the stats line on stderr (JSON snapshot)
@@ -563,6 +568,7 @@ fn cmd_gateway(opts: &Flags) -> Result<(), String> {
         rate: get(opts, "rate", 0.0)?,
         burst: get(opts, "burst", 0.0)?,
         tenants_file: opts.get("tenants-file").cloned(),
+        admin_token: opts.get("admin-token").cloned(),
         max_tenants: get(opts, "max-tenants", 256)?,
         idle_timeout: std::time::Duration::from_secs(get(opts, "idle-secs", 5)?),
     };
