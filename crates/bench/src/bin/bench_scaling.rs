@@ -8,25 +8,42 @@
 //! Every cell is one `(workload, n)` pair from the seeded
 //! [`scale_preset`] family, timed at 1
 //! and 4 worker threads over `--iters` runs (mean and p95 per thread
-//! count), and emitted as a JSON document:
+//! count) plus one untimed serial telemetry pass capturing the
+//! activity-driven work counters, and emitted as a JSON document:
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench-scaling/v1",
+//!   "schema": "ccs-bench-scaling/v2",
 //!   "available_parallelism": 4,
+//!   "host_sentinel_ms": 3.1,
 //!   "benches": {
 //!     "scale_ccsa_n1k": {
 //!       "t1_mean_ms": 810.0, "t1_p95_ms": 840.2,
-//!       "t4_mean_ms": 270.1, "t4_p95_ms": 280.9, "speedup": 3.0
+//!       "t4_mean_ms": 270.1, "t4_p95_ms": 280.9, "speedup": 3.0,
+//!       "cores": 4, "probes_skipped": 0, "facilities_skipped": 91
 //!     }
 //!   }
 //! }
 //! ```
 //!
-//! The paper-size cells run the exact algorithms; the `n = 1k` and
-//! `n = 10k` CCSGA cells run the documented scale mode (`neighbor_cap`,
-//! `check_stability: false`, a round cap) — the configuration the scaling
-//! claims in `README.md` are about.
+//! `cores` records `available_parallelism` *at the moment the cell ran*
+//! (thread pools can be re-pinned mid-process; the root field only knows
+//! the value at emit time); on hosts that cannot express parallelism
+//! (`cores < 2`) `speedup` is `null` — the 1-vs-4-thread ratio measured
+//! on one physical core is pool overhead, not a scaling signal, and must
+//! not be read as one. `probes_skipped` (`coalition.probes_skipped`) and
+//! `facilities_skipped` (`ccsa.facilities_skipped`) count the work the
+//! activity-driven worklist and the incremental facility sweep avoided:
+//! CCSGA cells skip probes, the CCSA cell skips facility re-pricings.
+//!
+//! The paper-size cells run the exact algorithms; the `n = 1k`, `n = 10k`
+//! and `n = 100k` CCSGA cells run the documented scale mode
+//! (`neighbor_cap`, `check_stability: false`, a round cap) — the
+//! configuration the scaling claims in `README.md` are about. The
+//! `n = 100k` frontier cell always runs a single timed iteration per
+//! thread count, whatever `--iters` says; in the default sweep it only
+//! runs on hosts with at least 4 cores (it is the suite's time-budget
+//! hog), but `--only scale_ccsga_n100k` forces it on any host.
 //!
 //! With `--check` the run fails (exit 1) when:
 //!
@@ -54,19 +71,23 @@ use std::time::Instant;
 
 /// Cell names (disjoint from every other bench binary's families, so the
 /// name-aware baseline lookup never cross-matches).
-const CELL_NAMES: [&str; 4] = [
+const CELL_NAMES: [&str; 5] = [
     "scale_ccsga_n50",
     "scale_ccsa_n1k",
     "scale_ccsga_n1k",
     "scale_ccsga_n10k",
+    "scale_ccsga_n100k",
 ];
 
-/// The regression gate: serial mean within 20% (wall clock is noisy).
+/// The regression gate: serial mean within 20% (wall clock is noisy),
+/// compared through the host-sentinel calibration so baselines from
+/// faster machines don't fail slower ones.
 const GATES: [Gate; 1] = [Gate {
     field: "t1_mean_ms",
     tolerance: 0.20,
     direction: Direction::HigherIsWorse,
     zero_base_fails: false,
+    host_sensitive: true,
 }];
 
 /// CCSGA scale mode for the large cells: shortlist joins to the nearest
@@ -104,31 +125,58 @@ struct Cell {
     t1_p95_ms: f64,
     t4_mean_ms: f64,
     t4_p95_ms: f64,
+    /// `available_parallelism` when this cell ran, not at emit time.
+    cores: u64,
+    /// `coalition.probes_skipped` over one serial run (CCSGA cells).
+    probes_skipped: u64,
+    /// `ccsa.facilities_skipped` over one serial run (the CCSA cell).
+    facilities_skipped: u64,
 }
 
 /// Times `f` pinned to 1 and 4 worker threads, asserting bit-identical
-/// fingerprints across the two.
+/// fingerprints across the two, then runs one untimed serial pass with
+/// telemetry on to capture the skipped-work counters.
 fn run_cell(name: &str, iters: usize, f: &dyn Fn() -> u64) -> Cell {
     ccs_par::set_threads(1);
     let (t1_mean_ms, t1_p95_ms, fp1) = time_ms(iters, f);
     ccs_par::set_threads(4);
     let (t4_mean_ms, t4_p95_ms, fp4) = time_ms(iters, f);
-    ccs_par::set_threads(0);
     assert_eq!(
         fp1, fp4,
         "{name}: 1-thread and 4-thread results diverged — determinism bug"
     );
-    eprintln!(
-        "cell {name}: t1 {t1_mean_ms:.1} ms (p95 {t1_p95_ms:.1}), \
-         t4 {t4_mean_ms:.1} ms (p95 {t4_p95_ms:.1}), speedup {:.2}",
-        t1_mean_ms / t4_mean_ms
-    );
-    Cell {
+
+    ccs_par::set_threads(1);
+    let registry = ccs_telemetry::global();
+    registry.reset();
+    registry.enable();
+    f();
+    let report = registry.report();
+    registry.disable();
+    registry.reset();
+    ccs_par::set_threads(0);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let cell = Cell {
         t1_mean_ms,
         t1_p95_ms,
         t4_mean_ms,
         t4_p95_ms,
-    }
+        cores,
+        probes_skipped: report.counter("coalition.probes_skipped"),
+        facilities_skipped: report.counter("ccsa.facilities_skipped"),
+    };
+    eprintln!(
+        "cell {name}: t1 {t1_mean_ms:.1} ms (p95 {t1_p95_ms:.1}), \
+         t4 {t4_mean_ms:.1} ms (p95 {t4_p95_ms:.1}), speedup {:.2}, \
+         skipped probes {} / facilities {}",
+        t1_mean_ms / t4_mean_ms,
+        cell.probes_skipped,
+        cell.facilities_skipped
+    );
+    cell
 }
 
 fn cells(iters: usize, only: Option<&str>) -> BTreeMap<String, Cell> {
@@ -209,6 +257,42 @@ fn cells(iters: usize, only: Option<&str>) -> BTreeMap<String, Cell> {
         );
     }
 
+    // The frontier cell: n = 100k, same scale mode and capacity cap as the
+    // 10k cell. One timed iteration per thread count regardless of
+    // `--iters` — the cell exists to prove the size completes and to track
+    // its order of magnitude, not to resolve single-digit-percent drift.
+    // It is the suite's time budget hog, so the default sweep only runs it
+    // on hosts with >= 4 cores (CI's scaling runners); `--only` forces it
+    // anywhere.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let frontier_forced = only == Some("scale_ccsga_n100k");
+    if wanted("scale_ccsga_n100k") && (cores >= 4 || frontier_forced) {
+        let p100k = CcsProblem::with_params(
+            scale_preset(50, 100_000).generate(),
+            ccs_core::problem::CostParams {
+                max_group_size: Some(8),
+                ..Default::default()
+            },
+        );
+        out.insert(
+            "scale_ccsga_n100k".to_string(),
+            run_cell("scale_ccsga_n100k", 1, &|| {
+                ccsga(&p100k, &EqualShare, scale_mode(4, 2))
+                    .schedule
+                    .total_cost()
+                    .value()
+                    .to_bits()
+            }),
+        );
+    } else if wanted("scale_ccsga_n100k") {
+        eprintln!(
+            "cell scale_ccsga_n100k: host has {cores} core(s) < 4 — skipped \
+             (run with `--only scale_ccsga_n100k` to force it)"
+        );
+    }
+
     out
 }
 
@@ -224,17 +308,38 @@ fn to_json(results: &BTreeMap<String, Cell>, cores: u64) -> Value {
         entry.insert("t1_p95_ms".to_string(), num(c.t1_p95_ms));
         entry.insert("t4_mean_ms".to_string(), num(c.t4_mean_ms));
         entry.insert("t4_p95_ms".to_string(), num(c.t4_p95_ms));
-        entry.insert("speedup".to_string(), num(c.t1_mean_ms / c.t4_mean_ms));
+        // A "speedup" measured on one physical core is pool overhead, not
+        // parallel scaling — emit null rather than a number that invites
+        // misreading (consumers must handle both).
+        let speedup = if c.cores >= 2 {
+            num(c.t1_mean_ms / c.t4_mean_ms)
+        } else {
+            Value::Null
+        };
+        entry.insert("speedup".to_string(), speedup);
+        entry.insert("cores".to_string(), Value::Number(Number::PosInt(c.cores)));
+        entry.insert(
+            "probes_skipped".to_string(),
+            Value::Number(Number::PosInt(c.probes_skipped)),
+        );
+        entry.insert(
+            "facilities_skipped".to_string(),
+            Value::Number(Number::PosInt(c.facilities_skipped)),
+        );
         benches.insert(name.clone(), Value::Object(entry));
     }
     let mut root = BTreeMap::new();
     root.insert(
         "schema".to_string(),
-        Value::String("ccs-bench-scaling/v1".to_string()),
+        Value::String("ccs-bench-scaling/v2".to_string()),
     );
     root.insert(
         "available_parallelism".to_string(),
         Value::Number(Number::PosInt(cores)),
+    );
+    root.insert(
+        gate::SENTINEL_FIELD.to_string(),
+        num(gate::host_sentinel_ms()),
     );
     root.insert("benches".to_string(), Value::Object(benches));
     Value::Object(root)

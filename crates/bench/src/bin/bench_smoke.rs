@@ -11,8 +11,9 @@
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench-smoke/v2",
+//!   "schema": "ccs-bench-smoke/v3",
 //!   "available_parallelism": 4,
+//!   "host_sentinel_ms": 3.1,
 //!   "benches": {
 //!     "ccsga_n100": {
 //!       "serial_ms": 123.4, "par_ms": 61.7, "speedup": 2.0,
@@ -31,11 +32,14 @@
 //! directory *covering this binary's bench names* (see [`ccs_bench::gate`]:
 //! other binaries emit disjoint bench families and must not shadow this
 //! gate's baseline) is used *before* any output is written: if any
-//! bench's `serial_ms` regresses by more than 20%, or its `oracle_evals`
+//! bench's `serial_ms` regresses by more than 20% — after rescaling the
+//! baseline by the `host_sentinel_ms` ratio, so a slow laptop isn't
+//! gated against a fast CI runner's wall clock — or its `oracle_evals`
 //! grows by more than 5%, the process exits with status 1. Version-1
-//! baselines (no counter fields) gate on timing only; when no baseline
-//! exists at all the gate is skipped gracefully, so the first run of a
-//! fresh checkout always passes.
+//! baselines (no counter fields) gate on timing only; baselines without
+//! a sentinel skip the timing gate with a notice (the counters still
+//! gate); when no baseline exists at all the gate is skipped gracefully,
+//! so the first run of a fresh checkout always passes.
 //!
 //! Every run also cross-checks that the 1-thread and 4-thread schedules
 //! are bit-identical — the determinism contract of `ccs-par` — and aborts
@@ -61,12 +65,16 @@ const GATES: [Gate; 2] = [
         tolerance: 0.20,
         direction: Direction::HigherIsWorse,
         zero_base_fails: false,
+        // Wall clock transfers across hosts only through the sentinel
+        // calibration; baselines without one skip this gate loudly.
+        host_sensitive: true,
     },
     Gate {
         field: "oracle_evals",
         tolerance: 0.05,
         direction: Direction::HigherIsWorse,
         zero_base_fails: true,
+        host_sensitive: false,
     },
 ];
 
@@ -226,11 +234,15 @@ fn to_json(results: &BTreeMap<String, BenchResult>) -> Value {
     let mut root = BTreeMap::new();
     root.insert(
         "schema".to_string(),
-        Value::String("ccs-bench-smoke/v2".to_string()),
+        Value::String("ccs-bench-smoke/v3".to_string()),
     );
     root.insert(
         "available_parallelism".to_string(),
         Value::Number(Number::PosInt(cores)),
+    );
+    root.insert(
+        gate::SENTINEL_FIELD.to_string(),
+        num(gate::host_sentinel_ms()),
     );
     root.insert("benches".to_string(), Value::Object(benches));
     Value::Object(root)

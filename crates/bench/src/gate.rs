@@ -9,8 +9,24 @@
 //! one of the caller's bench names. A freshly committed `BENCH_5.json`
 //! from one family therefore never silently turns the other family's gate
 //! into a no-op.
+//!
+//! # Host calibration
+//!
+//! Wall-clock baselines only transfer between hosts of similar speed: a
+//! `serial_ms` recorded on a fast CI runner fails any 20% gate on a slower
+//! laptop even when the code got *faster*. Documents therefore record a
+//! `host_sentinel_ms` — the wall clock of [`host_sentinel_ms`], a fixed
+//! deterministic single-threaded workload — and [`regressions`] rescales
+//! the baseline of every [`Gate`] marked `host_sensitive` by the sentinel
+//! ratio before comparing. When either side lacks the sentinel (baselines
+//! committed before calibration existed), host-sensitive gates are skipped
+//! with a notice on stderr; host-independent gates (exact work counters)
+//! still apply, so the algorithmic regression net stays up.
 
 use serde_json::Value;
+
+/// Root field under which bench documents record their host calibration.
+pub const SENTINEL_FIELD: &str = "host_sentinel_ms";
 
 /// Which direction of drift is a regression for a gated field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +51,51 @@ pub struct Gate {
     /// counters: any growth from zero is real) or is skipped (timings:
     /// a zero baseline carries no signal).
     pub zero_base_fails: bool,
+    /// Whether the metric tracks raw host speed (wall-clock timings) and
+    /// must be compared through the `host_sentinel_ms` calibration, or is
+    /// host-independent (work counters, ratios) and compares as recorded.
+    pub host_sensitive: bool,
+}
+
+/// Wall clock (ms) of a fixed, deterministic, single-threaded workload —
+/// the calibration constant that makes timing baselines comparable across
+/// hosts. Min of five passes: the minimum estimates the host's unloaded
+/// speed, which is what the gate's ratio needs, and is far more stable
+/// than a mean under background load.
+pub fn host_sentinel_ms() -> f64 {
+    fn pass() -> f64 {
+        // xorshift64* feeding a square root: exercises both the integer
+        // and the floating-point pipes, cannot be const-folded, and has a
+        // loop-carried dependency so faster hosts win on latency, not on
+        // vectorization tricks the real solvers don't benefit from.
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut acc = 0.0_f64;
+        for _ in 0..2_000_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 11) as f64).sqrt();
+        }
+        acc
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = std::time::Instant::now();
+        std::hint::black_box(pass());
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+/// The baseline→current calibration factor: >1 means the current host is
+/// that much slower than the baseline's, so host-sensitive thresholds
+/// stretch by it. `None` when either document lacks a positive sentinel.
+pub fn timing_scale(current: &Value, baseline: &Value) -> Option<f64> {
+    let read = |doc: &Value| match doc.field(SENTINEL_FIELD) {
+        Value::Number(n) if n.as_f64() > 0.0 => Some(n.as_f64()),
+        _ => None,
+    };
+    Some(read(current)? / read(baseline)?)
 }
 
 /// The newest committed baseline *covering this bench family*: the
@@ -78,7 +139,9 @@ pub fn newest_baseline(names: &[&str]) -> Option<(String, Value)> {
 /// Compares `current` against `baseline` under `gates`, returning one
 /// human-readable line per regression beyond its tolerance. Benches or
 /// fields absent from either side are ignored (older baseline schemas
-/// simply gate on fewer metrics).
+/// simply gate on fewer metrics). Host-sensitive gates compare against the
+/// baseline rescaled by [`timing_scale`]; without sentinels on both sides
+/// they are skipped with a notice on stderr.
 pub fn regressions(current: &Value, baseline: &Value, gates: &[Gate]) -> Vec<String> {
     let mut failures = Vec::new();
     let Some(base_benches) = baseline.field("benches").as_object() else {
@@ -87,6 +150,14 @@ pub fn regressions(current: &Value, baseline: &Value, gates: &[Gate]) -> Vec<Str
     let Some(cur_benches) = current.field("benches").as_object() else {
         return failures;
     };
+    let scale = timing_scale(current, baseline);
+    if scale.is_none() && gates.iter().any(|g| g.host_sensitive) {
+        eprintln!(
+            "bench-regression gate: no host_sentinel_ms on both sides — \
+             skipping host-sensitive fields (timings don't transfer across \
+             hosts; counters still gate)"
+        );
+    }
     for (name, entry) in cur_benches {
         let Some(base_entry) = base_benches.get(name) else {
             continue;
@@ -97,7 +168,13 @@ pub fn regressions(current: &Value, baseline: &Value, gates: &[Gate]) -> Vec<Str
             else {
                 continue;
             };
-            let (cur, base) = (cur.as_f64(), base.as_f64());
+            let (cur, mut base) = (cur.as_f64(), base.as_f64());
+            if gate.host_sensitive {
+                match scale {
+                    Some(s) => base *= s,
+                    None => continue,
+                }
+            }
             let failed = if base > 0.0 {
                 match gate.direction {
                     Direction::HigherIsWorse => cur > base * (1.0 + gate.tolerance),
@@ -112,8 +189,12 @@ pub fn regressions(current: &Value, baseline: &Value, gates: &[Gate]) -> Vec<Str
                 } else {
                     String::new()
                 };
+                let scaled = match scale {
+                    Some(s) if gate.host_sensitive => format!(" (host-scaled ×{s:.2})"),
+                    _ => String::new(),
+                };
                 failures.push(format!(
-                    "{name}: {} {cur:.2} vs baseline {base:.2}{drift}",
+                    "{name}: {} {cur:.2} vs baseline {base:.2}{scaled}{drift}",
                     gate.field
                 ));
             }
@@ -136,12 +217,32 @@ mod tests {
             tolerance: 0.20,
             direction: Direction::HigherIsWorse,
             zero_base_fails: false,
+            host_sensitive: false,
         },
         Gate {
             field: "oracle_evals",
             tolerance: 0.05,
             direction: Direction::HigherIsWorse,
             zero_base_fails: true,
+            host_sensitive: false,
+        },
+    ];
+
+    /// `serial_ms` gated through the sentinel calibration, the counter raw.
+    const CALIBRATED: [Gate; 2] = [
+        Gate {
+            field: "serial_ms",
+            tolerance: 0.20,
+            direction: Direction::HigherIsWorse,
+            zero_base_fails: false,
+            host_sensitive: true,
+        },
+        Gate {
+            field: "oracle_evals",
+            tolerance: 0.05,
+            direction: Direction::HigherIsWorse,
+            zero_base_fails: true,
+            host_sensitive: false,
         },
     ];
 
@@ -166,12 +267,50 @@ mod tests {
     }
 
     #[test]
+    fn sentinel_rescales_host_sensitive_gates() {
+        // Baseline from a 10× faster host (sentinel 1 ms vs our 10 ms):
+        // its 100 ms budget stretches to 1000 ms here.
+        let base =
+            doc(r#"{"host_sentinel_ms":1.0,"benches":{"a":{"serial_ms":100.0,"oracle_evals":5}}}"#);
+        let ok = doc(
+            r#"{"host_sentinel_ms":10.0,"benches":{"a":{"serial_ms":900.0,"oracle_evals":5}}}"#,
+        );
+        assert!(regressions(&ok, &base, &CALIBRATED).is_empty());
+        let slow = doc(
+            r#"{"host_sentinel_ms":10.0,"benches":{"a":{"serial_ms":1300.0,"oracle_evals":5}}}"#,
+        );
+        let fails = regressions(&slow, &base, &CALIBRATED);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("host-scaled"), "{fails:?}");
+    }
+
+    #[test]
+    fn missing_sentinel_skips_timing_but_still_gates_counters() {
+        // Pre-calibration baseline: no sentinel. The wall clock can't be
+        // compared, the exact counter still can.
+        let base = doc(r#"{"benches":{"a":{"serial_ms":5.0,"oracle_evals":100}}}"#);
+        let cur = doc(
+            r#"{"host_sentinel_ms":10.0,"benches":{"a":{"serial_ms":50.0,"oracle_evals":120}}}"#,
+        );
+        let fails = regressions(&cur, &base, &CALIBRATED);
+        assert_eq!(fails.len(), 1, "timing skipped, counter flagged: {fails:?}");
+        assert!(fails[0].contains("oracle_evals"));
+    }
+
+    #[test]
+    fn host_sentinel_is_positive_and_finite() {
+        let ms = host_sentinel_ms();
+        assert!(ms.is_finite() && ms > 0.0, "sentinel {ms}");
+    }
+
+    #[test]
     fn lower_is_worse_gates_throughput() {
         let gate = [Gate {
             field: "throughput_rps",
             tolerance: 0.5,
             direction: Direction::LowerIsWorse,
             zero_base_fails: false,
+            host_sensitive: false,
         }];
         let base = doc(r#"{"benches":{"s":{"throughput_rps":100.0}}}"#);
         assert!(regressions(

@@ -19,8 +19,10 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::hash::BuildHasher;
 use std::sync::Arc;
+
+use crate::fasthash::FastBuildHasher;
 
 use parking_lot::Mutex;
 
@@ -28,10 +30,13 @@ use parking_lot::Mutex;
 /// cheap while comfortably out-counting the worker threads.
 const SHARDS: usize = 16;
 
+/// One shard: a fast-hashed map from sorted member list to shared value.
+type Shard<V> = Mutex<HashMap<Vec<usize>, Arc<V>, FastBuildHasher>>;
+
 /// A thread-safe memo from coalition composition (sorted member indices)
 /// to a shared, immutable evaluation result.
 pub struct CoalitionCache<V> {
-    shards: Vec<Mutex<HashMap<Vec<usize>, Arc<V>>>>,
+    shards: Vec<Shard<V>>,
 }
 
 impl<V> Default for CoalitionCache<V> {
@@ -52,14 +57,14 @@ impl<V> CoalitionCache<V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         CoalitionCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
         }
     }
 
     fn shard_of(key: &[usize]) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) % SHARDS
+        (FastBuildHasher::default().hash_one(key) as usize) % SHARDS
     }
 
     /// Returns the memoized value for `coalition`, computing and inserting
@@ -84,6 +89,24 @@ impl<V> CoalitionCache<V> {
         let value = Arc::new(compute());
         let mut guard = shard.lock();
         Arc::clone(guard.entry(key).or_insert(value))
+    }
+
+    /// [`CoalitionCache::get_or_insert_with`] keyed directly by a sorted
+    /// member slice, so the hit path performs **no allocation at all** —
+    /// the engine's worklist probes price warm compositions this way. The
+    /// owned `Vec` key is only built on a miss, alongside the (much more
+    /// expensive) value computation.
+    pub fn get_or_insert_by_key(&self, key: &[usize], compute: impl FnOnce() -> V) -> Arc<V> {
+        debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "key must be sorted");
+        let shard = &self.shards[Self::shard_of(key)];
+        if let Some(hit) = shard.lock().get(key) {
+            ccs_telemetry::counter!("cache.hits").incr();
+            return Arc::clone(hit);
+        }
+        ccs_telemetry::counter!("cache.misses").incr();
+        let value = Arc::new(compute());
+        let mut guard = shard.lock();
+        Arc::clone(guard.entry(key.to_vec()).or_insert(value))
     }
 
     /// Returns the memoized value for `coalition` without computing.
@@ -147,6 +170,30 @@ mod tests {
         assert_eq!(*eval(&set(&[1])), 10);
         assert_eq!(computes.load(Ordering::Relaxed), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn by_key_and_by_set_share_entries() {
+        let cache = CoalitionCache::new();
+        let computes = AtomicUsize::new(0);
+        let v1 = cache.get_or_insert_by_key(&[1, 4, 6], || {
+            computes.fetch_add(1, Ordering::Relaxed);
+            11usize
+        });
+        assert_eq!(*v1, 11);
+        // The set-keyed API must hit the slice-keyed entry and vice versa.
+        let v2 = cache.get_or_insert_with(&set(&[1, 4, 6]), || {
+            computes.fetch_add(1, Ordering::Relaxed);
+            99
+        });
+        assert_eq!(*v2, 11);
+        let v3 = cache.get_or_insert_by_key(&[1, 4, 6], || {
+            computes.fetch_add(1, Ordering::Relaxed);
+            99
+        });
+        assert_eq!(*v3, 11);
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -18,6 +18,40 @@
 //! * [`SwitchRule::Utilitarian`] — a switch requires the total social cost
 //!   to strictly decrease; social cost is then an exact potential, so
 //!   convergence is immediate by monotonicity.
+//!
+//! # The activity-driven worklist
+//!
+//! The naive dynamics re-probe every player every round, even when nothing
+//! a player could react to has changed. Since a probe's outcome is a pure
+//! function of (a) the player's own coalition, (b) the compositions of its
+//! candidate coalitions, and (c) its own history, a probe that returned
+//! "no move" stays "no move" until one of those inputs changes. The engine
+//! therefore tracks **dirty** players and skips quiescent ones entirely
+//! (`coalition.probes_skipped`), in one of two modes:
+//!
+//! * **Exact mode** (no shortlist): every switch appends its source and
+//!   destination slots to a global change log. A quiescent player replays
+//!   the log suffix since its last probe and re-evaluates **only the
+//!   changed coalitions** (`coalition.probes_partial`): every unchanged
+//!   candidate — including the singleton fallback — kept its old gain
+//!   `<= epsilon`, and the strict `> epsilon` acceptance means a changed
+//!   candidate can never tie with an unchanged one, so the partial probe
+//!   selects exactly the move the full scan would.
+//! * **Shortlist mode** (`shortlist_cap > 0` with a spatial neighbor
+//!   order): a static reverse-adjacency index answers "who shortlists
+//!   player `m`?". A switch marks the members of the source/destination
+//!   coalitions, the mover, and everyone whose shortlist contains any of
+//!   them; unmarked players are skipped outright. Any event that could
+//!   change a player's candidate set, current cost, or history marks it,
+//!   so a skipped probe is always provably a no-op.
+//!
+//! Rounds still process players in ascending index order and every probe
+//! evaluates candidates in the same order as the full scan, so the
+//! partition trajectory — and the final [`ConvergenceReport`] — is
+//! **bit-identical** to `worklist: false` at any thread count (pinned by
+//! the `worklist` proptests). Games with a global coalition-count cap
+//! ([`HedonicGame::max_coalitions`]) couple every probe to global state,
+//! so the engine transparently falls back to full scans for them.
 
 use crate::game::HedonicGame;
 use crate::partition::{CoalitionId, Partition};
@@ -56,6 +90,12 @@ pub struct EngineOptions {
     /// `false` skips the audit and reports `nash_stable: false`, which is
     /// the right trade at scales where the audit costs more than the run.
     pub check_stability: bool,
+    /// Whether to run the activity-driven worklist (see the module docs).
+    /// `true` (the default) skips provably quiescent players; `false`
+    /// forces the reference full scan every round. The trajectory is
+    /// bit-identical either way — this knob exists for the equivalence
+    /// tests and as an escape hatch.
+    pub worklist: bool,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +106,7 @@ impl Default for EngineOptions {
             epsilon: 1e-9,
             shortlist_cap: 0,
             check_stability: true,
+            worklist: true,
         }
     }
 }
@@ -95,6 +136,200 @@ pub struct ConvergenceReport {
 enum Move {
     Join(CoalitionId),
     Singleton,
+}
+
+/// Reusable buffers shared by every probe of a run — the allocation-free
+/// hot-loop pass. Candidate member lists live in one flat `slab` arena
+/// (each a sorted sub-slice) instead of per-candidate `BTreeSet`s, and the
+/// gain batch is written into a retained buffer via
+/// `ccs_par::par_eval_min_into`.
+struct Scratch {
+    /// Flat arena of candidate member lists, each sorted ascending.
+    slab: Vec<usize>,
+    /// Candidates as `(move, slab_start, slab_end)`.
+    cands: Vec<(Move, usize, usize)>,
+    /// Per-candidate gains; `None` marks an inadmissible candidate.
+    gains: Vec<Option<f64>>,
+    /// Sorted members of the probing player's current coalition.
+    from: Vec<usize>,
+    /// `from` minus the player (utilitarian residual).
+    residual: Vec<usize>,
+    /// Changed-slot indices pending for an exact-mode partial probe.
+    pending: Vec<usize>,
+    /// Stamp-based slot dedup (`slot_seen[s] == stamp` ⇔ seen this pass).
+    slot_seen: Vec<u32>,
+    stamp: u32,
+    /// Neighbor-order buffer for the shortlist path.
+    order: Vec<usize>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            slab: Vec::new(),
+            cands: Vec::new(),
+            gains: Vec::new(),
+            from: Vec::new(),
+            residual: Vec::new(),
+            pending: Vec::new(),
+            slot_seen: vec![0; n],
+            stamp: 0,
+            order: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh slot-dedup pass over `nslots` slots and returns the
+    /// stamp marking "seen in this pass".
+    fn begin_slot_pass(&mut self, nslots: usize) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.slot_seen.fill(0);
+            self.stamp = 1;
+        }
+        if self.slot_seen.len() < nslots {
+            self.slot_seen.resize(nslots, 0);
+        }
+        self.stamp
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorklistMode {
+    /// Full scan every round (worklist disabled or unsupported game).
+    Off,
+    /// Change-log worklist with partial probes (exact full-scan candidates).
+    Exact,
+    /// Reverse-neighbor dirty marking (shortlist candidates).
+    Shortlist,
+}
+
+/// Dirty-player bookkeeping for one run (see the module docs).
+struct Worklist {
+    mode: WorklistMode,
+    /// Players needing a full probe; initialized all-true so round 1 is
+    /// exactly the reference full scan.
+    dirty: Vec<bool>,
+    /// Exact mode: slot indices touched by every switch, in order.
+    changed_log: Vec<u32>,
+    /// Exact mode: each player's consumed prefix of `changed_log`.
+    log_pos: Vec<usize>,
+    /// Shortlist mode: CSR forward neighbor lists (also reused by probes so
+    /// the game's `neighbor_order` runs once per player, not once per probe).
+    fwd_start: Vec<u32>,
+    fwd: Vec<u32>,
+    /// Shortlist mode: CSR reverse adjacency — the range
+    /// `rev[rev_start[m]..rev_start[m + 1]]` lists every player whose
+    /// forward list contains `m`.
+    rev_start: Vec<u32>,
+    rev: Vec<u32>,
+}
+
+impl Worklist {
+    fn inactive(mode: WorklistMode, n: usize) -> Self {
+        Worklist {
+            mode,
+            dirty: vec![true; n],
+            changed_log: Vec::new(),
+            log_pos: vec![0; n],
+            fwd_start: Vec::new(),
+            fwd: Vec::new(),
+            rev_start: Vec::new(),
+            rev: Vec::new(),
+        }
+    }
+
+    fn fwd_of(&self, player: usize) -> &[u32] {
+        &self.fwd[self.fwd_start[player] as usize..self.fwd_start[player + 1] as usize]
+    }
+
+    /// Marks a coalition's members dirty, plus (in shortlist mode) every
+    /// player whose shortlist watches one of them.
+    fn mark_slot(&mut self, partition: &Partition, id: CoalitionId) {
+        for &m in partition.members(id) {
+            self.dirty[m] = true;
+            if self.mode == WorklistMode::Shortlist {
+                let (lo, hi) = (self.rev_start[m] as usize, self.rev_start[m + 1] as usize);
+                for i in lo..hi {
+                    self.dirty[self.rev[i] as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Picks the worklist mode for this game and builds the supporting indexes.
+///
+/// Games with a coalition-count cap tie singleton admissibility to global
+/// state no local marking can track, so they run with the worklist off.
+/// With a shortlist cap, the game's neighbor availability is probed for
+/// every player up front (the forward lists double as the probe-time
+/// shortlists); mixed availability would make the dirty marking unsound,
+/// so it also falls back to `Off`.
+fn build_worklist<G: HedonicGame>(game: &G, n: usize, options: &EngineOptions) -> Worklist {
+    if !options.worklist || game.max_coalitions().is_some() {
+        return Worklist::inactive(WorklistMode::Off, n);
+    }
+    if options.shortlist_cap == 0 {
+        return Worklist::inactive(WorklistMode::Exact, n);
+    }
+    let limit = options.shortlist_cap.saturating_mul(4).max(16);
+    let mut fwd: Vec<u32> = Vec::new();
+    let mut fwd_start: Vec<u32> = Vec::with_capacity(n + 1);
+    fwd_start.push(0);
+    let mut available = 0usize;
+    let mut order: Vec<usize> = Vec::new();
+    for p in 0..n {
+        order.clear();
+        if game.neighbor_order(p, limit, &mut order) {
+            available += 1;
+            fwd.extend(order.iter().map(|&q| q as u32));
+        }
+        fwd_start.push(fwd.len() as u32);
+    }
+    if available == 0 {
+        // No spatial structure: probes fall back to the exact full scan,
+        // which the change-log worklist tracks precisely.
+        return Worklist::inactive(WorklistMode::Exact, n);
+    }
+    if available != n {
+        return Worklist::inactive(WorklistMode::Off, n);
+    }
+
+    // Invert the forward lists into CSR reverse adjacency.
+    let mut counts = vec![0u32; n + 1];
+    for &q in &fwd {
+        counts[q as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let rev_start = counts.clone();
+    let mut fill = counts;
+    let mut rev = vec![0u32; fwd.len()];
+    for p in 0..n {
+        let (lo, hi) = (fwd_start[p] as usize, fwd_start[p + 1] as usize);
+        for &q in &fwd[lo..hi] {
+            rev[fill[q as usize] as usize] = p as u32;
+            fill[q as usize] += 1;
+        }
+    }
+
+    let mut wl = Worklist::inactive(WorklistMode::Shortlist, n);
+    wl.fwd_start = fwd_start;
+    wl.fwd = fwd;
+    wl.rev_start = rev_start;
+    wl.rev = rev;
+    wl
+}
+
+/// Which candidate set a probe evaluates.
+enum Probe<'a> {
+    /// All candidates: the full scan or the spatial shortlist. When the
+    /// worklist owns prebuilt forward lists they are passed here so the
+    /// game's `neighbor_order` is not recomputed per probe.
+    Full { worklist: Option<&'a Worklist> },
+    /// Exact-mode partial probe over `Scratch::pending` only.
+    Changed,
 }
 
 /// Runs coalition formation from `initial` until convergence (no applicable
@@ -136,6 +371,11 @@ pub fn run<G: HedonicGame>(
         }
     }
 
+    let mut wl = build_worklist(game, n, &options);
+    let mut scratch = Scratch::new(n);
+    let skipped = ccs_telemetry::counter!("coalition.probes_skipped");
+    let partials = ccs_telemetry::counter!("coalition.probes_partial");
+
     let mut switches = 0;
     let mut rounds = 0;
     let mut converged = false;
@@ -145,7 +385,72 @@ pub fn run<G: HedonicGame>(
         let mut any_switch = false;
 
         for player in 0..n {
-            if let Some((mv, _gain)) = best_move(game, &partition, player, &history, options) {
+            let best = match wl.mode {
+                WorklistMode::Off => best_move(
+                    game,
+                    &partition,
+                    player,
+                    &history,
+                    &options,
+                    &mut scratch,
+                    Probe::Full { worklist: None },
+                ),
+                WorklistMode::Shortlist => {
+                    if wl.dirty[player] {
+                        wl.dirty[player] = false;
+                        best_move(
+                            game,
+                            &partition,
+                            player,
+                            &history,
+                            &options,
+                            &mut scratch,
+                            Probe::Full {
+                                worklist: Some(&wl),
+                            },
+                        )
+                    } else {
+                        skipped.incr();
+                        None
+                    }
+                }
+                WorklistMode::Exact => {
+                    if wl.dirty[player] {
+                        wl.dirty[player] = false;
+                        wl.log_pos[player] = wl.changed_log.len();
+                        best_move(
+                            game,
+                            &partition,
+                            player,
+                            &history,
+                            &options,
+                            &mut scratch,
+                            Probe::Full { worklist: None },
+                        )
+                    } else {
+                        collect_pending(&mut scratch, &wl, player, &partition);
+                        wl.log_pos[player] = wl.changed_log.len();
+                        if scratch.pending.is_empty() {
+                            skipped.incr();
+                            None
+                        } else {
+                            partials.incr();
+                            best_move(
+                                game,
+                                &partition,
+                                player,
+                                &history,
+                                &options,
+                                &mut scratch,
+                                Probe::Changed,
+                            )
+                        }
+                    }
+                }
+            };
+
+            if let Some((mv, _gain)) = best {
+                let from_id = partition.coalition_of(player);
                 let target = match mv {
                     Move::Join(id) => {
                         partition.move_to_coalition(player, id);
@@ -159,6 +464,29 @@ pub fn run<G: HedonicGame>(
                 switches += 1;
                 any_switch = true;
                 debug_assert!(partition.is_consistent());
+
+                match wl.mode {
+                    WorklistMode::Off => {}
+                    WorklistMode::Exact => {
+                        wl.changed_log.push(from_id.index() as u32);
+                        wl.changed_log.push(target.index() as u32);
+                        wl.mark_slot(&partition, from_id);
+                        wl.mark_slot(&partition, target);
+                        wl.dirty[player] = true;
+                    }
+                    WorklistMode::Shortlist => {
+                        wl.mark_slot(&partition, from_id);
+                        wl.mark_slot(&partition, target);
+                        wl.dirty[player] = true;
+                        let (lo, hi) = (
+                            wl.rev_start[player] as usize,
+                            wl.rev_start[player + 1] as usize,
+                        );
+                        for i in lo..hi {
+                            wl.dirty[wl.rev[i] as usize] = true;
+                        }
+                    }
+                }
             }
         }
 
@@ -187,49 +515,104 @@ fn key_of(members: &BTreeSet<usize>) -> Vec<usize> {
     members.iter().copied().collect()
 }
 
-/// One materialized candidate deviation, ready for batch evaluation.
-struct Candidate {
-    mv: Move,
-    joined: BTreeSet<usize>,
+/// Collects into `scratch.pending` the deduplicated, ascending slot indices
+/// that changed since `player`'s last probe (its unread `changed_log`
+/// suffix), excluding its own slot and tombstones.
+fn collect_pending(scratch: &mut Scratch, wl: &Worklist, player: usize, partition: &Partition) {
+    let stamp = scratch.begin_slot_pass(partition.num_slots());
+    scratch.pending.clear();
+    let own = partition.coalition_of(player).index();
+    for &s in &wl.changed_log[wl.log_pos[player]..] {
+        let s = s as usize;
+        if s == own || scratch.slot_seen[s] == stamp {
+            continue;
+        }
+        scratch.slot_seen[s] = stamp;
+        if partition.members(partition.slot(s)).is_empty() {
+            continue;
+        }
+        scratch.pending.push(s);
+    }
+    scratch.pending.sort_unstable();
+}
+
+/// Appends `members ∪ {player}` to `slab` in ascending order and returns
+/// the range start. `player` must not be a member.
+fn push_joined(slab: &mut Vec<usize>, members: &BTreeSet<usize>, player: usize) -> usize {
+    let start = slab.len();
+    let mut placed = false;
+    for &q in members {
+        if !placed && player < q {
+            slab.push(player);
+            placed = true;
+        }
+        slab.push(q);
+    }
+    if !placed {
+        slab.push(player);
+    }
+    start
 }
 
 /// The best admissible improving move for `player`, or `None`.
 ///
-/// Candidates are materialized in the serial scan order, their gains are
-/// evaluated as one `ccs-par` batch (each gain is a pure function of the
-/// candidate, so the batch is deterministic), and a serial reduce applies
-/// the original first-wins tie-break by candidate index — making the chosen
-/// move, and therefore the whole partition trajectory, bit-identical at any
-/// thread count.
+/// Candidates are materialized in the serial scan order into the flat
+/// scratch arena, their gains are evaluated as one `ccs-par` batch (each
+/// gain is a pure function of the candidate, so the batch is
+/// deterministic), and a serial reduce applies the original first-wins
+/// tie-break by candidate index — making the chosen move, and therefore
+/// the whole partition trajectory, bit-identical at any thread count.
+///
+/// A [`Probe::Changed`] probe evaluates only the coalitions in
+/// `scratch.pending` and omits the singleton candidate: every omitted
+/// candidate kept its gain from the player's last probe (`<= epsilon`), so
+/// it cannot be the best move (see the module docs).
 fn best_move<G: HedonicGame>(
     game: &G,
     partition: &Partition,
     player: usize,
     history: &[HashSet<Vec<usize>>],
-    options: EngineOptions,
+    options: &EngineOptions,
+    scratch: &mut Scratch,
+    probe: Probe<'_>,
 ) -> Option<(Move, f64)> {
     let eps = options.epsilon;
     let prefs = ccs_telemetry::counter!("coalition.preference_evals");
     let attempts = ccs_telemetry::counter!("coalition.switch_ops_attempted");
-    let cost = |p: usize, c: &BTreeSet<usize>| {
-        prefs.incr();
-        game.player_cost(p, c)
-    };
     let from_id = partition.coalition_of(player);
     let from_members = partition.members(from_id);
-    let current_cost = cost(player, from_members);
     let coalition_count = partition.num_coalitions();
+
+    scratch.from.clear();
+    scratch.from.extend(from_members.iter().copied());
+    prefs.incr();
+    let current_cost = game.player_cost_sorted(player, &scratch.from);
 
     // Costs of the coalition left behind, before and after departure — only
     // the utilitarian rule reads these, so the selfish rules skip the
     // `2·|S| - 1` extra evaluations per scanned player.
     let (from_cost_before, from_cost_after) = if options.rule == SwitchRule::Utilitarian {
-        let mut residual: BTreeSet<usize> = from_members.clone();
-        residual.remove(&player);
-        (
-            from_members.iter().map(|&q| cost(q, from_members)).sum(),
-            residual.iter().map(|&q| cost(q, &residual)).sum(),
-        )
+        scratch.residual.clear();
+        scratch
+            .residual
+            .extend(scratch.from.iter().copied().filter(|&q| q != player));
+        let before = scratch
+            .from
+            .iter()
+            .map(|&q| {
+                prefs.incr();
+                game.player_cost_sorted(q, &scratch.from)
+            })
+            .sum();
+        let after = scratch
+            .residual
+            .iter()
+            .map(|&q| {
+                prefs.incr();
+                game.player_cost_sorted(q, &scratch.residual)
+            })
+            .sum();
+        (before, after)
     } else {
         (0.0, 0.0)
     };
@@ -241,92 +624,137 @@ fn best_move<G: HedonicGame>(
     // capped) instead of a full scan over every coalition — an O(cap)
     // approximation of the O(coalitions) exact step. The neighbor order is
     // deterministic, so the trajectory stays thread-count independent.
-    let mut candidates: Vec<Candidate> = Vec::new();
-    let mut shortlisted = false;
-    if options.shortlist_cap > 0 {
-        let cap = options.shortlist_cap;
-        let mut order: Vec<usize> = Vec::new();
-        // Ask for more neighbors than the cap: nearby players often share a
-        // coalition, and history can block some candidates outright.
-        if game.neighbor_order(player, cap.saturating_mul(4).max(16), &mut order) {
-            shortlisted = true;
-            let mut seen: HashSet<CoalitionId> = HashSet::new();
-            for q in order {
-                if q == player {
-                    continue;
-                }
-                let id = partition.coalition_of(q);
-                if id == from_id || !seen.insert(id) {
-                    continue;
-                }
-                let mut joined: BTreeSet<usize> = partition.members(id).clone();
-                joined.insert(player);
-                if options.rule == SwitchRule::SelfishWithHistory
-                    && history[player].contains(&key_of(&joined))
-                {
-                    continue;
-                }
-                candidates.push(Candidate {
-                    mv: Move::Join(id),
-                    joined,
-                });
-                if candidates.len() >= cap {
-                    break;
-                }
-            }
-        }
-    }
-    if !shortlisted {
-        for (id, members) in partition.coalitions() {
-            if id == from_id {
-                continue;
-            }
-            let mut joined: BTreeSet<usize> = members.clone();
-            joined.insert(player);
+    scratch.slab.clear();
+    scratch.cands.clear();
+    let changed_only = matches!(probe, Probe::Changed);
+    if changed_only {
+        // Partial probe: pending is already deduplicated, ascending, and
+        // excludes the player's own slot and tombstones — the same
+        // candidate order the full scan would visit these slots in.
+        for i in 0..scratch.pending.len() {
+            let id = partition.slot(scratch.pending[i]);
+            let members = partition.members(id);
+            debug_assert!(!members.is_empty());
+            let start = push_joined(&mut scratch.slab, members, player);
             if options.rule == SwitchRule::SelfishWithHistory
-                && history[player].contains(&key_of(&joined))
+                && history[player].contains(&scratch.slab[start..])
             {
+                scratch.slab.truncate(start);
                 continue;
             }
-            candidates.push(Candidate {
-                mv: Move::Join(id),
-                joined,
-            });
+            scratch
+                .cands
+                .push((Move::Join(id), start, scratch.slab.len()));
         }
-    }
-    // Candidate: split off into a singleton (only meaningful from a larger
-    // coalition, and only if the coalition budget allows one more). Going
-    // solo is the individual-rationality fallback: it is never blocked by
-    // history (see the module docs) and needs nobody's consent.
-    if from_members.len() > 1
-        && game
-            .max_coalitions()
-            .is_none_or(|cap| coalition_count < cap)
-    {
-        candidates.push(Candidate {
-            mv: Move::Singleton,
-            joined: BTreeSet::from([player]),
-        });
+    } else {
+        let mut shortlisted = false;
+        if options.shortlist_cap > 0 {
+            let cap = options.shortlist_cap;
+            scratch.order.clear();
+            let have_order = match probe {
+                Probe::Full { worklist: Some(wl) } => {
+                    scratch
+                        .order
+                        .extend(wl.fwd_of(player).iter().map(|&q| q as usize));
+                    true
+                }
+                _ => {
+                    // Ask for more neighbors than the cap: nearby players
+                    // often share a coalition, and history can block some
+                    // candidates outright.
+                    game.neighbor_order(player, cap.saturating_mul(4).max(16), &mut scratch.order)
+                }
+            };
+            if have_order {
+                shortlisted = true;
+                let stamp = scratch.begin_slot_pass(partition.num_slots());
+                for i in 0..scratch.order.len() {
+                    let q = scratch.order[i];
+                    if q == player {
+                        continue;
+                    }
+                    let id = partition.coalition_of(q);
+                    if id == from_id || scratch.slot_seen[id.index()] == stamp {
+                        continue;
+                    }
+                    scratch.slot_seen[id.index()] = stamp;
+                    let start = push_joined(&mut scratch.slab, partition.members(id), player);
+                    if options.rule == SwitchRule::SelfishWithHistory
+                        && history[player].contains(&scratch.slab[start..])
+                    {
+                        scratch.slab.truncate(start);
+                        continue;
+                    }
+                    scratch
+                        .cands
+                        .push((Move::Join(id), start, scratch.slab.len()));
+                    if scratch.cands.len() >= cap {
+                        break;
+                    }
+                }
+            }
+        }
+        if !shortlisted {
+            for (id, members) in partition.coalitions() {
+                if id == from_id {
+                    continue;
+                }
+                let start = push_joined(&mut scratch.slab, members, player);
+                if options.rule == SwitchRule::SelfishWithHistory
+                    && history[player].contains(&scratch.slab[start..])
+                {
+                    scratch.slab.truncate(start);
+                    continue;
+                }
+                scratch
+                    .cands
+                    .push((Move::Join(id), start, scratch.slab.len()));
+            }
+        }
+        // Candidate: split off into a singleton (only meaningful from a
+        // larger coalition, and only if the coalition budget allows one
+        // more). Going solo is the individual-rationality fallback: it is
+        // never blocked by history (see the module docs) and needs nobody's
+        // consent.
+        if from_members.len() > 1
+            && game
+                .max_coalitions()
+                .is_none_or(|cap| coalition_count < cap)
+        {
+            let start = scratch.slab.len();
+            scratch.slab.push(player);
+            scratch.cands.push((Move::Singleton, start, start + 1));
+        }
     }
 
     // Parallel gain evaluation; `None` marks an inadmissible candidate
     // (infeasible, or a join the receiving coalition would veto). Each
     // candidate is a full facility evaluation, so a tiny explicit minimum
-    // keeps these batches parallel below the global `ccs_par` cutoff.
-    let gains: Vec<Option<f64>> = ccs_par::par_map_min(&candidates, 2, |_, cand| {
-        if !game.coalition_feasible(&cand.joined) {
+    // keeps these batches parallel below the global `ccs_par` cutoff. The
+    // results land in the retained `gains` buffer — no per-probe `Vec`.
+    let Scratch {
+        slab, cands, gains, ..
+    } = &mut *scratch;
+    let (slab, cands) = (&*slab, &*cands);
+    ccs_par::par_eval_min_into(cands.len(), 2, gains, |i| {
+        let (mv, s, e) = cands[i];
+        let joined = &slab[s..e];
+        if !game.coalition_feasible_sorted(joined) {
             return None;
         }
-        let new_cost = cost(player, &cand.joined);
+        prefs.incr();
+        let new_cost = game.player_cost_sorted(player, joined);
         match options.rule {
             SwitchRule::SelfishWithHistory => Some(current_cost - new_cost),
-            SwitchRule::SelfishWithConsent => match cand.mv {
+            SwitchRule::SelfishWithConsent => match mv {
                 Move::Singleton => Some(current_cost - new_cost),
                 Move::Join(id) => {
                     let members = partition.members(id);
-                    let harmed = members
-                        .iter()
-                        .any(|&q| cost(q, &cand.joined) > cost(q, members) + eps);
+                    let harmed = members.iter().any(|&q| {
+                        prefs.incr();
+                        prefs.incr();
+                        game.player_cost_sorted(q, joined) > game.player_cost(q, members) + eps
+                    });
                     if harmed {
                         None
                     } else {
@@ -335,14 +763,23 @@ fn best_move<G: HedonicGame>(
                 }
             },
             SwitchRule::Utilitarian => {
-                let (to_before, to_after) = match cand.mv {
+                let (to_before, to_after) = match mv {
                     Move::Join(id) => {
                         let members = partition.members(id);
                         (
-                            members.iter().map(|&q| cost(q, members)).sum::<f64>(),
-                            cand.joined
+                            members
                                 .iter()
-                                .map(|&q| cost(q, &cand.joined))
+                                .map(|&q| {
+                                    prefs.incr();
+                                    game.player_cost(q, members)
+                                })
+                                .sum::<f64>(),
+                            joined
+                                .iter()
+                                .map(|&q| {
+                                    prefs.incr();
+                                    game.player_cost_sorted(q, joined)
+                                })
                                 .sum::<f64>(),
                         )
                     }
@@ -356,13 +793,13 @@ fn best_move<G: HedonicGame>(
     // Deterministic serial reduce: strictly larger gain wins, first
     // candidate wins ties — exactly the serial scan's behaviour.
     let mut best: Option<(Move, f64)> = None;
-    for (cand, gain) in candidates.iter().zip(&gains) {
+    for (&(mv, _, _), gain) in cands.iter().zip(gains.iter()) {
         let Some(gain) = *gain else { continue };
         attempts.incr();
         if gain > eps {
             match &best {
                 Some((_, g)) if *g >= gain => {}
-                _ => best = Some((cand.mv, gain)),
+                _ => best = Some((mv, gain)),
             }
         }
     }
@@ -663,5 +1100,48 @@ mod tests {
             },
         );
         assert_eq!(report.rounds, 1);
+    }
+
+    /// Worklist on vs. off must produce bit-identical reports — the
+    /// exhaustive version lives in `tests/worklist.rs`; this is the quick
+    /// in-crate check across rules and both candidate paths.
+    #[test]
+    fn worklist_matches_full_scan_across_rules_and_paths() {
+        for rule in [
+            SwitchRule::SelfishWithHistory,
+            SwitchRule::SelfishWithConsent,
+            SwitchRule::Utilitarian,
+        ] {
+            for fee in [0.0, 2.0, 4.0, 6.0, 20.0] {
+                for cap in [0usize, 1, 3, 8] {
+                    let opts = |worklist| EngineOptions {
+                        rule,
+                        shortlist_cap: cap,
+                        worklist,
+                        ..EngineOptions::default()
+                    };
+                    let with = run(
+                        &Spatial(line_game(fee, 3)),
+                        Partition::singletons(5),
+                        opts(true),
+                    );
+                    let without = run(
+                        &Spatial(line_game(fee, 3)),
+                        Partition::singletons(5),
+                        opts(false),
+                    );
+                    let ctx = format!("rule {rule:?} fee {fee} cap {cap}");
+                    assert_eq!(with.partition, without.partition, "{ctx}");
+                    assert_eq!(with.rounds, without.rounds, "{ctx}");
+                    assert_eq!(with.switches, without.switches, "{ctx}");
+                    assert_eq!(with.converged, without.converged, "{ctx}");
+                    assert_eq!(
+                        with.final_social_cost.to_bits(),
+                        without.final_social_cost.to_bits(),
+                        "{ctx}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,111 @@
+//! A fast, deterministic hasher for the hot memo maps.
+//!
+//! The engine's warm path is dominated by hash probes: every best-response
+//! candidate is one [`CoalitionCache`](crate::cache::CoalitionCache)
+//! lookup, and every facility evaluation is one gathering-point memo
+//! lookup. `std`'s default SipHash is DoS-resistant but costs ~1.5 ns per
+//! byte plus finalization — an order of magnitude more than the multiply-
+//! xor construction below on the short integer keys these maps use
+//! (`[usize]` member lists, `[u32]` flat keys).
+//!
+//! Keys here are small sorted id lists coming from the scheduler itself,
+//! not attacker-controlled input, so hash-flooding resistance buys
+//! nothing. Determinism, on the other hand, is load-bearing: this hasher
+//! is seed-free, so shard choice and map layout are identical across runs
+//! and thread counts (not that layout is ever observable — both memos are
+//! pure-function caches).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden-ratio family (same constant class FxHash
+/// uses); spreads consecutive ids across the full 64-bit space.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A multiply-xor hasher: each word is folded in with a rotate + xor +
+/// multiply round. Not collision-resistant against adversaries — do not
+/// use for untrusted keys.
+#[derive(Debug, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] — plug into `HashMap::with_hasher`.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let a = hash_of(&[1usize, 4, 6][..]);
+        assert_eq!(a, hash_of(&[1usize, 4, 6][..]), "same key, same hash");
+        assert_ne!(a, hash_of(&[1usize, 4, 7][..]));
+        assert_ne!(a, hash_of(&[1usize, 4][..]));
+        // Adjacent single-element keys must not collide (shard spread).
+        let singles: std::collections::HashSet<u64> =
+            (0..1000usize).map(|i| hash_of(&[i][..])).collect();
+        assert_eq!(singles.len(), 1000);
+    }
+
+    #[test]
+    fn u32_and_byte_paths_work() {
+        let a = hash_of(&[7u32, 9, 11][..]);
+        assert_eq!(a, hash_of(&[7u32, 9, 11][..]));
+        assert_ne!(a, hash_of(&[7u32, 9, 12][..]));
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+    }
+}

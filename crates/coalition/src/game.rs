@@ -29,12 +29,40 @@ pub trait HedonicGame: Sync {
     /// Implementations may panic if `player` is not in `coalition`.
     fn player_cost(&self, player: usize, coalition: &BTreeSet<usize>) -> f64;
 
+    /// [`player_cost`](HedonicGame::player_cost) for callers that hold the
+    /// coalition as a **sorted slice** of member indices instead of a set —
+    /// the engine's allocation-free probe path. Must return exactly the
+    /// same value as `player_cost` on the equivalent set. The default
+    /// materializes a temporary set; games with flat-key memos (the CCS
+    /// core) override it to skip every per-probe allocation.
+    fn player_cost_sorted(&self, player: usize, members: &[usize]) -> f64 {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and duplicate-free"
+        );
+        let coalition: BTreeSet<usize> = members.iter().copied().collect();
+        self.player_cost(player, &coalition)
+    }
+
     /// Whether a coalition is admissible at all (e.g. within service
     /// capacity). The engine never forms infeasible coalitions. Singletons
     /// must always be feasible so every player has a fallback.
     fn coalition_feasible(&self, coalition: &BTreeSet<usize>) -> bool {
         let _ = coalition;
         true
+    }
+
+    /// [`coalition_feasible`](HedonicGame::coalition_feasible) on a sorted
+    /// member slice (see [`player_cost_sorted`](HedonicGame::player_cost_sorted)
+    /// for the contract). Must agree with `coalition_feasible` on the
+    /// equivalent set.
+    fn coalition_feasible_sorted(&self, members: &[usize]) -> bool {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and duplicate-free"
+        );
+        let coalition: BTreeSet<usize> = members.iter().copied().collect();
+        self.coalition_feasible(&coalition)
     }
 
     /// Optional cap on the number of coalitions (e.g. available chargers).
@@ -74,8 +102,14 @@ impl<G: HedonicGame + ?Sized> HedonicGame for &G {
     fn player_cost(&self, player: usize, coalition: &BTreeSet<usize>) -> f64 {
         (**self).player_cost(player, coalition)
     }
+    fn player_cost_sorted(&self, player: usize, members: &[usize]) -> f64 {
+        (**self).player_cost_sorted(player, members)
+    }
     fn coalition_feasible(&self, coalition: &BTreeSet<usize>) -> bool {
         (**self).coalition_feasible(coalition)
+    }
+    fn coalition_feasible_sorted(&self, members: &[usize]) -> bool {
+        (**self).coalition_feasible_sorted(members)
     }
     fn max_coalitions(&self) -> Option<usize> {
         (**self).max_coalitions()

@@ -28,6 +28,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod fasthash;
 pub mod game;
 pub mod partition;
 pub mod stability;

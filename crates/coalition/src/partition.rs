@@ -116,6 +116,26 @@ impl Partition {
         self.slots.iter().filter(|s| !s.is_empty()).count()
     }
 
+    /// Number of coalition slots, **including** tombstones — the exclusive
+    /// upper bound on [`CoalitionId::index`]. Lets callers size per-slot
+    /// bookkeeping (the engine's dirty-slot stamps) without chasing ids.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The coalition slot with the given raw index (see
+    /// [`CoalitionId::index`]). Intended for callers that persist slot
+    /// indices across mutations — ids are stable handles, so the round-trip
+    /// is exact; the slot may have become a tombstone in the meantime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_slots()`.
+    pub fn slot(&self, index: usize) -> CoalitionId {
+        assert!(index < self.slots.len(), "slot index {index} out of range");
+        CoalitionId(index)
+    }
+
     /// The coalition a player currently belongs to.
     ///
     /// # Panics

@@ -41,7 +41,7 @@ use crate::sharing::CostSharing;
 use ccs_submodular::density::{min_density_mnp, min_density_separable};
 use ccs_submodular::minimize::SeparableFn;
 use ccs_submodular::mnp::MnpOptions;
-use ccs_submodular::set_fn::SetFunction;
+use ccs_submodular::set_fn::{CardinalityCurve, SetFunction};
 use ccs_wrsn::entities::{ChargerId, DeviceId};
 use ccs_wrsn::geometry::Point;
 use ccs_wrsn::units::Cost;
@@ -118,9 +118,10 @@ pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOption
     {
         let _greedy = ccs_telemetry::span!("greedy");
         let rounds = ccs_telemetry::counter!("ccsa.rounds");
+        let mut sweep = Sweep::new(problem, options);
         while !remaining.is_empty() {
             rounds.incr();
-            let (charger, point, members) = best_round_group(problem, &remaining, options);
+            let (charger, point, members) = sweep.round(&remaining);
             debug_assert!(!members.is_empty());
             remaining.retain(|d| !members.contains(d));
             committed.push((charger, point, members));
@@ -160,20 +161,57 @@ pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOption
     schedule
 }
 
-/// The best `(facility, member set)` of one greedy round: minimum
-/// per-member group cost over all facilities.
+/// How many walked elements a cached density scan may record; scans that
+/// walk more are re-priced next round instead of cached. This bounds the
+/// memo's footprint without losing much: a long walk almost always contains
+/// the committed winner and would be invalidated immediately anyway.
+const CACHE_TAKEN_LIMIT: usize = 64;
+
+/// One facility's memoized minimum-density scan (PrefixScan rounds only).
+struct CachedDensity {
+    /// Group-size cap the scan ran under.
+    cap: usize,
+    /// `None`: not even a single device fit the charger's budget — a fact
+    /// about per-device demands alone, valid for the rest of the sweep.
+    /// `Some((density, best_k, taken))`: the scan's full walk in push
+    /// order; `taken[..best_k]` is the minimizer.
+    result: Option<(f64, usize, Vec<DeviceId>)>,
+}
+
+/// Persistent state of the greedy facility sweep: the fixed facility
+/// universe plus per-facility cached density scans, so each round re-prices
+/// only the facilities the previous commitment could have changed.
 ///
-/// Every `(charger, gathering point)` facility is priced independently, so
-/// the scan runs as one `ccs-par` batch; the winner is then picked by a
-/// serial reduce in facility order under the exact `(density, facility
-/// index)` total order, keeping the committed group bit-identical at any
+/// ## The incremental sweep
+///
+/// A facility's density scan reads per-device weights and demands that
+/// never change across rounds; the only round-to-round input is *which*
+/// devices remain. The prefix scan walks devices in sorted-weight order and
+/// pushes at most `cap` of them (`taken`); devices it skipped for budget
+/// overflow, or never reached, do not influence the outcome. Removing such
+/// a device from the ground set therefore replays the identical walk —
+/// bit-identical accumulation, identical minimizer. So a cached result
+/// stays valid as long as (a) no device in its full `taken` walk has been
+/// committed and (b) the size cap still admits the walk (`cap` unchanged,
+/// or the walk shorter than the new cap — the cap only shrinks as devices
+/// commit). Valid caches are counted on `ccsa.facilities_skipped`;
+/// facilities whose anchoring device committed leave the universe exactly
+/// as the per-round candidate rebuild used to drop them.
+///
+/// Every `(charger, gathering point)` facility that does need pricing runs
+/// in one `ccs-par` batch; the winner is then picked by a serial reduce in
+/// facility order under the exact `(density, facility index)` total order.
+/// The alive facilities enumerate in the same order the per-round rebuild
+/// produced (remaining devices ascending, then depots, then grid), so the
+/// committed group is bit-identical to the non-incremental sweep at any
 /// thread count.
 ///
 /// ## Geometric pruning
 ///
 /// Before a facility pays for its `O(|R|)` weight vector and density scan,
 /// a per-facility **density lower bound** is compared against the best
-/// density computed so far (a shared atomic, monotonically shrinking):
+/// density seen so far (a shared atomic, monotonically shrinking, seeded
+/// each round with the best still-valid cached density):
 ///
 /// ```text
 /// density(S) >= fee_jp / cap + η_j · min_k g(k)/k
@@ -183,83 +221,214 @@ pub fn ccsa(problem: &CcsProblem, sharing: &dyn CostSharing, options: CcsaOption
 /// for every nonempty `S ⊆ R` with `|S| <= cap` (all cost terms are
 /// nonnegative). The nearest-device distances come from a per-round
 /// [`UniformGrid`] over the remaining positions. A pruned facility's true
-/// density strictly exceeds some computed density, so it can be neither
-/// the exact argmin nor an exact tie — the committed group is identical to
-/// the unpruned scan's regardless of thread interleaving (which only
-/// affects *how many* facilities get pruned, a telemetry-visible,
-/// result-invisible quantity).
-fn best_round_group(
-    problem: &CcsProblem,
-    remaining: &[DeviceId],
+/// density strictly exceeds some density achievable this round (a computed
+/// one, or a valid cache's), so it can be neither the exact argmin nor an
+/// exact tie — the committed group is identical to the unpruned scan's
+/// regardless of thread interleaving (which only affects *how many*
+/// facilities get pruned, a telemetry-visible, result-invisible quantity).
+struct Sweep<'a> {
+    problem: &'a CcsProblem,
     options: CcsaOptions,
-) -> (ChargerId, Point, Vec<DeviceId>) {
-    let mut candidates: Vec<Point> = remaining
-        .iter()
-        .map(|&d| problem.device(d).position())
-        .collect();
-    candidates.extend(problem.scenario().chargers().iter().map(|c| c.position()));
-    if options.candidate_grid > 0 {
-        candidates.extend(problem.scenario().field().grid(options.candidate_grid));
+    /// Candidate gathering points, fixed across rounds: every device
+    /// position (anchored to its device), then charger depots and the
+    /// coarse field grid (unanchored).
+    candidates: Vec<Point>,
+    /// `Some(d)` when candidate `i` is device `d`'s position: the point
+    /// dies with its device, exactly as the per-round rebuild dropped it.
+    anchors: Vec<Option<DeviceId>>,
+    /// Facility universe, charger-major / candidate-minor — the per-round
+    /// rebuild's iteration order.
+    facilities: Vec<(ChargerId, u32)>,
+    /// Per-facility cached scans from earlier rounds.
+    cache: Vec<Option<CachedDensity>>,
+    /// Per-device energy demand, indexed by device id.
+    demand_of: Vec<f64>,
+}
+
+/// What one facility contributed to a round's parallel pricing batch.
+enum RoundEval {
+    /// Dead facility, valid cache, or pruned — nothing new to record.
+    Skipped,
+    /// Computed: not even a single device fits the charger's budget.
+    Infeasible,
+    /// Computed `(density, best_k, taken)` with local indices into the
+    /// round's `remaining` slice.
+    Priced(f64, usize, Vec<usize>),
+}
+
+impl<'a> Sweep<'a> {
+    fn new(problem: &'a CcsProblem, options: CcsaOptions) -> Self {
+        let mut candidates: Vec<Point> = Vec::new();
+        let mut anchors: Vec<Option<DeviceId>> = Vec::new();
+        for d in problem.scenario().device_ids() {
+            candidates.push(problem.device(d).position());
+            anchors.push(Some(d));
+        }
+        for c in problem.scenario().chargers() {
+            candidates.push(c.position());
+            anchors.push(None);
+        }
+        if options.candidate_grid > 0 {
+            for p in problem.scenario().field().grid(options.candidate_grid) {
+                candidates.push(p);
+                anchors.push(None);
+            }
+        }
+        let num_candidates = candidates.len() as u32;
+        let facilities: Vec<(ChargerId, u32)> = problem
+            .scenario()
+            .charger_ids()
+            .flat_map(|charger| (0..num_candidates).map(move |i| (charger, i)))
+            .collect();
+        let cache = facilities.iter().map(|_| None).collect();
+        let demand_of: Vec<f64> = problem
+            .scenario()
+            .device_ids()
+            .map(|d| problem.device(d).demand().value())
+            .collect();
+        Sweep {
+            problem,
+            options,
+            candidates,
+            anchors,
+            facilities,
+            cache,
+            demand_of,
+        }
     }
 
-    // The demand vector is facility-independent; hoist it out of the batch.
-    let demands: Vec<f64> = remaining
-        .iter()
-        .map(|&d| problem.device(d).demand().value())
-        .collect();
+    /// The best `(facility, member set)` of one greedy round: minimum
+    /// per-member group cost over all alive facilities (see the type docs
+    /// for the caching and pruning machinery).
+    fn round(&mut self, remaining: &[DeviceId]) -> (ChargerId, Point, Vec<DeviceId>) {
+        let problem = self.problem;
+        let options = self.options;
+        let tables = problem.tables();
 
-    let facilities: Vec<(ChargerId, Point)> = problem
-        .scenario()
-        .charger_ids()
-        .flat_map(|charger| candidates.iter().map(move |&point| (charger, point)))
-        .collect();
+        let mut in_remaining = vec![false; problem.num_devices()];
+        for &d in remaining {
+            in_remaining[d.index()] = true;
+        }
+        let cand_alive: Vec<bool> = self
+            .anchors
+            .iter()
+            .map(|a| a.is_none_or(|d| in_remaining[d.index()]))
+            .collect();
+        let cap = problem
+            .params()
+            .max_group_size
+            .unwrap_or(remaining.len())
+            .min(remaining.len())
+            .max(1);
 
-    let tables = problem.tables();
-    // Per-round floors for the density lower bound.
-    let cap = problem
-        .params()
-        .max_group_size
-        .unwrap_or(remaining.len())
-        .min(remaining.len())
-        .max(1);
-    let w_min = demands.iter().copied().fold(f64::INFINITY, f64::min);
-    let kappa_min = remaining
-        .iter()
-        .map(|&d| tables.move_rate(d))
-        .fold(f64::INFINITY, f64::min);
-    // min_k g(k)/k over admissible sizes — no concavity assumption needed.
-    let min_curve_ratio = (1..=cap)
-        .map(|k| tables.curve_value(k) / k as f64)
-        .fold(f64::INFINITY, f64::min);
-    let remaining_pos: Vec<Point> = remaining
-        .iter()
-        .map(|&d| tables.device_position(d))
-        .collect();
-    let remaining_grid = UniformGrid::build(&remaining_pos);
-    // Nearest remaining device per candidate point, shared by all chargers.
-    let point_dmin: Vec<f64> = candidates
-        .iter()
-        .map(|p| remaining_grid.nearest_distance(*p, &remaining_pos))
-        .collect();
+        // Drop caches the commitments so far have touched; keep the rest.
+        let facilities_skipped = ccs_telemetry::counter!("ccsa.facilities_skipped");
+        let mut reused = 0u64;
+        for (fi, &(_, cand)) in self.facilities.iter().enumerate() {
+            if !cand_alive[cand as usize] {
+                self.cache[fi] = None;
+                continue;
+            }
+            let Some(entry) = &self.cache[fi] else {
+                continue;
+            };
+            let valid = match &entry.result {
+                None => true,
+                Some((_, _, taken)) => {
+                    (entry.cap == cap || taken.len() <= cap)
+                        && taken.iter().all(|d| in_remaining[d.index()])
+                }
+            };
+            if valid {
+                reused += 1;
+            } else {
+                self.cache[fi] = None;
+            }
+        }
+        facilities_skipped.add(reused);
 
-    let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
-    let facility_pruned = ccs_telemetry::counter!("ccsa.facility_pruned");
-    // Best density computed so far, as f64 bits (densities are >= 0, so the
-    // bit pattern orders like the value). Monotone min; reads may lag under
-    // parallelism, which only weakens pruning, never the winner.
-    let best_seen = AtomicU64::new(f64::INFINITY.to_bits());
-    let priced: Vec<Option<(f64, Vec<usize>)>> =
-        ccs_par::par_map(&facilities, |i, &(charger, point)| {
+        // Per-round floors for the density lower bound.
+        let demands: Vec<f64> = remaining
+            .iter()
+            .map(|&d| self.demand_of[d.index()])
+            .collect();
+        let w_min = demands.iter().copied().fold(f64::INFINITY, f64::min);
+        let kappa_min = remaining
+            .iter()
+            .map(|&d| tables.move_rate(d))
+            .fold(f64::INFINITY, f64::min);
+        // min_k g(k)/k over admissible sizes — no concavity assumption needed.
+        let min_curve_ratio = (1..=cap)
+            .map(|k| tables.curve_value(k) / k as f64)
+            .fold(f64::INFINITY, f64::min);
+        let remaining_pos: Vec<Point> = remaining
+            .iter()
+            .map(|&d| tables.device_position(d))
+            .collect();
+        let remaining_grid = UniformGrid::build(&remaining_pos);
+        // Nearest remaining device per alive candidate point, shared by all
+        // chargers (dead entries are never read).
+        let point_dmin: Vec<f64> = self
+            .candidates
+            .iter()
+            .zip(&cand_alive)
+            .map(|(p, &alive)| {
+                if alive {
+                    remaining_grid.nearest_distance(*p, &remaining_pos)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // The congestion table depends only on the charger's occupancy rate
+        // and the instance curve — one table per charger serves its whole
+        // facility row.
+        let curve = &problem.params().congestion_curve;
+        let charger_parts: Vec<Vec<f64>> = problem
+            .scenario()
+            .chargers()
+            .iter()
+            .map(|c| congestion_parts(c.occupancy_rate().value(), curve, cap))
+            .collect();
+
+        // Best density seen so far, as f64 bits (densities are >= 0, so the
+        // bit pattern orders like the value). Seeded with the best valid
+        // cache so pruning starts at last round's frontier; monotone min,
+        // and lagging reads only weaken pruning, never the winner.
+        let mut seed = f64::INFINITY;
+        for (fi, &(_, cand)) in self.facilities.iter().enumerate() {
+            if !cand_alive[cand as usize] {
+                continue;
+            }
+            if let Some(CachedDensity {
+                result: Some((density, _, _)),
+                ..
+            }) = &self.cache[fi]
+            {
+                seed = seed.min(*density);
+            }
+        }
+        let best_seen = AtomicU64::new(seed.to_bits());
+
+        let facility_evals = ccs_telemetry::counter!("ccsa.facility_evals");
+        let facility_pruned = ccs_telemetry::counter!("ccsa.facility_pruned");
+        let cache = &self.cache;
+        let candidates = &self.candidates;
+        let priced: Vec<RoundEval> = ccs_par::par_map(&self.facilities, |fi, &(charger, cand)| {
+            if !cand_alive[cand as usize] || cache[fi].is_some() {
+                return RoundEval::Skipped;
+            }
             facility_evals.incr();
+            let point = candidates[cand as usize];
             let c = problem.charger(charger);
             let fee = c.base_fee() + c.travel_cost_rate() * c.position().distance(&point);
             let bound = fee.value() / cap as f64
                 + c.occupancy_rate().value() * min_curve_ratio
                 + c.energy_price().value() * w_min
-                + kappa_min * point_dmin[i % candidates.len()];
+                + kappa_min * point_dmin[cand as usize];
             if bound > f64::from_bits(best_seen.load(Ordering::Relaxed)) {
                 facility_pruned.incr();
-                return None;
+                return RoundEval::Skipped;
             }
             let weights: Vec<f64> = remaining
                 .iter()
@@ -274,54 +443,119 @@ fn best_round_group(
             let f = SeparableFn::new(
                 weights,
                 fee.value(),
-                problem.params().congestion_curve.clone(),
+                curve.clone(),
                 c.occupancy_rate().value(),
             );
-            let result = min_density(&f, &demands, budget, problem, options);
-            if let Some((density, _)) = &result {
-                let bits = density.to_bits();
-                let _ = best_seen.fetch_min(bits, Ordering::Relaxed);
+            match min_density(
+                &f,
+                &demands,
+                budget,
+                &charger_parts[charger.index()],
+                cap,
+                options,
+            ) {
+                Some((density, best_k, taken)) => {
+                    let _ = best_seen.fetch_min(density.to_bits(), Ordering::Relaxed);
+                    RoundEval::Priced(density, best_k, taken)
+                }
+                None => RoundEval::Infeasible,
             }
-            result
         });
 
-    let mut best: Option<(f64, ChargerId, Point, Vec<DeviceId>)> = None;
-    for (&(charger, point), result) in facilities.iter().zip(&priced) {
-        let Some((density, picked)) = result else {
-            continue;
-        };
-        let better = match &best {
-            Some((b, _, _, _)) => density.total_cmp(b) == std::cmp::Ordering::Less,
-            None => true,
-        };
-        if better {
-            let members: Vec<DeviceId> = picked.iter().map(|&i| remaining[i]).collect();
-            best = Some((*density, charger, point, members));
+        // Serial reduce in facility order: fresh results and valid caches
+        // compete under the exact (density, facility index) total order.
+        let mut best: Option<(f64, usize)> = None;
+        for (fi, eval) in priced.iter().enumerate() {
+            let (_, cand) = self.facilities[fi];
+            if !cand_alive[cand as usize] {
+                continue;
+            }
+            let density = match (eval, &self.cache[fi]) {
+                (RoundEval::Priced(density, _, _), _) => *density,
+                (
+                    RoundEval::Skipped,
+                    Some(CachedDensity {
+                        result: Some((density, _, _)),
+                        ..
+                    }),
+                ) => *density,
+                _ => continue,
+            };
+            let better = match &best {
+                Some((b, _)) => density.total_cmp(b) == std::cmp::Ordering::Less,
+                None => true,
+            };
+            if better {
+                best = Some((density, fi));
+            }
         }
+        let (_, win) = best.expect("some facility always admits a group");
+        let (charger, cand) = self.facilities[win];
+        let point = self.candidates[cand as usize];
+        let members: Vec<DeviceId> = match (&priced[win], &self.cache[win]) {
+            (RoundEval::Priced(_, best_k, taken), _) => {
+                taken[..*best_k].iter().map(|&i| remaining[i]).collect()
+            }
+            (
+                _,
+                Some(CachedDensity {
+                    result: Some((_, best_k, taken)),
+                    ..
+                }),
+            ) => taken[..*best_k].to_vec(),
+            _ => unreachable!("winner must come from a fresh scan or a valid cache"),
+        };
+
+        // Record this round's fresh scans for later rounds. Only PrefixScan
+        // results replay bit-identically (the validity argument is about
+        // the prefix walk), so other minimizers re-price every round.
+        if options.minimizer == InnerMinimizer::PrefixScan {
+            for (fi, eval) in priced.into_iter().enumerate() {
+                match eval {
+                    RoundEval::Skipped => {}
+                    RoundEval::Infeasible => {
+                        self.cache[fi] = Some(CachedDensity { cap, result: None });
+                    }
+                    RoundEval::Priced(density, best_k, taken) => {
+                        if taken.len() <= CACHE_TAKEN_LIMIT {
+                            let taken: Vec<DeviceId> =
+                                taken.iter().map(|&i| remaining[i]).collect();
+                            self.cache[fi] = Some(CachedDensity {
+                                cap,
+                                result: Some((density, best_k, taken)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        (charger, point, members)
     }
-    let (_, charger, point, members) = best.expect("some facility always admits a group");
-    (charger, point, members)
 }
 
 /// Minimum-density member set under the group-size cap.
-/// Returns `(density, local indices)`; `None` only if nothing is admissible
-/// (cannot happen: singletons are always admissible).
+/// Returns `(density, best_k, taken)` where `taken[..best_k]` is the
+/// minimizer in local indices and `taken` is the scan's full walk (the
+/// cache-validity witness; for the Dinkelbach minimizers it is just the
+/// minimizer itself, which is never cached). `None` only if nothing is
+/// admissible (cannot happen: singletons are always admissible).
 fn min_density(
     f: &SeparableFn,
     demands: &[f64],
     budget: Option<f64>,
-    problem: &CcsProblem,
+    curve_parts: &[f64],
+    cap: usize,
     options: CcsaOptions,
-) -> Option<(f64, Vec<usize>)> {
-    let n = f.ground_size();
-    if n == 0 {
+) -> Option<(f64, usize, Vec<usize>)> {
+    if f.ground_size() == 0 {
         return None;
     }
-    let cap = problem.params().max_group_size.unwrap_or(n).min(n).max(1);
-
     match options.minimizer {
-        InnerMinimizer::PrefixScan => prefix_scan_density(f, demands, budget, cap),
-        InnerMinimizer::GreedyAccretion => greedy_accretion_density(f, demands, budget, cap),
+        InnerMinimizer::PrefixScan => prefix_scan_density(f, demands, budget, curve_parts, cap),
+        InnerMinimizer::GreedyAccretion => {
+            greedy_accretion_density(f, demands, budget, curve_parts, cap)
+        }
         InnerMinimizer::DinkelbachSeparable | InnerMinimizer::DinkelbachMnp => {
             let result = if options.minimizer == InnerMinimizer::DinkelbachSeparable {
                 min_density_separable(f)
@@ -332,12 +566,12 @@ fn min_density(
             let picked = result.minimizer.to_vec();
             let demand: f64 = picked.iter().map(|&i| demands[i]).sum();
             if picked.len() <= cap && budget.is_none_or(|b| demand <= b) {
-                Some((result.density, picked))
+                Some((result.density, picked.len(), picked))
             } else {
                 // The unconstrained optimum violates the cap or the
                 // charger's energy budget; fall back to the constrained
                 // scan (a sorted-prefix truncation, see below).
-                prefix_scan_density(f, demands, budget, cap)
+                prefix_scan_density(f, demands, budget, curve_parts, cap)
             }
         }
     }
@@ -350,34 +584,81 @@ fn min_density(
 /// a greedy truncation that is exact without a budget and a documented
 /// heuristic with one (the budgeted variant is a knapsack).
 ///
-/// Returns `None` only if not even a single member fits the budget.
+/// # Early exit
+///
+/// When the congestion table is non-decreasing (every curve this crate
+/// ships; checked, not assumed), the walk stops at the first element whose
+/// weight reaches the best density `b` found so far: weights ascend, so
+/// every later prefix's density is a `k`-weighted average of a value
+/// `≥ b − 1e-15` (the running invariant under the strict-improvement rule
+/// below) and a weight `≥ b`, plus a non-negative congestion increment —
+/// never enough to improve `best` again. Inductively the invariant is
+/// preserved, so the truncated walk returns the exact same `(density, k)`
+/// as the full one. Budget-skipped elements don't disturb the argument:
+/// they contribute nothing to the prefix, and the element that triggers
+/// the stop needs only its weight, not budget admission.
+///
+/// The exit typically fires within a few dozen elements, so the sort is
+/// done lazily: select-then-sort a small front, growing it only if the
+/// walk actually gets that far.
+///
+/// Returns the walk up to the stop alongside the best prefix length (see
+/// [`min_density`]); `None` only if not even a single member fits the
+/// budget. The truncation is invisible to the sweep cache's replay
+/// argument: dropping a device outside `taken` never changes which
+/// elements the walk admits, and the stop re-fires at the next surviving
+/// weight, which is at least as large.
 fn prefix_scan_density(
     f: &SeparableFn,
     demands: &[f64],
     budget: Option<f64>,
+    curve_parts: &[f64],
     cap: usize,
-) -> Option<(f64, Vec<usize>)> {
+) -> Option<(f64, usize, Vec<usize>)> {
+    let weights = f.weights();
+    let by_weight = |a: &usize, b: &usize| weights[*a].total_cmp(&weights[*b]).then(a.cmp(b));
+    // A decreasing table (no shipped curve has one) would break the
+    // early-exit induction; fall back to the exhaustive walk.
+    let early_exit = curve_parts.windows(2).all(|w| w[1] >= w[0]);
     let mut order: Vec<usize> = (0..f.ground_size()).collect();
-    order.sort_by(|&a, &b| f.weights()[a].total_cmp(&f.weights()[b]).then(a.cmp(&b)));
-    let curve = congestion_parts(f, cap);
+    // `order[..sorted_to]` holds the `sorted_to` globally smallest
+    // elements in ascending order; the rest is an unordered remainder.
+    let mut sorted_to = 0;
     let mut best: Option<(f64, usize)> = None;
     let mut acc = 0.0;
     let mut demand = 0.0;
     let mut taken: Vec<usize> = Vec::new();
-    for &i in &order {
+    let mut i = 0;
+    while i < order.len() {
+        if i == sorted_to {
+            let front = if sorted_to == 0 { 64 } else { sorted_to * 3 };
+            let upto = (sorted_to + front).min(order.len());
+            if upto < order.len() {
+                order[sorted_to..].select_nth_unstable_by(upto - sorted_to - 1, by_weight);
+            }
+            order[sorted_to..upto].sort_unstable_by(by_weight);
+            sorted_to = upto;
+        }
+        let e = order[i];
+        i += 1;
+        if let (true, Some((b, _))) = (early_exit, best) {
+            if weights[e] >= b {
+                break;
+            }
+        }
         if taken.len() == cap {
             break;
         }
         if let Some(b) = budget {
-            if demand + demands[i] > b {
+            if demand + demands[e] > b {
                 continue; // would overflow this charger's budget
             }
         }
-        taken.push(i);
-        acc += f.weights()[i];
-        demand += demands[i];
+        taken.push(e);
+        acc += weights[e];
+        demand += demands[e];
         let k = taken.len();
-        let density = (f.fee() + acc + curve[k]) / k as f64;
+        let density = (f.fee() + acc + curve_parts[k]) / k as f64;
         let better = match best {
             Some((b, _)) => density < b - 1e-15,
             None => true,
@@ -386,10 +667,7 @@ fn prefix_scan_density(
             best = Some((density, k));
         }
     }
-    best.map(|(density, k)| {
-        taken.truncate(k);
-        (density, taken)
-    })
+    best.map(|(density, k)| (density, k, taken))
 }
 
 /// Greedy heuristic: start from the cheapest element, keep adding the next
@@ -398,17 +676,17 @@ fn greedy_accretion_density(
     f: &SeparableFn,
     demands: &[f64],
     budget: Option<f64>,
+    curve_parts: &[f64],
     cap: usize,
-) -> Option<(f64, Vec<usize>)> {
+) -> Option<(f64, usize, Vec<usize>)> {
     let mut order: Vec<usize> = (0..f.ground_size()).collect();
     order.sort_by(|&a, &b| f.weights()[a].total_cmp(&f.weights()[b]).then(a.cmp(&b)));
     order.retain(|&i| budget.is_none_or(|b| demands[i] <= b));
     let first = *order.first()?;
-    let curve = congestion_parts(f, cap);
     let mut taken = vec![first];
     let mut acc = f.weights()[first];
     let mut demand = demands[first];
-    let mut density = f.fee() + acc + curve[1];
+    let mut density = f.fee() + acc + curve_parts[1];
     for &i in order.iter().skip(1) {
         if taken.len() == cap {
             break;
@@ -419,7 +697,7 @@ fn greedy_accretion_density(
             }
         }
         let k = taken.len();
-        let candidate = (f.fee() + acc + f.weights()[i] + curve[k + 1]) / (k + 1) as f64;
+        let candidate = (f.fee() + acc + f.weights()[i] + curve_parts[k + 1]) / (k + 1) as f64;
         if candidate >= density {
             break;
         }
@@ -428,27 +706,24 @@ fn greedy_accretion_density(
         demand += demands[i];
         density = candidate;
     }
-    Some((density, taken))
+    let k = taken.len();
+    Some((density, k, taken))
 }
 
-/// The congestion part of the bill as a function of cardinality, tabulated
-/// for `k ∈ 0..=cap` in `O(cap)` with **no oracle evaluations**.
+/// The congestion part of the bill as a function of cardinality,
+/// `scale · g(k)` tabulated for `k ∈ 0..=cap` in `O(cap)` with **no oracle
+/// evaluations**.
 ///
-/// Historically this was reconstructed per call as
-/// `f({first k}) − fee − Σ_{i<k} w_i`, burning one `SetFunction::eval` (and
-/// a `Subset` allocation) per cardinality per facility. The table replays
-/// those floating-point operations verbatim — build the raw prefix value,
-/// then cancel fee and prefix-weight sum in the same order — so every entry
-/// is bitwise the value the oracle round-trip produced, and CCSA's committed
-/// groups are unchanged.
-fn congestion_parts(f: &SeparableFn, cap: usize) -> Vec<f64> {
+/// The table depends only on the charger's occupancy `scale` and the
+/// instance's curve — not on the candidate point or the remaining devices —
+/// so each sweep round computes it once per charger and shares it across
+/// that charger's whole facility row (and across rounds' cached scans,
+/// whose replayed densities must match bitwise).
+fn congestion_parts(scale: f64, curve: &CardinalityCurve, cap: usize) -> Vec<f64> {
     let mut parts = Vec::with_capacity(cap + 1);
     parts.push(0.0);
-    let mut prefix = 0.0;
     for k in 1..=cap {
-        prefix += f.weights()[k - 1];
-        let raw = f.fee() + prefix + f.scale() * f.curve().eval(k);
-        parts.push((raw - f.fee()) - prefix);
+        parts.push(scale * curve.eval(k));
     }
     parts
 }
@@ -866,6 +1141,30 @@ mod tests {
         let s = ccsa(&p, &EqualShare, CcsaOptions::default());
         s.validate(&p).unwrap();
         assert_eq!(s.groups().len(), 1);
+    }
+
+    #[test]
+    fn incremental_sweep_reuses_cached_scans() {
+        // Reuse needs a group-size cap: an uncapped prefix scan walks every
+        // remaining device, so each commitment invalidates every cache (the
+        // scan genuinely depends on the whole ground set there).
+        ccs_telemetry::global().enable();
+        let skipped = ccs_telemetry::counter!("ccsa.facilities_skipped");
+        let before = skipped.get();
+        let scenario = ScenarioGenerator::new(3).devices(30).chargers(4).generate();
+        let p = CcsProblem::with_params(
+            scenario,
+            CostParams {
+                max_group_size: Some(3),
+                ..Default::default()
+            },
+        );
+        let s = ccsa(&p, &EqualShare, CcsaOptions::default());
+        s.validate(&p).unwrap();
+        assert!(
+            skipped.get() > before,
+            "a multi-round capped sweep must find some facility scans still valid"
+        );
     }
 }
 

@@ -16,7 +16,7 @@
 //! (`ccs-par`). Cache effectiveness is visible in run reports as
 //! `cache.hits` / `cache.misses`.
 
-use crate::cost::{best_facility, join_upper_bound, try_best_facility_with_upper, FacilityChoice};
+use crate::cost::{best_facility, try_best_facility_anchored, FacilityChoice};
 use crate::problem::CcsProblem;
 use crate::schedule::{GroupPlan, Schedule};
 use crate::sharing::CostSharing;
@@ -60,6 +60,11 @@ pub struct CcsgaOptions {
     /// where the audit dwarfs the dynamics. When off,
     /// [`CcsgaOutcome::nash_stable`] reads `false` ("not verified").
     pub check_stability: bool,
+    /// Whether the engine runs its activity-driven worklist (skip players
+    /// no switch could have affected — see `ccs_coalition::engine`).
+    /// Default `true`; the trajectory is bit-identical either way, so this
+    /// knob exists for the equivalence tests and as an escape hatch.
+    pub worklist: bool,
 }
 
 impl Default for CcsgaOptions {
@@ -71,6 +76,7 @@ impl Default for CcsgaOptions {
             epsilon: 1e-9,
             neighbor_cap: 0,
             check_stability: true,
+            worklist: true,
         }
     }
 }
@@ -123,52 +129,58 @@ impl<'a> CcsGame<'a> {
 
     /// Evaluates a coalition, optionally knowing that `newcomer` is the
     /// member that was just added to an existing composition. On a cache
-    /// miss, the cached base coalition's facility is extended by a
-    /// [`DeltaEval`](crate::cost::DeltaEval) join, and its group cost seeds
-    /// the pruned charger scan as an upper bound — the full Weiszfeld scan
-    /// runs only over chargers the bound cannot exclude. The cached result
-    /// is bitwise independent of whether a hint was available.
+    /// miss, the cached base coalition's charger anchors the pruned scan
+    /// (see [`price`](Self::price)); the cached result is bitwise
+    /// independent of whether a hint was available.
     fn evaluate_hinted(
         &self,
         coalition: &BTreeSet<usize>,
         newcomer: Option<usize>,
     ) -> Arc<CachedCoalition> {
-        self.cache.get_or_insert_with(coalition, || {
-            let members: Vec<ccs_wrsn::entities::DeviceId> = coalition
-                .iter()
-                .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
-                .collect();
-            let ub = newcomer.and_then(|p| {
-                let base_key: Vec<usize> = coalition.iter().copied().filter(|&q| q != p).collect();
-                if base_key.is_empty() {
-                    return None;
-                }
-                let base = self.cache.get_by_key(&base_key)?;
-                let base_members: Vec<ccs_wrsn::entities::DeviceId> = base_key
-                    .iter()
-                    .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
-                    .collect();
-                join_upper_bound(
-                    self.problem,
-                    &base_members,
-                    &base.facility,
-                    ccs_wrsn::entities::DeviceId::new(p as u32),
-                )
-            });
-            let facility = match ub {
-                Some(ub) => try_best_facility_with_upper(self.problem, &members, ub)
-                    .expect("no charger's energy budget covers this group's demand"),
-                None => best_facility(self.problem, &members),
-            };
-            let shares = self.sharing.shares(
-                self.problem,
-                facility.charger,
-                &members,
-                &facility.point,
-                &facility.bill,
-            );
-            CachedCoalition { facility, shares }
-        })
+        let key: Vec<usize> = coalition.iter().copied().collect();
+        self.cache
+            .get_or_insert_by_key(&key, || self.price(&key, newcomer))
+    }
+
+    /// [`evaluate_hinted`](Self::evaluate_hinted) keyed by a sorted member
+    /// slice: the engine's allocation-free probe path. A warm composition
+    /// costs one sharded hash lookup and nothing else.
+    fn evaluate_sorted(&self, members: &[usize], newcomer: Option<usize>) -> Arc<CachedCoalition> {
+        self.cache
+            .get_or_insert_by_key(members, || self.price(members, newcomer))
+    }
+
+    /// Prices a composition from scratch (the cache-miss path). On a miss,
+    /// the cached base coalition's charger anchors the pruned scan: it is
+    /// evaluated first, so the scan's threshold is an achieved cost from
+    /// the start and most other chargers prune on their lower bound alone.
+    /// The result is bitwise independent of whether a hint was available
+    /// (see [`try_best_facility_anchored`]).
+    fn price(&self, key: &[usize], newcomer: Option<usize>) -> CachedCoalition {
+        let members: Vec<ccs_wrsn::entities::DeviceId> = key
+            .iter()
+            .map(|&i| ccs_wrsn::entities::DeviceId::new(i as u32))
+            .collect();
+        let anchor = newcomer.and_then(|p| {
+            let base_key: Vec<usize> = key.iter().copied().filter(|&q| q != p).collect();
+            if base_key.is_empty() {
+                return None;
+            }
+            Some(self.cache.get_by_key(&base_key)?.facility.charger)
+        });
+        let facility = match anchor {
+            Some(c) => try_best_facility_anchored(self.problem, &members, c)
+                .expect("no charger's energy budget covers this group's demand"),
+            None => best_facility(self.problem, &members),
+        };
+        let shares = self.sharing.shares(
+            self.problem,
+            facility.charger,
+            &members,
+            &facility.point,
+            &facility.bill,
+        );
+        CachedCoalition { facility, shares }
     }
 }
 
@@ -187,6 +199,17 @@ impl HedonicGame for CcsGame<'_> {
         (cached.shares[idx] + cached.facility.moving[idx]).value()
     }
 
+    /// Allocation-free probe path: on a warm composition this is one
+    /// sharded hash lookup plus a binary search — no `BTreeSet`, no key
+    /// `Vec`, no `DeviceId` buffer.
+    fn player_cost_sorted(&self, player: usize, members: &[usize]) -> f64 {
+        let cached = self.evaluate_sorted(members, Some(player));
+        let idx = members
+            .binary_search(&player)
+            .expect("player must be a member");
+        (cached.shares[idx] + cached.facility.moving[idx]).value()
+    }
+
     fn coalition_feasible(&self, coalition: &BTreeSet<usize>) -> bool {
         if !self.problem.group_size_ok(coalition.len()) {
             return false;
@@ -198,6 +221,28 @@ impl HedonicGame for CcsGame<'_> {
         self.problem.feasible_group(&members)
     }
 
+    /// Same admissibility rule as [`coalition_feasible`](HedonicGame::coalition_feasible)
+    /// — size cap plus "some charger's budget covers the summed demand" —
+    /// but summing straight off the index slice, with no `DeviceId` buffer.
+    fn coalition_feasible_sorted(&self, members: &[usize]) -> bool {
+        if !self.problem.group_size_ok(members.len()) {
+            return false;
+        }
+        let demand: ccs_wrsn::units::Joules = members
+            .iter()
+            .map(|&i| {
+                self.problem
+                    .device(ccs_wrsn::entities::DeviceId::new(i as u32))
+                    .demand()
+            })
+            .sum();
+        self.problem
+            .scenario()
+            .chargers()
+            .iter()
+            .any(|c| c.can_deliver(demand))
+    }
+
     /// Nearest devices first, from the precomputed device grid: rings are
     /// expanded until the ring bound proves the `limit` collected devices
     /// are the true nearest, then sorted by exact `(distance, id)`. Pure
@@ -207,6 +252,9 @@ impl HedonicGame for CcsGame<'_> {
         let grid = tables.device_grid();
         if grid.len() <= 1 || limit == 0 {
             return false;
+        }
+        if tables.cached_neighbor_order(player as u32, limit as u32, out) {
+            return true;
         }
         let pos = |id: u32| tables.device_position(ccs_wrsn::entities::DeviceId::new(id));
         let from = pos(player as u32);
@@ -231,7 +279,9 @@ impl HedonicGame for CcsGame<'_> {
         }
         found.sort_unstable_by(by_distance_then_id);
         found.truncate(limit);
+        let start = out.len();
         out.extend(found.iter().map(|&(_, id)| id as usize));
+        tables.store_neighbor_order(player as u32, limit as u32, &out[start..]);
         true
     }
 }
@@ -278,6 +328,7 @@ pub fn ccsga(
             epsilon: options.epsilon,
             shortlist_cap: options.neighbor_cap,
             check_stability: options.check_stability,
+            worklist: options.worklist,
         },
     );
 

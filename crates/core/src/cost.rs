@@ -197,6 +197,36 @@ fn facility_lower_bound(
     fixed.value() + spatial
 }
 
+/// An `O(1)` per-charger prefilter ahead of the `O(k)` exact bound,
+/// shared by both scan strategies. The exact bound's bill part is
+/// `b_j + η_j·g(k) + Σ_i π_j·w_i`; `π_j·Σ_i w_i` can differ from that
+/// member-by-member sum only by float reassociation error, which the
+/// `1 − 1e-9` factor dominates (the relative error of a reordered
+/// nonnegative sum is ≤ k·ε ≈ 1e-11 even at k = 10⁵). The exact spatial
+/// part maximises over members and so is at least the reference-member
+/// term reproduced here from the same tables. The returned value is
+/// therefore a true lower bound on [`facility_lower_bound`], and skipping
+/// a charger whose cheap bound exceeds the threshold prunes a subset of
+/// what the exact bound would prune — the argmin is unchanged, bit for
+/// bit.
+#[inline]
+fn cheap_charger_bound(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    k: usize,
+    total_demand: f64,
+    dd_lb: f64,
+    ref_dev: DeviceId,
+    kappa_ref: f64,
+) -> f64 {
+    let t = problem.tables();
+    let cheap_bill = ((t.base_fee(charger) + t.congestion(charger, k)).value()
+        + t.energy_price(charger).value() * total_demand)
+        * (1.0 - 1e-9);
+    let rate = t.travel_rate(charger).min(kappa_ref);
+    cheap_bill + dd_lb.max(rate * t.device_charger_distance(ref_dev, charger))
+}
+
 /// The charger-independent part of the spatial lower bound: the largest
 /// `min(κ_i, κ_i')·d(p_i, p_i')` over member pairs (`0` for singletons).
 fn pairwise_spatial_bound(problem: &CcsProblem, members: &[DeviceId]) -> f64 {
@@ -214,31 +244,63 @@ fn pairwise_spatial_bound(problem: &CcsProblem, members: &[DeviceId]) -> f64 {
     best
 }
 
+/// The group cost of serving `members` with `charger` at `point`, as a
+/// bare scalar — no `FacilityChoice`, no `Vec`s. Accumulates exactly the
+/// terms [`evaluate_facility`]`(..).group_cost()` accumulates, in exactly
+/// the same order (`(base + travel + congestion) + Σ energy`, then
+/// `+ Σ moving`, each `Σ` a left fold in member order), so the result is
+/// bitwise the materialized one — pinned by the `scan_scalar` proptest.
+fn group_cost_at(
+    problem: &CcsProblem,
+    charger: ChargerId,
+    members: &[DeviceId],
+    point: &Point,
+) -> f64 {
+    let t = problem.tables();
+    let c = problem.charger(charger);
+    let group_level = c.base_fee()
+        + c.travel_cost_rate() * c.position().distance(point)
+        + t.congestion(charger, members.len());
+    let energy: Cost = members.iter().map(|&d| t.energy(charger, d)).sum();
+    let moving: Cost = members
+        .iter()
+        .map(|&d| {
+            let dev = problem.device(d);
+            dev.move_cost_rate() * dev.position().distance(point)
+        })
+        .sum();
+    ((group_level + energy) + moving).value()
+}
+
 /// Evaluates one candidate charger against the incumbent, updating
-/// `best`/`threshold` under the exact `(group_cost, charger id)` total
-/// order shared by both scan strategies.
+/// `best`/`best_cost`/`threshold` under the exact `(group_cost, charger
+/// id)` total order shared by both scan strategies.
+///
+/// Candidates are ranked by the allocation-free [`group_cost_at`] scalar;
+/// the `FacilityChoice` (with its itemized-bill and moving-cost `Vec`s) is
+/// materialized only when the candidate actually wins. `best_cost` carries
+/// the incumbent's group cost (`f64::INFINITY` while `best` is `None`), so
+/// losing candidates never touch the incumbent either.
 fn consider_charger(
     problem: &CcsProblem,
     members: &[DeviceId],
     c: ChargerId,
     best: &mut Option<FacilityChoice>,
+    best_cost: &mut f64,
     threshold: &mut f64,
 ) {
     let point = problem.tables().cached_gathering_point(problem, c, members);
-    let choice = evaluate_facility(problem, c, members, point);
-    let cost = choice.group_cost().value();
+    let cost = group_cost_at(problem, c, members, &point);
     let better = match &best {
         None => true,
         Some(incumbent) => {
-            let cur = incumbent.group_cost().value();
-            cost.total_cmp(&cur)
-                .then(choice.charger.cmp(&incumbent.charger))
-                == std::cmp::Ordering::Less
+            cost.total_cmp(best_cost).then(c.cmp(&incumbent.charger)) == std::cmp::Ordering::Less
         }
     };
     if better {
         *threshold = threshold.min(cost);
-        *best = Some(choice);
+        *best_cost = cost;
+        *best = Some(evaluate_facility(problem, c, members, point));
     }
 }
 
@@ -253,23 +315,55 @@ fn consider_charger(
 pub fn facility_scan_full(
     problem: &CcsProblem,
     members: &[DeviceId],
+    threshold: f64,
+) -> Option<FacilityChoice> {
+    facility_scan_full_from(problem, members, None, f64::INFINITY, threshold)
+}
+
+/// [`facility_scan_full`] continued from an already-evaluated incumbent
+/// (`best` at `threshold`). Visit order never affects the result — the
+/// `(group_cost, charger id)` comparison in [`consider_charger`] is a
+/// total order — so starting from an incumbent only tightens pruning.
+fn facility_scan_full_from(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    mut best: Option<FacilityChoice>,
+    mut best_cost: f64,
     mut threshold: f64,
 ) -> Option<FacilityChoice> {
+    let t = problem.tables();
     let dd_lb = pairwise_spatial_bound(problem, members);
+    let k = members.len();
+    let demand = problem.group_demand(members);
+    let total_demand: f64 = members
+        .iter()
+        .map(|&d| problem.device(d).demand().value())
+        .sum();
+    let ref_dev = members[0];
+    let kappa_ref = t.move_rate(ref_dev);
     let mut candidates: Vec<(f64, ChargerId)> = problem
         .scenario()
         .charger_ids()
-        .filter(|&c| problem.charger_can_serve(c, members))
+        .filter(|&c| {
+            cheap_charger_bound(problem, c, k, total_demand, dd_lb, ref_dev, kappa_ref) <= threshold
+                && problem.charger(c).can_deliver(demand)
+        })
         .map(|c| (facility_lower_bound(problem, c, members, dd_lb), c))
         .collect();
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-    let mut best: Option<FacilityChoice> = None;
     for (bound, c) in candidates {
         if bound > threshold {
             break;
         }
-        consider_charger(problem, members, c, &mut best, &mut threshold);
+        consider_charger(
+            problem,
+            members,
+            c,
+            &mut best,
+            &mut best_cost,
+            &mut threshold,
+        );
     }
     best
 }
@@ -290,6 +384,18 @@ pub fn facility_scan_full(
 pub fn facility_scan_grid(
     problem: &CcsProblem,
     members: &[DeviceId],
+    threshold: f64,
+) -> Option<FacilityChoice> {
+    facility_scan_grid_from(problem, members, None, f64::INFINITY, threshold)
+}
+
+/// [`facility_scan_grid`] continued from an already-evaluated incumbent —
+/// see [`facility_scan_full_from`] for why that cannot change the result.
+fn facility_scan_grid_from(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    mut best: Option<FacilityChoice>,
+    mut best_cost: f64,
     mut threshold: f64,
 ) -> Option<FacilityChoice> {
     let t = problem.tables();
@@ -310,7 +416,9 @@ pub fn facility_scan_grid(
     let spatial_rate = t.min_travel_rate().min(t.move_rate(ref_dev));
     let ref_pos = t.device_position(ref_dev);
 
-    let mut best: Option<FacilityChoice> = None;
+    let k = members.len();
+    let demand = problem.group_demand(members);
+    let kappa_ref = t.move_rate(ref_dev);
     let mut cursor = t.charger_grid().rings_from(ref_pos);
     let mut ring: Vec<u32> = Vec::new();
     let mut candidates: Vec<(f64, ChargerId)> = Vec::new();
@@ -321,9 +429,13 @@ pub fn facility_scan_grid(
         candidates.clear();
         for &raw in &ring {
             let c = ChargerId::new(raw);
-            if problem.charger_can_serve(c, members) {
-                candidates.push((facility_lower_bound(problem, c, members, dd_lb), c));
+            if cheap_charger_bound(problem, c, k, total_demand, dd_lb, ref_dev, kappa_ref)
+                > threshold
+                || !problem.charger(c).can_deliver(demand)
+            {
+                continue;
             }
+            candidates.push((facility_lower_bound(problem, c, members, dd_lb), c));
         }
         ring.clear();
         candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -331,7 +443,14 @@ pub fn facility_scan_grid(
             if bound > threshold {
                 break;
             }
-            consider_charger(problem, members, c, &mut best, &mut threshold);
+            consider_charger(
+                problem,
+                members,
+                c,
+                &mut best,
+                &mut best_cost,
+                &mut threshold,
+            );
         }
     }
     best
@@ -388,6 +507,40 @@ pub fn try_best_facility_with_upper(
     match seeded {
         Some(choice) if choice.group_cost() <= ub => Some(choice),
         _ => pruned_facility_scan(problem, members, f64::INFINITY),
+    }
+}
+
+/// [`try_best_facility`] that evaluates `anchor` — a charger a caller has
+/// reason to believe is the winner, e.g. the base coalition's choice when
+/// probing one member's join — before the ordered scan. The anchor's
+/// *achieved* cost (unlike `try_best_facility_with_upper`'s hypothetical
+/// bound) is a valid threshold from the first ring, so the scan prunes as
+/// hard as possible and never needs an unseeded redo. Bitwise identical to
+/// [`try_best_facility`]: pruning compares against an achieved cost and
+/// the `(group_cost, charger id)` order is visit-order independent.
+pub fn try_best_facility_anchored(
+    problem: &CcsProblem,
+    members: &[DeviceId],
+    anchor: ChargerId,
+) -> Option<FacilityChoice> {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    let mut best: Option<FacilityChoice> = None;
+    let mut best_cost = f64::INFINITY;
+    let mut threshold = f64::INFINITY;
+    if problem.charger_can_serve(anchor, members) {
+        consider_charger(
+            problem,
+            members,
+            anchor,
+            &mut best,
+            &mut best_cost,
+            &mut threshold,
+        );
+    }
+    if problem.tables().num_chargers() >= GRID_MIN_CHARGERS {
+        facility_scan_grid_from(problem, members, best, best_cost, threshold)
+    } else {
+        facility_scan_full_from(problem, members, best, best_cost, threshold)
     }
 }
 
@@ -686,5 +839,50 @@ mod tests {
     fn empty_group_bill_panics() {
         let p = problem();
         let _ = group_bill(&p, ChargerId::new(0), &[], &Point::ORIGIN);
+    }
+
+    mod scan_scalar {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// [`group_cost_at`] is bitwise
+            /// `evaluate_facility(..).group_cost()`: the scalar ranking in
+            /// `consider_charger` sees exactly the costs the materialized
+            /// path would, so deferring `FacilityChoice` construction to
+            /// winners cannot change any argmin or tie-break.
+            #[test]
+            fn scalar_cost_is_bitwise_the_materialized_cost(
+                seed in 0u64..1_000,
+                devices in 2usize..14,
+                chargers in 1usize..5,
+                mask in 1u64..(1 << 14),
+                px in 0.0f64..200.0,
+                py in 0.0f64..200.0,
+            ) {
+                let p = CcsProblem::new(
+                    ScenarioGenerator::new(seed)
+                        .devices(devices)
+                        .chargers(chargers)
+                        .generate(),
+                );
+                let mut members: Vec<DeviceId> = (0..devices)
+                    .filter(|&i| (mask >> i) & 1 == 1)
+                    .map(|i| DeviceId::new(i as u32))
+                    .collect();
+                if members.is_empty() {
+                    members.push(DeviceId::new((mask % devices as u64) as u32));
+                }
+                let point = Point::new(px, py);
+                for c in p.scenario().charger_ids() {
+                    let scalar = group_cost_at(&p, c, &members, &point);
+                    let materialized =
+                        evaluate_facility(&p, c, &members, point).group_cost().value();
+                    prop_assert_eq!(scalar.to_bits(), materialized.to_bits());
+                }
+            }
+        }
     }
 }

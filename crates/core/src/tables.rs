@@ -24,7 +24,8 @@
 //!   ring-ordered candidate enumeration with geometric lower bounds in
 //!   `cost::try_best_facility` and the CCSA candidate scan, plus the
 //!   instance-wide rate/price floors those bounds need;
-//! * a memo of gathering points keyed by `(charger, member set)`, so a
+//! * a memo of gathering points keyed by flat `[charger, member ids…]`
+//!   slices (probed allocation-free from thread-local scratch), so a
 //!   coalition re-evaluated with the same membership (the common case in
 //!   best-response scans) never re-runs Weiszfeld.
 //!
@@ -36,14 +37,14 @@
 use crate::gathering::gathering_point;
 use crate::grid::UniformGrid;
 use crate::problem::CcsProblem;
+use ccs_coalition::fasthash::FastBuildHasher;
 use ccs_wrsn::entities::{ChargerId, DeviceId};
 use ccs_wrsn::geometry::Point;
 use ccs_wrsn::scenario::Scenario;
 use ccs_wrsn::units::{Cost, CostPerJoule, Joules};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::BuildHasher;
 use std::sync::Mutex;
 
 /// Number of independently locked shards of the gathering-point memo.
@@ -53,9 +54,16 @@ const GATHER_SHARDS: usize = 16;
 /// 16 M `f64` entries = 128 MB; anything larger recomputes on the fly.
 pub const DENSE_DIST_LIMIT: usize = 16_000_000;
 
-/// One shard of the gathering-point memo: `(charger, sorted member ids)`
-/// to the memoized point.
-type GatherShard = Mutex<HashMap<(u32, Vec<u32>), Point>>;
+/// One shard of the gathering-point memo: a flat `[charger, member ids…]`
+/// key to the memoized point. The flat key lets the hit path probe with a
+/// borrowed `&[u32]` built in thread-local scratch — no allocation at all;
+/// an owned boxed key is only materialized alongside a miss's Weiszfeld
+/// solve.
+type GatherShard = Mutex<HashMap<Box<[u32]>, Point, FastBuildHasher>>;
+
+/// One shard of the neighbor-order memo: `(device, limit)` to the nearest
+/// device ids in ascending `(distance, id)` order.
+type NeighborShard = Mutex<HashMap<(u32, u32), Box<[u32]>, FastBuildHasher>>;
 
 /// Flat per-instance lookup tables for the CCS cost model.
 pub struct ProblemTables {
@@ -69,6 +77,8 @@ pub struct ProblemTables {
     demand: Vec<Joules>,
     /// `π_j`, indexed by charger.
     energy_price: Vec<CostPerJoule>,
+    /// `b_j`, indexed by charger.
+    base_fee: Vec<Cost>,
     /// `η_j`, indexed by charger.
     occupancy: Vec<Cost>,
     /// `g(k)` for every `k ≤ n`.
@@ -99,6 +109,11 @@ pub struct ProblemTables {
     min_occupancy: f64,
     /// Gathering-point memo: `(charger, sorted member ids) -> point`.
     gather: Vec<GatherShard>,
+    /// Spatial neighbor-order memo: `(device, limit) -> nearest device ids
+    /// in ascending (distance, id) order`. Pure function of the instance,
+    /// like the gathering memo, so memoization cannot perturb determinism;
+    /// sharded by device id so parallel probes rarely contend.
+    neighbors: Vec<NeighborShard>,
 }
 
 impl ProblemTables {
@@ -120,6 +135,7 @@ impl ProblemTables {
             .collect();
         let demand: Vec<Joules> = devices.iter().map(|d| d.demand()).collect();
         let energy_price: Vec<CostPerJoule> = chargers.iter().map(|c| c.energy_price()).collect();
+        let base_fee: Vec<Cost> = chargers.iter().map(|c| c.base_fee()).collect();
         let occupancy: Vec<Cost> = chargers.iter().map(|c| c.occupancy_rate()).collect();
         let curve: Vec<f64> = (0..=n).map(|k| curve.eval(k)).collect();
         let device_pos: Vec<Point> = devices.iter().map(|d| d.position()).collect();
@@ -174,6 +190,7 @@ impl ProblemTables {
             travel_rate,
             demand,
             energy_price,
+            base_fee,
             occupancy,
             curve,
             device_grid: UniformGrid::build(&device_pos),
@@ -183,7 +200,10 @@ impl ProblemTables {
             dist_dc,
             dist_dd,
             gather: (0..GATHER_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+            neighbors: (0..GATHER_SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
                 .collect(),
         }
     }
@@ -205,6 +225,20 @@ impl ProblemTables {
     #[inline]
     pub fn energy(&self, charger: ChargerId, device: DeviceId) -> Cost {
         self.demand[device.index()] * self.energy_price[charger.index()]
+    }
+
+    /// The base fee `b_j` — the charger column, bitwise
+    /// `charger.base_fee()`.
+    #[inline]
+    pub fn base_fee(&self, charger: ChargerId) -> Cost {
+        self.base_fee[charger.index()]
+    }
+
+    /// The energy price `π_j` — the charger column, bitwise
+    /// `charger.energy_price()`.
+    #[inline]
+    pub fn energy_price(&self, charger: ChargerId) -> CostPerJoule {
+        self.energy_price[charger.index()]
     }
 
     /// The congestion term `η_j · g(k)` for a group of size `k ≤ n`.
@@ -320,24 +354,67 @@ impl ProblemTables {
         charger: ChargerId,
         members: &[DeviceId],
     ) -> Point {
-        let key = (
-            charger.value(),
-            members.iter().map(|d| d.value()).collect::<Vec<u32>>(),
-        );
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        let shard = &self.gather[hasher.finish() as usize % GATHER_SHARDS];
-        if let Some(point) = shard.lock().expect("gathering memo poisoned").get(&key) {
+        thread_local! {
+            /// Scratch for the flat `[charger, member ids…]` probe key.
+            static KEY: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let (shard_idx, hit) = KEY.with(|cell| {
+            let mut key = cell.borrow_mut();
+            key.clear();
+            key.push(charger.value());
+            key.extend(members.iter().map(|d| d.value()));
+            let shard_idx = FastBuildHasher::default().hash_one(&key[..]) as usize % GATHER_SHARDS;
+            let hit = self.gather[shard_idx]
+                .lock()
+                .expect("gathering memo poisoned")
+                .get(&key[..])
+                .copied();
+            (shard_idx, hit)
+        });
+        if let Some(point) = hit {
             ccs_telemetry::counter!("tables.gather_hits").incr();
-            return *point;
+            return point;
         }
         ccs_telemetry::counter!("tables.gather_misses").incr();
         let point = gathering_point(problem, charger, members, problem.params().gathering);
-        shard
+        let key: Box<[u32]> = std::iter::once(charger.value())
+            .chain(members.iter().map(|d| d.value()))
+            .collect();
+        self.gather[shard_idx]
             .lock()
             .expect("gathering memo poisoned")
             .insert(key, point);
         point
+    }
+
+    /// Copies the memoized neighbor order for `(device, limit)` into
+    /// `out`, returning whether there was a hit. See
+    /// [`store_neighbor_order`](Self::store_neighbor_order).
+    pub fn cached_neighbor_order(&self, device: u32, limit: u32, out: &mut Vec<usize>) -> bool {
+        let shard = &self.neighbors[device as usize % GATHER_SHARDS];
+        match shard
+            .lock()
+            .expect("neighbor memo poisoned")
+            .get(&(device, limit))
+        {
+            Some(order) => {
+                out.extend(order.iter().map(|&q| q as usize));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Memoizes a neighbor order computed for `(device, limit)`. The order
+    /// must be the pure spatial ranking the ccsga game computes — nearest
+    /// devices by exact `(distance, id)` — so a later hit is bitwise the
+    /// recomputation.
+    pub fn store_neighbor_order(&self, device: u32, limit: u32, order: &[usize]) {
+        let boxed: Box<[u32]> = order.iter().map(|&q| q as u32).collect();
+        self.neighbors[device as usize % GATHER_SHARDS]
+            .lock()
+            .expect("neighbor memo poisoned")
+            .insert((device, limit), boxed);
     }
 
     /// Number of memoized gathering points (for tests and diagnostics).

@@ -364,9 +364,8 @@ impl GatewayState {
                 return Err((400, err_response(&Value::Null, &err)));
             }
             Err(ResolveError::ReservedName(name)) => {
-                let err = ServeError::bad_request(format!(
-                    "tenant {name:?} requires its bearer token"
-                ));
+                let err =
+                    ServeError::bad_request(format!("tenant {name:?} requires its bearer token"));
                 return Err((403, err_response(&Value::Null, &err)));
             }
             Err(ResolveError::TooManyTenants) => {
@@ -571,14 +570,9 @@ impl GatewayState {
                         true,
                     )
                 } else {
-                    let err = ServeError::bad_request(
-                        "shutdown requires an authorized bearer token",
-                    );
-                    (
-                        "shutdown",
-                        (401, err_response(&Value::Null, &err)),
-                        false,
-                    )
+                    let err =
+                        ServeError::bad_request("shutdown requires an authorized bearer token");
+                    ("shutdown", (401, err_response(&Value::Null, &err)), false)
                 }
             }
             _ => {

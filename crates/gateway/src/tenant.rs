@@ -374,7 +374,9 @@ mod tests {
         );
         // When both headers are present the token wins, so a valid bearer
         // may still name its own tenant in X-Tenant for visibility.
-        let both = registry.resolve(Some("Bearer tok_a"), Some("acme")).unwrap();
+        let both = registry
+            .resolve(Some("Bearer tok_a"), Some("acme"))
+            .unwrap();
         assert!(Arc::ptr_eq(&acme, &both));
     }
 

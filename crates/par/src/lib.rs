@@ -189,6 +189,41 @@ where
     pool::run(n, workers, &f)
 }
 
+/// [`par_eval_min`] writing into a caller-owned buffer instead of returning
+/// a fresh `Vec`. `out` is cleared and refilled with `f(0), …, f(n-1)` in
+/// index order. On the serial path (one worker, small batch, or a nested
+/// call) this is **allocation-free** once `out` has grown to capacity —
+/// the property the coalition engine's per-probe gain batches rely on.
+/// The parallel path still allocates one scatter buffer inside the pool.
+pub fn par_eval_min_into<U, F>(n: usize, min: usize, out: &mut Vec<U>, f: F)
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    out.clear();
+    let workers = threads().min(n);
+    if workers <= 1 || n < min || pool::on_pool_worker() {
+        out.extend((0..n).map(f));
+        return;
+    }
+    ccs_telemetry::counter!("par.batches").incr();
+    ccs_telemetry::counter!("par.items").add(n as u64);
+
+    let mut scattered = pool::run(n, workers, &f);
+    out.append(&mut scattered);
+}
+
+/// [`par_map_min`] writing into a caller-owned buffer (see
+/// [`par_eval_min_into`]).
+pub fn par_map_min_into<T, U, F>(items: &[T], min: usize, out: &mut Vec<U>, f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_eval_min_into(items.len(), min, out, |i| f(i, &items[i]))
+}
+
 /// Maps `f` over `items`, returning results in item order. The closure also
 /// receives the item index so callers can carry positional context without
 /// allocating.
@@ -308,6 +343,23 @@ mod tests {
             par_map_min(&items, 2, |i, &x| x + i as u64),
             par_map(&items, |i, &x| x + i as u64)
         );
+    }
+
+    #[test]
+    fn into_variants_match_the_allocating_api() {
+        set_threads(4);
+        let work = |i: usize| ((i as f64) * 1.13).sin().to_bits();
+        let mut buf = Vec::new();
+        par_eval_min_into(300, 1, &mut buf, work);
+        assert_eq!(buf, par_eval_min(300, 1, work));
+        // Refilling the same buffer must fully replace its contents.
+        par_eval_min_into(5, 1000, &mut buf, work);
+        assert_eq!(buf, (0..5).map(work).collect::<Vec<_>>());
+        let items: Vec<u64> = (0..80).collect();
+        let mut mapped = Vec::new();
+        par_map_min_into(&items, 1, &mut mapped, |i, &x| x * 2 + i as u64);
+        set_threads(0);
+        assert_eq!(mapped, par_map_min(&items, 1, |i, &x| x * 2 + i as u64));
     }
 
     #[test]
