@@ -1,0 +1,390 @@
+//! `online_load` — the online-mode load suite: full event-loop runs of
+//! the streaming service (arrivals, deadlines, charger tanks) with a CI
+//! gate on deadline misses and throughput.
+//!
+//! ```text
+//! online_load [--out FILE] [--check] [--iters N] [--only CELL]
+//! ```
+//!
+//! Every cell replays one seeded request stream through [`OnlineSim`]
+//! end to end, timed at 1 and 4 worker threads (the two runs must
+//! produce bit-identical service outcomes — the `ccs-par` determinism
+//! contract), and is emitted as a JSON document:
+//!
+//! ```json
+//! {
+//!   "schema": "ccs-bench-online/v1",
+//!   "host_sentinel_ms": 3.1,
+//!   "benches": {
+//!     "online_ccsga_stream": {
+//!       "t1_mean_ms": 42.0, "t4_mean_ms": 18.3,
+//!       "items_per_s": 3100.0, "miss_rate_pct": 12.5,
+//!       "served": 70, "arrivals": 80, "replans": 33
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! With `--check` the run fails (exit 1) when:
+//!
+//! * a cell's 1-thread and 4-thread outcomes diverge (determinism);
+//! * the easy-stream cell misses any deadline (`online_ccsga_easy` has
+//!   slack to spare — a miss there is an admission bug, not load);
+//! * the contended CCSGA cell misses *more* than the FCFS baseline on
+//!   the identical stream (the policy's reason to exist);
+//! * against the newest committed `BENCH_*.json` covering these cells:
+//!   `miss_rate_pct` grew at all, or `items_per_s` dropped more than
+//!   25% (through the host-sentinel calibration).
+
+use ccs_bench::gate::{self, Direction, Gate};
+use ccs_core::online::{OnlineConfig, OnlineMetrics, OnlinePolicy, OnlineSim};
+use ccs_core::prelude::*;
+use ccs_wrsn::arrival::{ArrivalGenerator, ArrivalProfile, ChargeRequest};
+use ccs_wrsn::scenario::{Scenario, ScenarioGenerator};
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Cell names (disjoint from every other bench binary's families).
+const CELL_NAMES: [&str; 3] = [
+    "online_ccsga_easy",
+    "online_ccsga_stream",
+    "online_fcfs_stream",
+];
+
+/// The regression gates: misses are deterministic so any growth fails;
+/// throughput is wall clock, so it gets slack and the host sentinel.
+const GATES: [Gate; 2] = [
+    Gate {
+        field: "miss_rate_pct",
+        tolerance: 0.0,
+        direction: Direction::HigherIsWorse,
+        zero_base_fails: true,
+        host_sensitive: false,
+    },
+    Gate {
+        field: "items_per_s",
+        tolerance: 0.25,
+        direction: Direction::LowerIsWorse,
+        zero_base_fails: false,
+        host_sensitive: true,
+    },
+];
+
+struct Cell {
+    t1_mean_ms: f64,
+    t4_mean_ms: f64,
+    items_per_s: f64,
+    metrics: OnlineMetrics,
+}
+
+/// The contended workload shared by the ccsga/fcfs pair: a hotspot
+/// stream over 30 devices and 4 chargers, tight enough that naive
+/// dispatch visibly drops requests.
+fn contended() -> (Scenario, Vec<ChargeRequest>) {
+    let scenario = ScenarioGenerator::new(211)
+        .devices(30)
+        .chargers(4)
+        .generate();
+    let stream = ArrivalGenerator::new(9)
+        .rate(0.3)
+        .horizon(240.0)
+        .slack(500.0)
+        .profile(ArrivalProfile::Hotspot {
+            fraction: 0.2,
+            share: 0.8,
+        })
+        .generate(30);
+    (scenario, stream)
+}
+
+fn ccsga_policy() -> OnlinePolicy {
+    OnlinePolicy::Ccsga(CcsgaOptions {
+        worklist: true,
+        ..CcsgaOptions::default()
+    })
+}
+
+/// One full event-loop run; the fingerprint covers everything the gates
+/// read plus the energy ledger, so thread-count divergence cannot hide.
+fn run_once(scenario: &Scenario, stream: &[ChargeRequest], policy: OnlinePolicy) -> OnlineMetrics {
+    let config = OnlineConfig {
+        policy,
+        ..OnlineConfig::default()
+    };
+    OnlineSim::new(
+        CcsProblem::new(scenario.clone()),
+        stream.to_vec(),
+        &EqualShare,
+        config,
+    )
+    .run()
+    .metrics
+}
+
+fn fingerprint(m: &OnlineMetrics) -> (usize, usize, usize, u64, u64) {
+    (
+        m.served,
+        m.missed,
+        m.replans,
+        m.energy_consumed.value().to_bits(),
+        m.energy_delivered.value().to_bits(),
+    )
+}
+
+/// Times the run at 1 and 4 threads (mean of `iters` passes each after a
+/// warmup), asserting identical outcomes across thread counts.
+fn run_cell(
+    name: &str,
+    iters: usize,
+    scenario: &Scenario,
+    stream: &[ChargeRequest],
+    policy: OnlinePolicy,
+) -> Cell {
+    let mean_at = |threads: usize| -> (f64, OnlineMetrics) {
+        ccs_par::set_threads(threads);
+        let metrics = run_once(scenario, stream, policy);
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let again = run_once(scenario, stream, policy);
+            total += start.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(
+                fingerprint(&again),
+                fingerprint(&metrics),
+                "{name}: nondeterministic run at {threads} thread(s)"
+            );
+        }
+        (total / iters as f64, metrics)
+    };
+    let (t1_mean_ms, m1) = mean_at(1);
+    let (t4_mean_ms, m4) = mean_at(4);
+    ccs_par::set_threads(0);
+    assert_eq!(
+        fingerprint(&m1),
+        fingerprint(&m4),
+        "{name}: 1-thread and 4-thread outcomes diverged — determinism bug"
+    );
+    let items_per_s = m1.arrivals as f64 / (t1_mean_ms / 1000.0);
+    eprintln!(
+        "cell {name}: t1 {t1_mean_ms:.1} ms, t4 {t4_mean_ms:.1} ms, \
+         {items_per_s:.0} req/s, miss rate {:.1}% ({}/{} served)",
+        m1.miss_rate * 100.0,
+        m1.served,
+        m1.arrivals
+    );
+    Cell {
+        t1_mean_ms,
+        t4_mean_ms,
+        items_per_s,
+        metrics: m1,
+    }
+}
+
+fn cells(iters: usize, only: Option<&str>) -> BTreeMap<String, Cell> {
+    let mut out = BTreeMap::new();
+    let wanted = |name: &str| only.is_none_or(|o| o == name);
+
+    // Slack to spare: every request must be served. This is the
+    // admission-correctness canary, not a load test.
+    if wanted("online_ccsga_easy") {
+        let scenario = ScenarioGenerator::new(101)
+            .devices(20)
+            .chargers(4)
+            .generate();
+        let stream = ArrivalGenerator::new(5)
+            .rate(0.1)
+            .horizon(200.0)
+            .slack(100_000.0)
+            .generate(20);
+        out.insert(
+            "online_ccsga_easy".to_string(),
+            run_cell(
+                "online_ccsga_easy",
+                iters,
+                &scenario,
+                &stream,
+                ccsga_policy(),
+            ),
+        );
+    }
+
+    // The contended pair: identical scenario and stream, two policies.
+    if wanted("online_ccsga_stream") {
+        let (scenario, stream) = contended();
+        out.insert(
+            "online_ccsga_stream".to_string(),
+            run_cell(
+                "online_ccsga_stream",
+                iters,
+                &scenario,
+                &stream,
+                ccsga_policy(),
+            ),
+        );
+    }
+    if wanted("online_fcfs_stream") {
+        let (scenario, stream) = contended();
+        out.insert(
+            "online_fcfs_stream".to_string(),
+            run_cell(
+                "online_fcfs_stream",
+                iters,
+                &scenario,
+                &stream,
+                OnlinePolicy::Fcfs,
+            ),
+        );
+    }
+    out
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(Number::Float((x * 100.0).round() / 100.0))
+}
+
+fn to_json(results: &BTreeMap<String, Cell>) -> Value {
+    let mut benches = BTreeMap::new();
+    for (name, c) in results {
+        let mut entry = BTreeMap::new();
+        entry.insert("t1_mean_ms".to_string(), num(c.t1_mean_ms));
+        entry.insert("t4_mean_ms".to_string(), num(c.t4_mean_ms));
+        entry.insert("items_per_s".to_string(), num(c.items_per_s));
+        entry.insert(
+            "miss_rate_pct".to_string(),
+            num(c.metrics.miss_rate * 100.0),
+        );
+        entry.insert(
+            "served".to_string(),
+            Value::Number(Number::PosInt(c.metrics.served as u64)),
+        );
+        entry.insert(
+            "arrivals".to_string(),
+            Value::Number(Number::PosInt(c.metrics.arrivals as u64)),
+        );
+        entry.insert(
+            "replans".to_string(),
+            Value::Number(Number::PosInt(c.metrics.replans as u64)),
+        );
+        benches.insert(name.clone(), Value::Object(entry));
+    }
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".to_string(),
+        Value::String("ccs-bench-online/v1".to_string()),
+    );
+    root.insert(
+        gate::SENTINEL_FIELD.to_string(),
+        num(gate::host_sentinel_ms()),
+    );
+    root.insert("benches".to_string(), Value::Object(benches));
+    Value::Object(root)
+}
+
+/// The run's own assertions (baseline-free): the easy stream serves
+/// everything, and ccsga never loses the contended stream to fcfs.
+fn online_failures(results: &BTreeMap<String, Cell>) -> Vec<String> {
+    let mut failures = Vec::new();
+    if let Some(easy) = results.get("online_ccsga_easy") {
+        if easy.metrics.missed > 0 {
+            failures.push(format!(
+                "online_ccsga_easy: {} miss(es) on a stream with slack to spare",
+                easy.metrics.missed
+            ));
+        }
+    }
+    if let (Some(ccsga), Some(fcfs)) = (
+        results.get("online_ccsga_stream"),
+        results.get("online_fcfs_stream"),
+    ) {
+        if ccsga.metrics.missed > fcfs.metrics.missed {
+            failures.push(format!(
+                "online_ccsga_stream: {} miss(es) vs fcfs's {} on the identical stream",
+                ccsga.metrics.missed, fcfs.metrics.missed
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check = false;
+    let mut iters = 3usize;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--check" => check = true,
+            "--only" => only = args.next(),
+            "--iters" => match args.next().map(|v| (v.clone(), v.parse::<usize>())) {
+                Some((_, Ok(n))) if n > 0 => iters = n,
+                Some((raw, _)) => {
+                    eprintln!("error: --iters needs a positive integer, got '{raw}'");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("error: --iters needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "usage: online_load [--out FILE] [--check] [--iters N] \
+                     [--only CELL] (got '{other}')"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Capture the baseline before writing anything, so `--out BENCH_9.json
+    // --check` compares against the committed file, not the fresh one.
+    let baseline = gate::newest_baseline(&CELL_NAMES);
+
+    let results = cells(iters, only.as_deref());
+    let doc = to_json(&results);
+    let json = serde_json::to_string_pretty(&doc).expect("results serialize");
+
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if check {
+        let mut failures = online_failures(&results);
+        match baseline {
+            Some((name, base)) => {
+                let regressions = gate::regressions(&doc, &base, &GATES);
+                if regressions.is_empty() {
+                    eprintln!("bench-regression gate: ok vs {name}");
+                } else {
+                    for r in &regressions {
+                        eprintln!("  vs {name}: {r}");
+                    }
+                    failures.extend(regressions);
+                }
+            }
+            None => {
+                eprintln!("bench-regression gate: no committed BENCH_*.json baseline, skipping")
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("online gate: FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("online gate: ok");
+    }
+    ExitCode::SUCCESS
+}

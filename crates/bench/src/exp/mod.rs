@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod common;
 pub mod extensions;
 pub mod field_exp;
+pub mod online_exp;
 pub mod params;
 pub mod plot;
 pub mod runtime;
@@ -31,6 +32,7 @@ pub const ALL: &[&str] = &[
     "fig14_failures",
     "fig15_poa",
     "fig16_recovery",
+    "fig_online",
     "abl_gathering",
     "abl_switch_rule",
     "abl_sfm",
@@ -59,6 +61,7 @@ pub fn run(id: &str, out: &Path) -> io::Result<()> {
         "fig14_failures" => extensions::fig14(out),
         "fig15_poa" => extensions::fig15(out),
         "fig16_recovery" => extensions::fig16(out),
+        "fig_online" => online_exp::fig_online(out),
         "abl_gathering" => ablations::abl_gathering(out),
         "abl_switch_rule" => ablations::abl_switch_rule(out),
         "abl_sfm" => ablations::abl_sfm(out),

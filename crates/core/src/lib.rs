@@ -45,6 +45,7 @@ pub mod gathering;
 pub mod grid;
 pub mod lifetime;
 pub mod metrics;
+pub mod online;
 pub mod problem;
 pub mod recover;
 pub mod schedule;
@@ -77,10 +78,14 @@ pub mod prelude {
         compare, gap_above_optimal_percent, jain_fairness, saving_percent,
         try_gap_above_optimal_percent, try_jain_fairness, try_saving_percent,
     };
+    pub use crate::online::{
+        plan_step, Commitment, OnlineConfig, OnlineMetrics, OnlinePolicy, OnlineReport, OnlineSim,
+        StepOutcome,
+    };
     pub use crate::problem::{CcsProblem, CostParams};
     pub use crate::recover::{
-        recover_with, RecoveryConfig, RecoveryExecutor, RecoveryOutcome, RecoveryRound,
-        RoundExecution, RoundMode,
+        recover_with, residual_problem, RecoveryConfig, RecoveryExecutor, RecoveryOutcome,
+        RecoveryRound, RoundExecution, RoundMode,
     };
     pub use crate::schedule::{GroupPlan, Schedule, ScheduleError};
     pub use crate::sharing::{

@@ -331,8 +331,19 @@ pub fn run_lifetime_with(
         hires,
         energy_purchased,
         dead_device_rounds,
-        survival_rate: 1.0 - dead_device_rounds as f64 / device_rounds as f64,
+        survival_rate: survival_rate(dead_device_rounds, device_rounds),
         unserved_requests,
+    }
+}
+
+/// `1 - dead/total`, defined as full survival (`1.0`) when there are no
+/// device-rounds at all — the degenerate denominator must not leak `NaN`
+/// into a report field documented to lie in `[0, 1]`.
+fn survival_rate(dead_device_rounds: usize, device_rounds: usize) -> f64 {
+    if device_rounds == 0 {
+        1.0
+    } else {
+        1.0 - dead_device_rounds as f64 / device_rounds as f64
     }
 }
 
@@ -351,6 +362,31 @@ mod tests {
             rounds,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn survival_rate_guards_the_zero_denominator() {
+        assert_eq!(
+            survival_rate(0, 0),
+            1.0,
+            "no device-rounds is full survival"
+        );
+        assert_eq!(survival_rate(0, 10), 1.0);
+        assert_eq!(survival_rate(5, 10), 0.5);
+        assert!(survival_rate(0, 0).is_finite(), "must never be NaN");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one round")]
+    fn zero_rounds_is_rejected_by_config_validation() {
+        let s = scenario();
+        run_lifetime(
+            &s,
+            &CostParams::default(),
+            &EqualShare,
+            Policy::Ccsa(CcsaOptions::default()),
+            &config(0),
+        );
     }
 
     #[test]

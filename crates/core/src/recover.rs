@@ -150,7 +150,11 @@ impl<O> RecoveryOutcome<O> {
 /// Builds the residual problem: `unserved[i]` (original ids) becomes dense
 /// round-local device `i`, standing at `positions[i]`, still owing its full
 /// original demand. Chargers, field, and cost parameters are unchanged.
-fn residual_problem(
+///
+/// Public because the online mode ([`crate::online`]) re-plans through
+/// exactly this extraction on every event — the index of `unserved` *is*
+/// the origin map back to the full problem.
+pub fn residual_problem(
     problem: &CcsProblem,
     unserved: &[DeviceId],
     positions: &[Point],

@@ -11,6 +11,7 @@ use crate::obs::{Phase, ReqTrace};
 use crate::protocol::{fields, ServeError};
 use ccs_core::prelude::*;
 use ccs_testbed::prelude::*;
+use ccs_wrsn::entities::DeviceId;
 use serde::value::{Number, Value};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -61,8 +62,100 @@ pub fn handle(
         "plan" => handle_plan(cache, body, trace),
         "replay" => handle_replay(cache, body, trace),
         "lifetime" => handle_lifetime(cache, body, trace),
+        "online_step" => handle_online_step(cache, body, trace),
         other => Err(ServeError::bad_request(format!("unknown cmd '{other}'"))),
     }
+}
+
+/// One stateless online re-plan: `pending` lists the device ids with an
+/// open charging request; the response is the residual schedule with
+/// members mapped back to original ids — the daemon-side ingest path of
+/// the online mode (`ccs online` drives the full event loop locally).
+fn handle_online_step(
+    cache: &PlanCache,
+    body: &Value,
+    trace: &mut ReqTrace,
+) -> Result<Handled, ServeError> {
+    let _span = ccs_telemetry::global().span("serve.online_step");
+    let (_, problem, scenario_hit) = load_problem(cache, body, trace)?;
+    let sharing = sharing_name(body)?;
+    let scheme = make_sharing(sharing);
+    let policy = match fields::str_or(body, "algo", "ccsga")? {
+        "ccsga" => OnlinePolicy::Ccsga(CcsgaOptions {
+            worklist: true,
+            ..CcsgaOptions::default()
+        }),
+        "fcfs" => OnlinePolicy::Fcfs,
+        other => {
+            return Err(ServeError::bad_request(format!(
+                "unknown online policy '{other}' (want 'ccsga' or 'fcfs')"
+            )))
+        }
+    };
+    let n = problem.num_devices();
+    let pending = match body.field("pending") {
+        Value::Array(items) if !items.is_empty() => {
+            let mut ids = Vec::with_capacity(items.len());
+            for item in items {
+                let Value::Number(Number::PosInt(id)) = item else {
+                    return Err(ServeError::bad_request(format!(
+                        "'pending' entries must be device ids, got {}",
+                        item.kind()
+                    )));
+                };
+                if *id >= n as u64 {
+                    return Err(ServeError::bad_request(format!(
+                        "pending device {id} outside the {n}-device scenario"
+                    )));
+                }
+                ids.push(DeviceId::new(*id as u32));
+            }
+            ids
+        }
+        Value::Array(_) | Value::Null => {
+            return Err(ServeError::bad_request(
+                "'pending' must be a non-empty array of device ids",
+            ))
+        }
+        other => {
+            return Err(ServeError::bad_request(format!(
+                "'pending' must be an array, got {}",
+                other.kind()
+            )))
+        }
+    };
+    let schedule = trace.time(Phase::Solve, || {
+        plan_step(&problem, &pending, scheme.as_ref(), policy)
+    });
+    let groups: Vec<Value> = schedule
+        .groups()
+        .iter()
+        .map(|g| {
+            let members: Vec<Value> = g
+                .members
+                .iter()
+                .map(|m| uint(pending[m.index()].index() as u64))
+                .collect();
+            obj(vec![
+                ("bill", num(g.bill.total().value())),
+                ("charger", uint(g.charger.index() as u64)),
+                (
+                    "gathering_point",
+                    Value::Array(vec![num(g.gathering_point.x), num(g.gathering_point.y)]),
+                ),
+                ("members", Value::Array(members)),
+            ])
+        })
+        .collect();
+    Ok(Handled {
+        result: obj(vec![
+            ("groups", Value::Array(groups)),
+            ("pending", uint(pending.len() as u64)),
+            ("total_cost", num(schedule.total_cost().value())),
+        ]),
+        scenario_hit: Some(scenario_hit),
+        plan_hit: Some(false),
+    })
 }
 
 /// Loads the request's scenario — inline `scenario` object or
@@ -326,6 +419,11 @@ fn handle_lifetime(
     let sharing = sharing_name(body)?;
     let scheme = make_sharing(sharing);
     let rounds = fields::u64_or(body, "rounds", 20)? as usize;
+    if rounds == 0 {
+        // `run_lifetime` asserts on this; surface it as a clean protocol
+        // error rather than a caught panic (`internal`).
+        return Err(ServeError::bad_request("rounds must be >= 1"));
+    }
     let seed = fields::u64_or(body, "seed", 0)?;
     let policy = match fields::str_or(body, "policy", "ccsa")? {
         "ccsa" => Policy::Ccsa(CcsaOptions::default()),

@@ -12,15 +12,31 @@
 //! {"id": 1, "cmd": "plan", "scenario": {…}, "algo": "ccsa", "sharing": "equal"}
 //! {"id": 2, "cmd": "replay", "scenario_path": "s.json", "seed": 1, "noshow": 0.5}
 //! {"id": 3, "cmd": "lifetime", "scenario_path": "s.json", "rounds": 5, "policy": "ccsga"}
-//! {"id": 4, "cmd": "ping"}
+//! {"id": 4, "cmd": "online_step", "scenario_path": "s.json", "pending": [0, 3, 7]}
+//! {"id": 5, "cmd": "ping"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
+//! `online_step` is the daemon-side ingest path of the online mode: one
+//! stateless re-plan over the listed pending device ids (see
+//! `ccs_core::online`), answering the residual schedule with members
+//! mapped back to original ids.
+//!
 //! `scenario` carries the scenario inline (the `ccs gen` JSON); the
 //! `scenario_path` alternative reads it from a file on the daemon's
-//! filesystem. Any request may set `deadline_ms`: work still queued when
-//! the deadline expires is cancelled with an `expired` error instead of
-//! occupying a worker.
+//! filesystem.
+//!
+//! # `deadline_ms` semantics
+//!
+//! Any queued request may set `deadline_ms`, a positive integer (`>= 1`)
+//! budget in milliseconds measured from admission. Omitting the field (or
+//! sending JSON `null`) means "no deadline"; an *explicit* `0` is a
+//! `bad_request` — zero could only mean "already expired", and silently
+//! reading it as "no deadline" would invert the client's intent. The
+//! deadline is enforced twice: work still queued when it expires is
+//! cancelled with an `expired` error instead of occupying a worker, and a
+//! solve that finishes *after* the deadline is answered `expired` as well
+//! (counted in the `expired` stat) rather than as a stale success.
 //!
 //! Responses are rendered from a `BTreeMap`-backed JSON tree, so field
 //! order is canonical and a given request's success response is

@@ -114,7 +114,8 @@ pub struct ServeSummary {
     pub errors: u64,
     /// Malformed or invalid requests (`bad_request` responses).
     pub bad_request: u64,
-    /// Requests whose `deadline_ms` elapsed while queued.
+    /// Requests whose `deadline_ms` elapsed while queued or during the
+    /// solve.
     pub expired: u64,
     /// Domain failures (`failed` responses).
     pub failed: u64,
@@ -371,15 +372,31 @@ impl ServerState {
                 write_line(writer, &ok_response(&id, self.stats_snapshot()));
                 Admit::Continue
             }
-            "plan" | "replay" | "lifetime" => {
+            "plan" | "replay" | "lifetime" | "online_step" => {
                 let mut trace = self.obs.start();
-                let deadline = match crate::protocol::fields::u64_or(&body, "deadline_ms", 0) {
-                    Ok(0) => None,
-                    Ok(ms) => Some(Duration::from_millis(ms)),
-                    Err(e) => {
-                        self.respond_err(writer, &id, &e);
+                // Absent (or JSON null) means "no deadline". An *explicit*
+                // zero is rejected: it can only mean "already expired" and
+                // silently treating it as "no deadline" inverts the
+                // client's intent.
+                let deadline = match body.field("deadline_ms") {
+                    Value::Null => None,
+                    Value::Number(Number::PosInt(0)) => {
+                        self.respond_err(
+                            writer,
+                            &id,
+                            &ServeError::bad_request(
+                                "deadline_ms must be >= 1; omit for no deadline",
+                            ),
+                        );
                         return Admit::Continue;
                     }
+                    _ => match crate::protocol::fields::u64_or(&body, "deadline_ms", 0) {
+                        Ok(ms) => Some(Duration::from_millis(ms)),
+                        Err(e) => {
+                            self.respond_err(writer, &id, &e);
+                            return Admit::Continue;
+                        }
+                    },
                 };
                 let reject_id = id.clone();
                 let admitted_at = Instant::now();
@@ -484,7 +501,20 @@ impl ServerState {
         // The shared engine runs the handler under the panic backstop; a
         // caught panic surfaces here as an `Internal` error.
         let outcome = engine::execute(&self.cache, &cmd, &body, &mut trace);
+        // The deadline can also pass *during* the solve, not just in the
+        // queue: a result the client has already given up on is answered
+        // `expired` (and counted as such), never as a full success.
+        // Failures keep their own kind — the deadline is moot for them.
+        let solve_expired = deadline.is_some_and(|d| admitted_at.elapsed() > d);
         let (line, status) = match outcome {
+            Ok(_) if solve_expired => {
+                self.stats.count_error(ErrorKind::Expired);
+                let ms = deadline.map(|d| d.as_millis()).unwrap_or_default();
+                let err =
+                    ServeError::expired(format!("deadline of {ms} ms passed during the solve"));
+                let line = trace.time(Phase::Serialize, || err_response(&id, &err));
+                (line, "expired")
+            }
             Ok(handled) => {
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                 ccs_telemetry::counter!("serve.completed").incr();

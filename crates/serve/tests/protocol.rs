@@ -74,6 +74,10 @@ fn response_with_id(lines: &[String], id: u64) -> Value {
     panic!("no response with id {id} in {lines:#?}");
 }
 
+fn response_ok(response: &Value) -> bool {
+    response.field("ok") == &Value::Bool(true)
+}
+
 fn error_kind(response: &Value) -> &str {
     match response.field("error").field("kind") {
         Value::String(s) => s,
@@ -263,6 +267,115 @@ fn queued_work_past_its_deadline_is_cancelled() {
     assert_eq!(summary.completed, 1);
     let expired = response_with_id(&responses, 2);
     assert_eq!(error_kind(&expired), "expired");
+}
+
+#[test]
+fn deadline_elapsing_during_the_solve_answers_expired() {
+    // The request is alone in the queue, so it dequeues well inside its
+    // 1 ms budget — but the heavy solve takes far longer, so the deadline
+    // passes *during* execution. The finished result must be answered
+    // `expired` (and counted), never as a stale success.
+    let heavy = scenario_json(8, 14);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{heavy},"deadline_ms":1}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    assert_eq!(
+        summary.completed, 0,
+        "a post-deadline result is not a success"
+    );
+    assert_eq!(summary.expired, 1);
+    assert_eq!(summary.errors, 1);
+    let expired = response_with_id(&responses, 1);
+    assert!(!response_ok(&expired));
+    assert_eq!(error_kind(&expired), "expired");
+}
+
+#[test]
+fn explicit_zero_deadline_is_a_bad_request() {
+    // `deadline_ms: 0` can only mean "already expired" — it is rejected
+    // outright, while omitting the field (or JSON `null`) still means
+    // "no deadline" and the request completes normally.
+    let light = scenario_json(9, 5);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"plan","scenario":{light},"deadline_ms":0}}"#),
+        format!(r#"{{"id":2,"cmd":"plan","scenario":{light}}}"#),
+        format!(r#"{{"id":3,"cmd":"plan","scenario":{light},"deadline_ms":null}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    let rejected = response_with_id(&responses, 1);
+    assert_eq!(error_kind(&rejected), "bad_request");
+    let Value::String(message) = rejected.field("error").field("message") else {
+        panic!("bad_request carries no message");
+    };
+    assert!(
+        message.contains("deadline_ms must be >= 1"),
+        "message must explain the semantics, got '{message}'"
+    );
+    assert!(response_ok(&response_with_id(&responses, 2)));
+    assert!(response_ok(&response_with_id(&responses, 3)));
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.bad_request, 1);
+}
+
+#[test]
+fn online_step_plans_pending_requests_and_validates_input() {
+    let light = scenario_json(9, 6);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"online_step","scenario":{light},"pending":[0,2,4]}}"#),
+        format!(r#"{{"id":2,"cmd":"online_step","scenario":{light},"pending":[]}}"#),
+        format!(r#"{{"id":3,"cmd":"online_step","scenario":{light},"pending":[99]}}"#),
+        format!(r#"{{"id":4,"cmd":"online_step","scenario":{light},"pending":[0],"algo":"fcfs"}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    let planned = response_with_id(&responses, 1);
+    assert!(response_ok(&planned));
+    let Value::Array(groups) = planned.field("result").field("groups") else {
+        panic!("online_step must answer a groups array");
+    };
+    assert!(!groups.is_empty());
+    // Members are mapped back to *original* device ids.
+    let mut members: Vec<u64> = groups
+        .iter()
+        .flat_map(|g| match g.field("members") {
+            Value::Array(ms) => ms
+                .iter()
+                .map(|m| match m {
+                    Value::Number(serde::value::Number::PosInt(v)) => *v,
+                    other => panic!("member must be an id, got {other:?}"),
+                })
+                .collect::<Vec<_>>(),
+            other => panic!("groups carry member arrays, got {other:?}"),
+        })
+        .collect();
+    members.sort_unstable();
+    assert_eq!(members, vec![0, 2, 4]);
+    assert_eq!(error_kind(&response_with_id(&responses, 2)), "bad_request");
+    assert_eq!(error_kind(&response_with_id(&responses, 3)), "bad_request");
+    assert!(
+        response_ok(&response_with_id(&responses, 4)),
+        "fcfs policy serves"
+    );
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.bad_request, 2);
+}
+
+#[test]
+fn lifetime_with_zero_rounds_is_a_bad_request() {
+    // Zero rounds would trip `run_lifetime`'s assert; the handler must
+    // answer `bad_request`, not a caught panic (`internal`).
+    let light = scenario_json(9, 5);
+    let lines = vec![
+        format!(r#"{{"id":1,"cmd":"lifetime","scenario":{light},"rounds":0}}"#),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, summary) = run_server(&lines, 1, 8);
+    assert_eq!(error_kind(&response_with_id(&responses, 1)), "bad_request");
+    assert_eq!(summary.panics, 0, "validation must fire before the assert");
+    assert_eq!(summary.bad_request, 1);
 }
 
 #[test]

@@ -23,9 +23,11 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod arrival;
 pub mod energy;
 pub mod entities;
 pub mod geometry;
+pub mod mobile;
 pub mod mobility;
 pub mod scenario;
 pub mod units;
@@ -33,9 +35,11 @@ pub mod wpt;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
+    pub use crate::arrival::{ArrivalGenerator, ArrivalProfile, ChargeRequest};
     pub use crate::energy::{Battery, EnergyDemand};
     pub use crate::entities::{Charger, ChargerId, Device, DeviceId};
     pub use crate::geometry::{Point, Rect};
+    pub use crate::mobile::{EnergyModel, MobileCharger};
     pub use crate::mobility::Trip;
     pub use crate::scenario::{ParamRange, Placement, Scenario, ScenarioGenerator};
     pub use crate::units::{

@@ -10,6 +10,10 @@
 //! ccs lifetime --scenario scenario.json [--rounds R] [--policy ccsa|ccsga|ncp]
 //!              [--noise ideal|field] [--breakdown P] [--noshow P]
 //!              [--recover R] [--degrade true|false]
+//! ccs online --scenario scenario.json [--policy ccsga|fcfs] [--sharing S]
+//!            [--rate R] [--horizon S] [--slack S]
+//!            [--profile poisson|hotspot|burst] [--stream-seed N]
+//!            [--battery-cap J] [--ecr-move JPM] [--ecr-charge R] [--json true]
 //! ccs serve  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every S]
 //!            [--stats-human true] [--metrics-file FILE] [--trace-requests FILE]
 //!            [--trace-max-bytes N] [--slow-ms MS] [--max-line-bytes N]
@@ -71,6 +75,7 @@ fn main() -> ExitCode {
                 "plan" => cmd_plan(&opts),
                 "replay" => cmd_replay(&opts),
                 "lifetime" => cmd_lifetime(&opts),
+                "online" => cmd_online(&opts),
                 "serve" => cmd_serve(&opts),
                 "gateway" => cmd_gateway(&opts),
                 "stats" => cmd_stats(&opts),
@@ -115,6 +120,20 @@ fn validate_flags(command: &str, opts: &Flags) -> Result<(), String> {
             "noshow",
             "recover",
             "degrade",
+        ],
+        "online" => &[
+            "scenario",
+            "policy",
+            "sharing",
+            "rate",
+            "horizon",
+            "slack",
+            "profile",
+            "stream-seed",
+            "battery-cap",
+            "ecr-move",
+            "ecr-charge",
+            "json",
         ],
         "serve" => &[
             "socket",
@@ -169,6 +188,7 @@ commands:
   plan      schedule a scenario        --scenario FILE [--algo ccsa|ccsga|ncp|opt] [--sharing S] [-o FILE]
   replay    execute on the testbed     --scenario FILE [--noise ideal|field] [--breakdown P] [--noshow P] [--seed N]
   lifetime  multi-round operation      --scenario FILE [--rounds N] [--policy ccsa|ccsga|ncp] [--seed N]
+  online    streaming request service  --scenario FILE [--policy ccsga|fcfs] [--rate R] [--horizon S]
   serve     long-running JSONL daemon  [--socket PATH] [--workers N] [--queue-depth N] [--stats-every SECS]
   gateway   multi-tenant HTTP service  [--addr HOST:PORT] [--shards N] [--tenants-file FILE] [--rate R]
   stats     query a running daemon     --socket PATH [--json true]
@@ -208,6 +228,16 @@ observability (serve):
   --slow-ms MS          count+log requests slower end-to-end than MS
   `{\"cmd\":\"stats\"}` returns the live snapshot; `ccs stats --socket PATH`
   pretty-prints it.
+
+online mode (online):
+  a seeded request stream (arrivals + deadlines) over the scenario's
+  devices, served event-by-event with finite charger tanks and depot
+  refills. --rate R requests/s over --horizon S seconds, each with
+  --slack S seconds of deadline; --profile hotspot concentrates traffic
+  on 20% of devices, --profile burst pulses the rate 8x every 60 s.
+  --policy ccsga re-plans incrementally via the coalition game; fcfs is
+  the first-come-first-served baseline. --json true prints the metrics
+  as machine-readable JSON (used by CI).
 
 failures and recovery (replay, lifetime):
   --breakdown P      probability a hired charger breaks down per leg
@@ -501,6 +531,83 @@ fn cmd_lifetime(opts: &Flags) -> Result<(), String> {
         println!(
             "  testbed delivery: {} refill request(s) went unserved",
             report.unserved_requests
+        );
+    }
+    if let Some(path) = report_path {
+        write_report(&path)?;
+    }
+    Ok(())
+}
+
+/// `ccs online` — the event-driven online mode (see `ccs_core::online`):
+/// replays a seeded arrival stream over the scenario's devices and prints
+/// the service metrics.
+fn cmd_online(opts: &Flags) -> Result<(), String> {
+    let report_path = telemetry_setup(opts)?;
+    let scenario = load_scenario(opts)?;
+    let sharing = sharing_from(opts)?;
+    let policy_name = opts.get("policy").map(String::as_str).unwrap_or("ccsga");
+    let policy = match policy_name {
+        "ccsga" => OnlinePolicy::Ccsga(CcsgaOptions {
+            worklist: true,
+            ..CcsgaOptions::default()
+        }),
+        "fcfs" => OnlinePolicy::Fcfs,
+        other => return Err(format!("unknown online policy '{other}'")),
+    };
+    let profile = match opts.get("profile").map(String::as_str).unwrap_or("poisson") {
+        "poisson" => ArrivalProfile::Poisson,
+        "hotspot" => ArrivalProfile::Hotspot {
+            fraction: 0.2,
+            share: 0.8,
+        },
+        "burst" => ArrivalProfile::Burst {
+            period: 60.0,
+            width: 10.0,
+            factor: 8.0,
+        },
+        other => return Err(format!("unknown arrival profile '{other}'")),
+    };
+    let defaults = EnergyModel::default();
+    let energy = EnergyModel {
+        battery_cap: Joules::new(get(opts, "battery-cap", defaults.battery_cap.value())?),
+        ecr_move: get(opts, "ecr-move", defaults.ecr_move)?,
+        ecr_charge: get(opts, "ecr-charge", defaults.ecr_charge)?,
+    };
+    energy.validate();
+    let stream = ArrivalGenerator::new(get(opts, "stream-seed", 0)?)
+        .rate(get(opts, "rate", 0.2)?)
+        .horizon(get(opts, "horizon", 200.0)?)
+        .slack(get(opts, "slack", 600.0)?)
+        .profile(profile)
+        .generate(scenario.devices().len());
+    let config = OnlineConfig { policy, energy };
+    let problem = CcsProblem::new(scenario);
+    let report = OnlineSim::new(problem, stream, sharing.as_ref(), config).run();
+    let m = &report.metrics;
+    if get(opts, "json", false)? {
+        let json = serde_json::to_string_pretty(m).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        println!(
+            "online {policy_name}: {} arrival(s), {} served, {} missed (miss rate {:.1}%)",
+            m.arrivals,
+            m.served,
+            m.missed,
+            m.miss_rate * 100.0,
+        );
+        println!(
+            "  fleet: utilization {:.1}%, {} replan(s), {} depot cycle(s), makespan {:.1} s",
+            m.charger_utilization * 100.0,
+            m.replans,
+            m.depot_cycles,
+            m.makespan.value(),
+        );
+        println!(
+            "  energy: {:.1} kJ delivered, {:.1} kJ consumed ({:.1} kJ per served request)",
+            m.energy_delivered.value() / 1000.0,
+            m.energy_consumed.value() / 1000.0,
+            m.energy_per_served / 1000.0,
         );
     }
     if let Some(path) = report_path {
